@@ -1,0 +1,87 @@
+//! Property-based tests for the baseline allocators: weight conservation
+//! and threshold respect hold for every workload and parameterization.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_baselines::{greedy, one_plus_beta, parallel_threshold, sequential_threshold};
+use tlb_core::task::TaskSet;
+
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..30, 1..200)
+        .prop_map(|v| v.into_iter().map(|w| w as f64).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_conserves_weight(
+        weights in arb_weights(),
+        n in 1usize..50,
+        d in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let tasks = TaskSet::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = greedy::allocate(&tasks, n, d, &mut rng);
+        prop_assert_eq!(a.loads.len(), n);
+        prop_assert!((a.loads.iter().sum::<f64>() - tasks.total_weight()).abs() < 1e-6);
+        prop_assert_eq!(a.choices, (tasks.len() * d) as u64);
+        prop_assert!(a.gap() >= -1e-9);
+    }
+
+    #[test]
+    fn one_plus_beta_conserves_weight(
+        weights in arb_weights(),
+        n in 1usize..50,
+        beta in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let tasks = TaskSet::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = one_plus_beta::allocate(&tasks, n, beta, &mut rng);
+        prop_assert!((a.loads.iter().sum::<f64>() - tasks.total_weight()).abs() < 1e-6);
+        // Between 1 and 2 choices per ball.
+        prop_assert!(a.choices >= tasks.len() as u64);
+        prop_assert!(a.choices <= 2 * tasks.len() as u64);
+    }
+
+    #[test]
+    fn sequential_threshold_respects_final_threshold(
+        weights in arb_weights(),
+        n in 1usize..40,
+        slack in 0.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let tasks = TaskSet::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = sequential_threshold::allocate(&tasks, n, slack, 8, &mut rng);
+        prop_assert!((out.loads.iter().sum::<f64>() - tasks.total_weight()).abs() < 1e-6);
+        prop_assert!(out.allocation().max_load() <= out.final_threshold + 1e-9);
+        // Escalations move the threshold by w_max each.
+        let start = tasks.total_weight() / n as f64 + slack * tasks.w_max();
+        let expected = start + out.escalations as f64 * tasks.w_max();
+        prop_assert!((out.final_threshold - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_threshold_accounts_for_every_ball(
+        weights in arb_weights(),
+        n in 1usize..40,
+        rounds in 1usize..6,
+        slack in 0.5f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let tasks = TaskSet::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = parallel_threshold::allocate_uniform_threshold(&tasks, n, rounds, slack, &mut rng);
+        prop_assert!((out.loads.iter().sum::<f64>() - tasks.total_weight()).abs() < 1e-6);
+        prop_assert_eq!(out.survivors_per_round.len(), rounds);
+        // Survivors are monotone non-increasing and end at `forced`.
+        for w in out.survivors_per_round.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        prop_assert_eq!(*out.survivors_per_round.last().unwrap(), out.forced);
+    }
+}

@@ -1,0 +1,107 @@
+//! A3/A4 + design-choice ablations:
+//!
+//! * `alpha` — migration damping ladder (the balancing time, and hence the
+//!   trial wall-time, scales ~1/α — Theorem 11),
+//! * `epsilon` — tight vs above-average thresholds,
+//! * `stack_order` — deterministic vs shuffled arrival order (DESIGN.md
+//!   design-choice 2: must not change the asymptotics),
+//! * `walk_kind` — max-degree vs lazy walk for the resource protocol on a
+//!   bipartite graph (DESIGN.md design-choice 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+use tlb_graphs::generators;
+use tlb_walks::WalkKind;
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/alpha");
+    group.sample_size(10);
+    let n = 150;
+    let spec = WeightSpec::figure2(1000, 16.0);
+    for &alpha in &[0.01f64, 0.1, 1.0] {
+        let cfg = UserControlledConfig { alpha, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(format!("alpha={alpha}")), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let tasks = spec.generate(&mut rng);
+                run_user_controlled(n, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/epsilon");
+    group.sample_size(10);
+    let n = 100;
+    let spec = WeightSpec::Uniform { m: 3000 };
+    for (label, policy) in [
+        ("tight", ThresholdPolicy::Tight),
+        ("eps=0.2", ThresholdPolicy::AboveAverage { epsilon: 0.2 }),
+        ("eps=1.0", ThresholdPolicy::AboveAverage { epsilon: 1.0 }),
+    ] {
+        let cfg = UserControlledConfig { threshold: policy, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let tasks = spec.generate(&mut rng);
+                run_user_controlled(n, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stack_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/stack_order");
+    group.sample_size(10);
+    let g = generators::complete(150);
+    let spec = WeightSpec::ParetoTruncated { m: 1500, alpha: 1.5, cap: 32.0 };
+    for (label, shuffle) in [("deterministic", false), ("shuffled", true)] {
+        let cfg = ResourceControlledConfig { shuffle_arrivals: shuffle, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let tasks = spec.generate(&mut rng);
+                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_kind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/walk_kind");
+    group.sample_size(10);
+    let g = generators::torus2d(12, 12); // bipartite: the interesting case
+    let spec = WeightSpec::Uniform { m: 1440 };
+    for (label, walk) in [("max-degree", WalkKind::MaxDegree), ("lazy", WalkKind::Lazy)] {
+        let cfg = ResourceControlledConfig { walk, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let tasks = spec.generate(&mut rng);
+                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha, bench_epsilon, bench_stack_order, bench_walk_kind);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! A8 — related-work allocator benches: throughput of the cited baseline
+//! schemes on identical weighted workloads (balls/second), so their cost
+//! can be compared to the threshold protocols' simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_baselines::{greedy, one_plus_beta, parallel_threshold, sequential_threshold};
+use tlb_core::weights::WeightSpec;
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/allocate");
+    let n = 1000;
+    let m = 20_000;
+    let mut rng = SmallRng::seed_from_u64(1);
+    let tasks = WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: 16.0 }.generate(&mut rng);
+    group.throughput(Throughput::Elements(m as u64));
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::from_parameter("one-choice"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            greedy::allocate(&tasks, n, 1, &mut rng).gap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("two-choice"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            greedy::allocate(&tasks, n, 2, &mut rng).gap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("one-plus-beta"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            one_plus_beta::allocate(&tasks, n, 0.5, &mut rng).gap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("seq-threshold"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            sequential_threshold::allocate(&tasks, n, 1.0, 50, &mut rng).choices
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("par-threshold-4r"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            parallel_threshold::allocate_uniform_threshold(&tasks, n, 4, 1.0, &mut rng).forced
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

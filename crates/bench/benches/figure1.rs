@@ -1,0 +1,41 @@
+//! F1 — Figure 1 bench: one user-controlled trial at representative
+//! (W, k) grid points of the paper's sweep (n scaled to 250 to keep the
+//! bench snappy; the full-scale data comes from the `figure1` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+
+fn bench_figure1_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/trial");
+    group.sample_size(20);
+    let n = 250;
+    let cfg = UserControlledConfig::default();
+    for &w_total in &[2000.0f64, 6000.0, 10000.0] {
+        for &k in &[1usize, 50] {
+            // k heavy tasks cannot outweigh W (the paper's k = 50 curve
+            // cannot start at W = 2000 < 50·50).
+            if k as f64 * 50.0 > w_total {
+                continue;
+            }
+            let spec = WeightSpec::TwoPoint { total: w_total, k, heavy: 50.0 };
+            let id = format!("W={w_total:.0},k={k}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &spec, |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let tasks = spec.generate(&mut rng);
+                    run_user_controlled(n, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1_points);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! F2 — Figure 2 bench: one user-controlled trial per (m, w_max) grid
+//! point (n scaled to 250; full-scale data from the `figure2` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+
+fn bench_figure2_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2/trial");
+    group.sample_size(20);
+    let n = 250;
+    let cfg = UserControlledConfig::default();
+    for &w_max in &[1.0f64, 16.0, 256.0] {
+        for &m in &[1000usize, 5000] {
+            let spec = WeightSpec::figure2(m, w_max);
+            let id = format!("m={m},wmax={w_max:.0}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &spec, |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let tasks = spec.generate(&mut rng);
+                    run_user_controlled(n, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2_points);
+criterion_main!(benches);

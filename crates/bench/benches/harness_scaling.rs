@@ -1,0 +1,34 @@
+//! Rayon speedup of the trial fan-out (DESIGN.md design-choice 4): the
+//! same batch of user-controlled trials run sequentially vs through the
+//! rayon harness. On a many-core machine the parallel group should report
+//! a near-linear fraction of the sequential time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+use tlb_experiments::harness;
+
+fn trial(seed: u64) -> f64 {
+    let spec = WeightSpec::figure2(800, 16.0);
+    let cfg = UserControlledConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tasks = spec.generate(&mut rng);
+    run_user_controlled(150, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_scaling");
+    group.sample_size(10);
+    let trials = 64;
+    group.bench_function("sequential_64_trials", |b| {
+        b.iter(|| harness::run_trials_sequential(trials, 7, trial))
+    });
+    group.bench_function("rayon_64_trials", |b| b.iter(|| harness::run_trials(trials, 7, trial)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Substrate micro-kernels: the inner-loop operations whose cost
+//! determines simulation throughput.
+//!
+//! * walker step sampling (hot loop of Algorithm 5.1),
+//! * stack φ scan and Bernoulli drain (hot loop of Algorithm 6.1),
+//! * diffusion step (footnote 1),
+//! * dense mat-vec and LU factorization (walk-theory substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::diffusion::{diffusion_step, DiffusionKind};
+use tlb_core::stack::ResourceStack;
+use tlb_graphs::generators;
+use tlb_walks::linalg::{LuFactors, Matrix};
+use tlb_walks::{TransitionMatrix, WalkKind, Walker};
+
+fn bench_walker_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/walker_step");
+    let g = generators::torus2d(32, 32);
+    let w = Walker::new(&g, WalkKind::MaxDegree);
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("torus_1024", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = w.step(v, &mut rng);
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_stack_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/stack");
+    let m = 10_000usize;
+    let weights: Vec<f64> = (0..m).map(|i| 1.0 + (i % 50) as f64).collect();
+    let mut stack = ResourceStack::new();
+    for (i, &w) in weights.iter().enumerate() {
+        stack.push(i as u32, w);
+    }
+    let threshold = stack.load() * 0.6;
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("phi_scan_10k", |b| b.iter(|| stack.phi(threshold, &weights)));
+    group.bench_function("drain_bernoulli_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut s = stack.clone();
+            s.drain_bernoulli(0.02, &weights, &mut rng).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_diffusion_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/diffusion");
+    for &side in &[16usize, 64] {
+        let g = generators::torus2d(side, side);
+        let n = g.num_nodes();
+        let init: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let mut out = vec![0.0; n];
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("torus_{n}")), &g, |b, g| {
+            b.iter(|| diffusion_step(g, &init, &mut out, DiffusionKind::Damped))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/linalg");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let g = generators::complete(n);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let x = vec![1.0 / n as f64; n];
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(format!("matvec_{n}")), &p, |b, p| {
+            b.iter(|| p.matrix().matvec_into(&x, &mut y))
+        });
+        let a = Matrix::from_fn(n, n, |i, j| if i == j { 4.0 } else { 1.0 / (1 + i + j) as f64 });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("lu_factor_{n}")), &a, |b, a| {
+            b.iter(|| LuFactors::factor(a).unwrap().order())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walker_step,
+    bench_stack_ops,
+    bench_diffusion_step,
+    bench_linalg
+);
+criterion_main!(benches);

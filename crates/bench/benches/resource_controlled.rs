@@ -1,0 +1,42 @@
+//! A1 — resource-controlled protocol bench across the Table-1 graph
+//! families (Theorem-3 regime: above-average threshold), uniform and
+//! heavy-tailed workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::weights::WeightSpec;
+use tlb_experiments::figures::table1::build_family;
+use tlb_graphs::generators::Family;
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_controlled/trial");
+    group.sample_size(10);
+    for family in Family::ALL {
+        let (g, kind) = build_family(family, 128, 1);
+        let m = g.num_nodes() * 10;
+        for (wname, spec) in [
+            ("uniform", WeightSpec::Uniform { m }),
+            ("pareto", WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: 32.0 }),
+        ] {
+            let cfg = ResourceControlledConfig { walk: kind, ..Default::default() };
+            let id = format!("{}/{}", family.name(), wname);
+            group.bench_with_input(BenchmarkId::from_parameter(id), &spec, |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let tasks = spec.generate(&mut rng);
+                    run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng)
+                        .rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

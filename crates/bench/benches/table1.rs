@@ -1,0 +1,52 @@
+//! T1 — Table 1 bench: the walk-theory measurement kernels per family.
+//!
+//! Groups: spectral gap (power iteration), exact hitting times
+//! (fundamental matrix), empirical TV mixing — the three quantities the
+//! Table-1 driver computes per (family, size) cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlb_experiments::figures::table1::build_family;
+use tlb_graphs::generators::Family;
+use tlb_walks::{hitting, mixing, spectral, TransitionMatrix};
+
+fn bench_spectral_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/spectral_gap");
+    group.sample_size(10);
+    for family in Family::ALL {
+        let (g, kind) = build_family(family, 128, 1);
+        let p = TransitionMatrix::build(&g, kind);
+        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &p, |b, p| {
+            b.iter(|| spectral::spectral_gap_power(p, &g, 1e-10, 100_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hitting_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/hitting_exact");
+    group.sample_size(10);
+    for family in Family::ALL {
+        let (g, kind) = build_family(family, 128, 1);
+        let p = TransitionMatrix::build(&g, kind);
+        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &p, |b, p| {
+            b.iter(|| hitting::max_hitting_time_exact(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tv_mixing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/tv_mixing");
+    group.sample_size(10);
+    for family in Family::ALL {
+        let (g, kind) = build_family(family, 128, 1);
+        let p = TransitionMatrix::build(&g, kind);
+        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &p, |b, p| {
+            b.iter(|| mixing::tv_mixing_time(p, &g, 0.25, 100_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral_gap, bench_hitting_exact, bench_tv_mixing);
+criterion_main!(benches);

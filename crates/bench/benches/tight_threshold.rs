@@ -1,0 +1,51 @@
+//! A2 — tight-threshold bench on the Observation-8 lollipop family: the
+//! balancing time (and hence the wall time per trial) scales as
+//! `H(G)·log m = Θ((n²/k)·log m)`, so the per-k timings themselves exhibit
+//! the lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_experiments::figures::obs8;
+use tlb_graphs::generators::lollipop;
+
+fn bench_lollipop_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tight_threshold/lollipop");
+    group.sample_size(10);
+    let n = 20;
+    let (tasks, placement) = obs8::workload(n);
+    for &k in &[1usize, 4, 16] {
+        let g = lollipop(n, k).unwrap();
+        let cfg = ResourceControlledConfig {
+            threshold: ThresholdPolicy::TightResource,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                run_resource_controlled(g, &tasks, placement.clone(), &cfg, &mut rng).rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_hitting_lollipop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tight_threshold/hitting_exact");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let g = lollipop(n, 2).unwrap();
+        let p = tlb_walks::TransitionMatrix::build(&g, tlb_walks::WalkKind::MaxDegree);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &p, |b, p| {
+            b.iter(|| tlb_walks::hitting::max_hitting_time_exact(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lollipop_k, bench_exact_hitting_lollipop);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # tlb-bench
+//!
+//! Criterion benchmarks regenerating (at benchmark scale) every table and
+//! figure of the paper, plus ablations and substrate micro-kernels. Each
+//! bench target corresponds to a row of the experiment index in
+//! `DESIGN.md` §3:
+//!
+//! | bench target          | experiment id |
+//! |-----------------------|---------------|
+//! | `table1`              | T1            |
+//! | `figure1`             | F1            |
+//! | `figure2`             | F2            |
+//! | `resource_controlled` | A1            |
+//! | `tight_threshold`     | A2            |
+//! | `ablations`           | A3/A4 + stack-order & walk-kind ablations |
+//! | `kernels`             | substrate micro-benches |
+//! | `harness_scaling`     | rayon speedup of the trial fan-out |
+//!
+//! Criterion measures the wall time of the simulation/measurement kernels;
+//! the `tlb-experiments` binaries produce the full-trial-count *data*.

@@ -1,0 +1,125 @@
+//! Proper assignments (paper Section 5.2).
+//!
+//! An assignment of weighted tasks to resources is *proper* if no resource
+//! receives more than `W/n + w_max`. The paper notes a proper assignment is
+//! "trivial to calculate in a centralized manner — the simple first fit
+//! rule will work"; the Lemma-5 analysis uses one as the random-walk target
+//! of each active task. This module implements first fit plus the
+//! verification predicate, and serves as the centralized baseline the
+//! decentralized protocols are compared against.
+
+use tlb_graphs::NodeId;
+
+use crate::task::TaskSet;
+
+/// First-fit proper assignment: tasks are poured into resource 0, 1, …,
+/// advancing to the next resource once the current one reaches `W/n`.
+///
+/// Guarantees every resource ends with load `≤ W/n + w_max` and all tasks
+/// are placed within `n` resources.
+///
+/// # Panics
+/// If `n == 0`.
+pub fn first_fit(tasks: &TaskSet, n: usize) -> Vec<NodeId> {
+    assert!(n > 0, "need at least one resource");
+    let target = tasks.total_weight() / n as f64;
+    let mut assignment = Vec::with_capacity(tasks.len());
+    let mut resource = 0usize;
+    let mut load = 0.0f64;
+    for i in 0..tasks.len() {
+        let w = tasks.weight(i as u32);
+        // Advance while the current resource is already at/over target.
+        // Every resource is closed only after reaching >= target, so total
+        // weight guarantees we never run past resource n-1.
+        if load >= target && resource + 1 < n {
+            resource += 1;
+            load = 0.0;
+        }
+        assignment.push(resource as NodeId);
+        load += w;
+    }
+    assignment
+}
+
+/// Per-resource loads induced by an assignment.
+pub fn loads_of(tasks: &TaskSet, assignment: &[NodeId], n: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; n];
+    for (i, &r) in assignment.iter().enumerate() {
+        loads[r as usize] += tasks.weight(i as u32);
+    }
+    loads
+}
+
+/// Whether an assignment is proper: max load `≤ W/n + w_max` (with a tiny
+/// float tolerance).
+pub fn is_proper(tasks: &TaskSet, assignment: &[NodeId], n: usize) -> bool {
+    let bound = tasks.total_weight() / n as f64 + tasks.w_max() + 1e-9;
+    loads_of(tasks, assignment, n).iter().all(|&l| l <= bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_is_proper_uniform() {
+        let tasks = TaskSet::uniform(103);
+        let n = 10;
+        let a = first_fit(&tasks, n);
+        assert!(is_proper(&tasks, &a, n));
+        assert_eq!(a.len(), 103);
+    }
+
+    #[test]
+    fn first_fit_is_proper_heavy_tasks() {
+        let mut w = vec![1.0; 90];
+        w.extend(std::iter::repeat_n(17.0, 10));
+        let tasks = TaskSet::new(w);
+        let n = 7;
+        let a = first_fit(&tasks, n);
+        assert!(is_proper(&tasks, &a, n));
+    }
+
+    #[test]
+    fn first_fit_single_resource() {
+        let tasks = TaskSet::uniform(5);
+        let a = first_fit(&tasks, 1);
+        assert!(a.iter().all(|&r| r == 0));
+        assert!(is_proper(&tasks, &a, 1));
+    }
+
+    #[test]
+    fn first_fit_more_resources_than_tasks() {
+        let tasks = TaskSet::uniform(3);
+        let a = first_fit(&tasks, 10);
+        assert!(is_proper(&tasks, &a, 10));
+        // W/n = 0.3: each task alone exceeds the target, so tasks spread.
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn improper_assignment_detected() {
+        let tasks = TaskSet::uniform(10);
+        // All on one resource with n = 5: load 10 > 10/5 + 1 = 3.
+        let a = vec![0 as NodeId; 10];
+        assert!(!is_proper(&tasks, &a, 5));
+    }
+
+    #[test]
+    fn loads_sum_to_total_weight() {
+        let tasks = TaskSet::new(vec![2.0, 3.5, 1.0, 4.5]);
+        let a = first_fit(&tasks, 3);
+        let loads = loads_of(&tasks, &a, 3);
+        assert!((loads.iter().sum::<f64>() - tasks.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversarial_descending_weights_stay_proper() {
+        let w: Vec<f64> = (1..=60).rev().map(|x| x as f64).collect();
+        let tasks = TaskSet::new(w);
+        for n in [1usize, 2, 3, 5, 13, 60] {
+            let a = first_fit(&tasks, n);
+            assert!(is_proper(&tasks, &a, n), "n = {n} not proper");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Diffusion-based average-load estimation (paper Section 1, footnote 1).
+//!
+//! The paper assumes each resource can learn the average load `W/n` (to
+//! set its threshold) by simulating *continuous diffusion*: every resource
+//! initializes an estimate with its own load and repeatedly averages with
+//! its neighbours through the max-degree dynamics
+//!
+//! ```text
+//! e_r(t+1) = e_r(t) + (1/d) · Σ_{u ~ r} (e_u(t) − e_r(t))
+//! ```
+//!
+//! which is exactly `e(t+1) = P·e(t)` for the symmetric max-degree matrix
+//! `P`. After mixing-time many steps the estimates concentrate around the
+//! true average. This module implements the dynamics, the fixed-step
+//! estimator, and a tolerance-driven variant.
+
+use tlb_graphs::Graph;
+
+/// Diffusion dynamics variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffusionKind {
+    /// Exactly the paper's `P`: averaging weight `1/d` per edge. On
+    /// bipartite *regular* graphs (hypercube, even cycle, grid) this chain
+    /// is periodic and never converges pointwise.
+    MaxDegree,
+    /// Averaging weight `1/(d+1)` per edge (first-order scheme with a
+    /// guaranteed self-loop everywhere). Aperiodic — and hence convergent —
+    /// on every connected graph; this is what a deployment would run.
+    Damped,
+}
+
+fn step_with_denominator(g: &Graph, estimates: &[f64], out: &mut [f64], denom: f64) {
+    for v in g.nodes() {
+        let ev = estimates[v as usize];
+        let mut acc = ev;
+        for &u in g.neighbors(v) {
+            acc += (estimates[u as usize] - ev) / denom;
+        }
+        out[v as usize] = acc;
+    }
+}
+
+/// One synchronous diffusion step, computed edge-wise in `O(|E|)` without
+/// materializing a matrix.
+pub fn diffusion_step(g: &Graph, estimates: &[f64], out: &mut [f64], kind: DiffusionKind) {
+    let n = g.num_nodes();
+    assert_eq!(estimates.len(), n, "estimate vector length mismatch");
+    assert_eq!(out.len(), n, "output vector length mismatch");
+    let d = g.max_degree() as f64;
+    let denom = match kind {
+        DiffusionKind::MaxDegree => d,
+        DiffusionKind::Damped => d + 1.0,
+    };
+    if denom == 0.0 {
+        out.copy_from_slice(estimates);
+        return;
+    }
+    step_with_denominator(g, estimates, out, denom);
+}
+
+/// Run `steps` diffusion steps from the initial loads; returns the final
+/// per-resource estimates.
+pub fn estimate_average(
+    g: &Graph,
+    initial_loads: &[f64],
+    steps: usize,
+    kind: DiffusionKind,
+) -> Vec<f64> {
+    let mut cur = initial_loads.to_vec();
+    let mut next = vec![0.0; cur.len()];
+    for _ in 0..steps {
+        diffusion_step(g, &cur, &mut next, kind);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Run diffusion until every estimate is within `tol` of the true average
+/// (which diffusion conserves), up to `max_steps`. Returns
+/// `(estimates, steps_taken)`; `steps_taken == max_steps` may mean the
+/// tolerance was not reached (periodic chains on bipartite graphs with
+/// [`DiffusionKind::MaxDegree`]).
+pub fn estimate_average_to_tolerance(
+    g: &Graph,
+    initial_loads: &[f64],
+    tol: f64,
+    max_steps: usize,
+    kind: DiffusionKind,
+) -> (Vec<f64>, usize) {
+    let n = g.num_nodes();
+    let avg = initial_loads.iter().sum::<f64>() / n as f64;
+    let mut cur = initial_loads.to_vec();
+    let mut next = vec![0.0; n];
+    for step in 0..max_steps {
+        if max_error(&cur, avg) <= tol {
+            return (cur, step);
+        }
+        diffusion_step(g, &cur, &mut next, kind);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    (cur, max_steps)
+}
+
+/// Largest absolute deviation of the estimates from the true average.
+pub fn max_error(estimates: &[f64], average: f64) -> f64 {
+    estimates.iter().map(|e| (e - average).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_graphs::generators::{complete, cycle, grid2d, hypercube, star};
+
+    #[test]
+    fn diffusion_conserves_total_mass() {
+        let g = grid2d(4, 4);
+        let init: Vec<f64> = (0..16).map(|i| (i * i % 7) as f64).collect();
+        let total: f64 = init.iter().sum();
+        for kind in [DiffusionKind::MaxDegree, DiffusionKind::Damped] {
+            let est = estimate_average(&g, &init, 50, kind);
+            assert!((est.iter().sum::<f64>() - total).abs() < 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_converges_fast() {
+        let n = 32;
+        let g = complete(n);
+        let mut init = vec![0.0; n];
+        init[0] = n as f64; // hotspot: average is 1
+        let (est, steps) =
+            estimate_average_to_tolerance(&g, &init, 1e-6, 1000, DiffusionKind::MaxDegree);
+        assert!(steps <= 20, "complete graph should diffuse in O(1)-ish steps, took {steps}");
+        assert!(max_error(&est, 1.0) <= 1e-6);
+    }
+
+    #[test]
+    fn hypercube_needs_damping_then_converges_fast() {
+        // Q_6 is bipartite and regular: the pure max-degree chain is
+        // periodic; the damped chain converges in O(log n log log n)-ish
+        // steps.
+        let g = hypercube(6); // n = 64
+        let mut init = vec![0.0; 64];
+        init[5] = 64.0;
+        let (_, steps_pure) =
+            estimate_average_to_tolerance(&g, &init, 1e-3, 300, DiffusionKind::MaxDegree);
+        assert_eq!(steps_pure, 300, "periodic chain must not claim convergence");
+        let (est, steps) =
+            estimate_average_to_tolerance(&g, &init, 1e-3, 10_000, DiffusionKind::Damped);
+        assert!(max_error(&est, 1.0) <= 1e-3);
+        assert!(steps < 500, "hypercube took {steps} steps");
+    }
+
+    #[test]
+    fn star_converges_despite_irregularity() {
+        let g = star(20);
+        let init: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let avg = init.iter().sum::<f64>() / 20.0;
+        let (est, _steps) =
+            estimate_average_to_tolerance(&g, &init, 1e-6, 100_000, DiffusionKind::MaxDegree);
+        assert!(max_error(&est, avg) <= 1e-6);
+    }
+
+    #[test]
+    fn even_cycle_periodic_odd_cycle_converges() {
+        // C_n is 2-regular so pure max-degree diffusion has no damping and
+        // is periodic for even n.
+        let g = cycle(8);
+        let mut init = vec![0.0; 8];
+        init[0] = 8.0;
+        let (_, steps) =
+            estimate_average_to_tolerance(&g, &init, 1e-9, 500, DiffusionKind::MaxDegree);
+        assert_eq!(steps, 500, "periodic diffusion must not claim convergence");
+        // Damped version converges even on the even cycle.
+        let (est_damped, steps_damped) =
+            estimate_average_to_tolerance(&g, &init, 1e-3, 100_000, DiffusionKind::Damped);
+        assert!(steps_damped < 100_000);
+        assert!(max_error(&est_damped, 1.0) <= 1e-3);
+        // Odd cycle is aperiodic and converges without damping.
+        let g2 = cycle(9);
+        let mut init2 = vec![0.0; 9];
+        init2[0] = 9.0;
+        let (est2, steps2) =
+            estimate_average_to_tolerance(&g2, &init2, 1e-3, 100_000, DiffusionKind::MaxDegree);
+        assert!(steps2 < 100_000);
+        assert!(max_error(&est2, 1.0) <= 1e-3);
+    }
+
+    #[test]
+    fn edgeless_graph_is_a_fixed_point() {
+        let g = tlb_graphs::GraphBuilder::new(3).build();
+        let init = vec![1.0, 2.0, 3.0];
+        let est = estimate_average(&g, &init, 10, DiffusionKind::MaxDegree);
+        assert_eq!(est, init);
+    }
+
+    #[test]
+    fn single_step_matches_hand_computation() {
+        // Path 0-1-2, d = 2. e = [4, 0, 0]:
+        // e0' = 4 + (0-4)/2 = 2; e1' = 0 + (4-0)/2 + (0-0)/2 = 2; e2' = 0.
+        let g = tlb_graphs::generators::path(3);
+        let mut out = vec![0.0; 3];
+        diffusion_step(&g, &[4.0, 0.0, 0.0], &mut out, DiffusionKind::MaxDegree);
+        assert_eq!(out, vec![2.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! # tlb-core
+//!
+//! The primary contribution of *Threshold Load Balancing with Weighted
+//! Tasks* (Berenbrink, Friedetzky, Mallmann-Trenn, Meshkinfamfard, Wastell;
+//! JPDC 2018 / IPPS 2015), implemented as a library:
+//!
+//! * the **resource-controlled protocol** (Algorithm 5.1) on arbitrary
+//!   graphs — overloaded resources push their above-threshold and cutting
+//!   tasks one max-degree random-walk step per round
+//!   ([`resource_protocol`]),
+//! * the **user-controlled protocol** (Algorithm 6.1) on complete graphs —
+//!   every task on an overloaded resource independently migrates to a
+//!   uniformly random resource with probability `α·⌈φ_r/w_max⌉·(1/b_r)`
+//!   ([`user_protocol`]),
+//! * the model substrate both share: weighted tasks ([`task`], [`weights`]),
+//!   stack semantics with heights and threshold cutting ([`stack`]),
+//!   threshold policies ([`threshold`]), initial placements ([`placement`]),
+//!   the potential function `Φ` of Eq. (1) ([`potential`]), the
+//!   drift-theorem machinery of Theorem 6 ([`drift`]),
+//! * the analysis-side substrates the paper references: proper first-fit
+//!   assignments ([`assignment`], Section 5.2) and the footnote-1 diffusion
+//!   scheme for estimating the average load ([`diffusion`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use tlb_core::prelude::*;
+//! use tlb_graphs::generators::complete;
+//!
+//! // 100 unit-weight tasks plus one heavy task, all starting on node 0.
+//! let mut weights = vec![1.0; 100];
+//! weights.push(8.0);
+//! let tasks = TaskSet::new(weights);
+//! let g = complete(16);
+//! let cfg = UserControlledConfig {
+//!     threshold: ThresholdPolicy::AboveAverage { epsilon: 0.2 },
+//!     alpha: 1.0,
+//!     ..Default::default()
+//! };
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let out = run_user_controlled(g.num_nodes(), &tasks, Placement::AllOnOne(0), &cfg, &mut rng);
+//! assert!(out.balanced());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod diffusion;
+pub mod drift;
+pub mod mixed_protocol;
+pub mod nonuniform;
+pub mod placement;
+pub mod potential;
+pub mod resource_protocol;
+pub mod stack;
+pub mod task;
+pub mod threshold;
+pub mod trace;
+pub mod user_protocol;
+pub mod weights;
+
+/// Convenient re-exports of the types most programs need.
+pub mod prelude {
+    pub use crate::placement::Placement;
+    pub use crate::resource_protocol::{
+        run_resource_controlled, ResourceControlledConfig, ResourceControlledOutcome,
+    };
+    pub use crate::task::{TaskId, TaskSet};
+    pub use crate::threshold::ThresholdPolicy;
+    pub use crate::user_protocol::{
+        run_user_controlled, UserControlledConfig, UserControlledOutcome,
+    };
+    pub use crate::weights::WeightSpec;
+}

@@ -1,0 +1,274 @@
+//! Extension (paper Section 8 future work): a **mixed protocol** that is
+//! both resource-based and user-based.
+//!
+//! The paper's conclusion asks about protocols combining both migration
+//! modes. This implementation composes them on arbitrary graphs:
+//!
+//! * **user-style decisions** — each task on an overloaded resource `r`
+//!   independently decides to leave with the Algorithm-6.1 probability
+//!   `α·⌈φ_r/w_max⌉/b_r` (no resource-side coordination), and
+//! * **resource-style movement** — a leaving task travels one max-degree
+//!   random-walk step along the graph (no global view; works on any
+//!   topology, unlike Algorithm 6.1's uniform jump).
+//!
+//! The two paper protocols are recovered at the extremes:
+//!
+//! * with `departure = Departure::AllActive` the decision rule degenerates
+//!   to Algorithm 5.1 exactly (every cutting/above task leaves each
+//!   round), and
+//! * on the complete graph with `Departure::Bernoulli`, a walk step *is* a
+//!   uniform jump over the other `n−1` resources, so the protocol is
+//!   Algorithm 6.1 up to self-jumps.
+//!
+//! The key behavioural difference from Algorithm 5.1: under Bernoulli
+//! departures a task below the threshold may leave (and later land above
+//! it elsewhere), so the potential is **not** monotone — the mixed
+//! protocol inherits the user-controlled analysis, not Observation 4.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tlb_graphs::{Graph, NodeId};
+use tlb_walks::{WalkKind, Walker};
+
+use crate::placement::Placement;
+use crate::potential::{is_balanced, max_load, total_potential};
+use crate::stack::ResourceStack;
+use crate::task::{TaskId, TaskSet};
+use crate::threshold::ThresholdPolicy;
+
+/// Departure rule of the mixed protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Departure {
+    /// Every cutting/above task leaves each round (Algorithm-5.1 rule).
+    AllActive,
+    /// Each task on an overloaded resource leaves independently with
+    /// probability `α·⌈φ_r/w_max⌉/b_r` (Algorithm-6.1 rule).
+    Bernoulli,
+}
+
+/// Configuration of a mixed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedConfig {
+    /// Threshold policy.
+    pub threshold: ThresholdPolicy,
+    /// Departure rule.
+    pub departure: Departure,
+    /// Migration damping `α` (only used by [`Departure::Bernoulli`]).
+    pub alpha: f64,
+    /// Which walk moves departing tasks.
+    pub walk: WalkKind,
+    /// Safety cap on rounds.
+    pub max_rounds: u64,
+    /// Record `Φ(t)` after every round.
+    pub track_potential: bool,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            threshold: ThresholdPolicy::AboveAverage { epsilon: 0.2 },
+            departure: Departure::Bernoulli,
+            alpha: 1.0,
+            walk: WalkKind::MaxDegree,
+            max_rounds: 10_000_000,
+            track_potential: false,
+        }
+    }
+}
+
+/// Result of a mixed run (same shape as the paper protocols' outcomes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedOutcome {
+    /// Rounds executed until balance (or the cap).
+    pub rounds: u64,
+    /// Whether balance was reached within `max_rounds`.
+    pub completed: bool,
+    /// Total migrations performed.
+    pub migrations: u64,
+    /// The threshold value used.
+    pub threshold: f64,
+    /// `Φ` after each round if tracked.
+    pub potential_series: Vec<f64>,
+    /// Maximum load at termination.
+    pub final_max_load: f64,
+    /// Per-resource loads at termination.
+    pub final_loads: Vec<f64>,
+}
+
+impl MixedOutcome {
+    /// Whether the run ended balanced.
+    pub fn balanced(&self) -> bool {
+        self.completed
+    }
+}
+
+/// Run the mixed protocol on an arbitrary graph.
+///
+/// # Panics
+/// If the graph is empty, `alpha <= 0` with Bernoulli departures, or the
+/// placement is invalid.
+pub fn run_mixed<R: Rng + ?Sized>(
+    g: &Graph,
+    tasks: &TaskSet,
+    placement: Placement,
+    cfg: &MixedConfig,
+    rng: &mut R,
+) -> MixedOutcome {
+    let n = g.num_nodes();
+    assert!(n > 0, "need at least one resource");
+    if cfg.departure == Departure::Bernoulli {
+        assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
+    }
+    let weights = tasks.weights();
+    let w_max = tasks.w_max();
+    let threshold = cfg.threshold.value(tasks.total_weight(), n, w_max);
+    let walker = Walker::new(g, cfg.walk);
+
+    let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
+    for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
+        stacks[loc as usize].push(i as TaskId, weights[i]);
+    }
+
+    let mut potential_series = Vec::new();
+    if cfg.track_potential {
+        potential_series.push(total_potential(&stacks, threshold, weights));
+    }
+
+    let mut migrations = 0u64;
+    let mut pending: Vec<(TaskId, NodeId)> = Vec::new();
+    let mut rounds = 0u64;
+    let mut completed = is_balanced(&stacks, threshold);
+
+    while !completed && rounds < cfg.max_rounds {
+        rounds += 1;
+        pending.clear();
+        for r in 0..n as NodeId {
+            let stack = &mut stacks[r as usize];
+            if !stack.is_overloaded(threshold) {
+                continue;
+            }
+            let departing: Vec<TaskId> = match cfg.departure {
+                Departure::AllActive => stack.remove_active(threshold, weights),
+                Departure::Bernoulli => {
+                    let psi = stack.psi(threshold, weights, w_max);
+                    let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
+                    stack.drain_bernoulli(p, weights, rng)
+                }
+            };
+            for t in departing {
+                pending.push((t, walker.step(r, rng)));
+            }
+        }
+        migrations += pending.len() as u64;
+        for &(t, dest) in &pending {
+            stacks[dest as usize].push(t, weights[t as usize]);
+        }
+        if cfg.track_potential {
+            potential_series.push(total_potential(&stacks, threshold, weights));
+        }
+        completed = is_balanced(&stacks, threshold);
+    }
+
+    MixedOutcome {
+        rounds,
+        completed,
+        migrations,
+        threshold,
+        potential_series,
+        final_max_load: max_load(&stacks),
+        final_loads: stacks.iter().map(ResourceStack::load).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tlb_graphs::generators::{complete, torus2d};
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn mixed_balances_on_torus_with_bernoulli_departures() {
+        let g = torus2d(8, 8);
+        let tasks = TaskSet::new((0..640).map(|i| 1.0 + (i % 7) as f64).collect::<Vec<_>>());
+        let out =
+            run_mixed(&g, &tasks, Placement::AllOnOne(0), &MixedConfig::default(), &mut rng(1));
+        assert!(out.balanced());
+        assert!(out.final_max_load <= out.threshold);
+        let total: f64 = out.final_loads.iter().sum();
+        assert!((total - tasks.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_active_mode_equals_resource_protocol_distributionally() {
+        // With AllActive departures the mixed protocol IS Algorithm 5.1;
+        // under the same seed both must produce identical round counts.
+        use crate::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+        let g = torus2d(6, 6);
+        let tasks = TaskSet::uniform(360);
+        let mixed_cfg = MixedConfig { departure: Departure::AllActive, ..Default::default() };
+        let res_cfg = ResourceControlledConfig::default();
+        let a = run_mixed(&g, &tasks, Placement::AllOnOne(0), &mixed_cfg, &mut rng(9));
+        let b = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &res_cfg, &mut rng(9));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.final_loads, b.final_loads);
+    }
+
+    #[test]
+    fn mixed_on_complete_graph_tracks_user_protocol_scale() {
+        // On K_n a walk step is a uniform jump (excluding self), so the
+        // mixed Bernoulli protocol should balance within a small factor of
+        // Algorithm 6.1's round count.
+        use crate::user_protocol::{run_user_controlled, UserControlledConfig};
+        let n = 100;
+        let g = complete(n);
+        let tasks = TaskSet::uniform(1000);
+        let trials = 20;
+        let mean = |f: &mut dyn FnMut(u64) -> u64| -> f64 {
+            (0..trials).map(|s| f(s) as f64).sum::<f64>() / trials as f64
+        };
+        let mixed_cfg = MixedConfig::default();
+        let user_cfg = UserControlledConfig::default();
+        let mixed_mean = mean(&mut |s| {
+            run_mixed(&g, &tasks, Placement::AllOnOne(0), &mixed_cfg, &mut rng(s)).rounds
+        });
+        let user_mean = mean(&mut |s| {
+            run_user_controlled(n, &tasks, Placement::AllOnOne(0), &user_cfg, &mut rng(1000 + s))
+                .rounds
+        });
+        let ratio = mixed_mean / user_mean;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "mixed ({mixed_mean}) vs user ({user_mean}) diverge: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn mixed_potential_not_necessarily_monotone() {
+        // Bernoulli departures can move below-threshold tasks, so Φ may
+        // rise transiently; make sure tracking records real values and the
+        // series ends at zero.
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new((0..500).map(|i| 1.0 + (i % 3) as f64).collect::<Vec<_>>());
+        let cfg = MixedConfig { track_potential: true, ..Default::default() };
+        let out = run_mixed(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(3));
+        assert!(out.balanced());
+        assert_eq!(*out.potential_series.last().unwrap(), 0.0);
+        assert!(out.potential_series[0] > 0.0);
+    }
+
+    #[test]
+    fn round_cap_respected() {
+        let g = torus2d(8, 8);
+        let tasks = TaskSet::uniform(6400);
+        let cfg = MixedConfig { max_rounds: 2, ..Default::default() };
+        let out = run_mixed(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(4));
+        assert!(!out.balanced());
+        assert_eq!(out.rounds, 2);
+    }
+}

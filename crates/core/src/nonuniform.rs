@@ -1,0 +1,300 @@
+//! Extension (paper Section 8 future work): **non-uniform thresholds**.
+//!
+//! The paper fixes one threshold for all resources and names per-resource
+//! thresholds as an open direction. This module provides them: each
+//! resource `r` has its own `T_r` (e.g. speed-proportional for
+//! heterogeneous machines), with the natural feasibility condition that
+//! mirrors the uniform pigeonhole (Lemma 1):
+//!
+//! ```text
+//! Σ_r (T_r − w_max) ≥ W        (every task can be accepted somewhere)
+//! ```
+//!
+//! The user-controlled protocol carries over verbatim — the migration
+//! probability uses the *local* `φ_r` against `T_r` — and the balancing
+//! time keeps the Theorem-11 shape as long as the slack
+//! `Σ T_r − W − n·w_max` stays a constant fraction of `W` (the analog of
+//! `ε`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::placement::Placement;
+use crate::stack::ResourceStack;
+use crate::task::{TaskId, TaskSet};
+
+/// Per-resource threshold vector with feasibility validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdVector {
+    values: Vec<f64>,
+}
+
+impl ThresholdVector {
+    /// Build from explicit values, checking the pigeonhole feasibility
+    /// condition `Σ (T_r − w_max) ≥ W`.
+    ///
+    /// # Errors
+    /// A human-readable message when infeasible.
+    pub fn new(values: Vec<f64>, total_weight: f64, w_max: f64) -> Result<Self, String> {
+        if values.is_empty() {
+            return Err("need at least one resource".into());
+        }
+        let capacity: f64 = values.iter().map(|t| t - w_max).sum();
+        if capacity < total_weight - 1e-9 {
+            return Err(format!(
+                "infeasible thresholds: sum(T_r - w_max) = {capacity} < W = {total_weight}"
+            ));
+        }
+        Ok(ThresholdVector { values })
+    }
+
+    /// Speed-proportional thresholds for heterogeneous machines:
+    /// `T_r = (1+ε)·W·s_r/S + w_max` where `s_r` is resource `r`'s speed
+    /// and `S = Σ s_r`. Feasible for every `ε ≥ 0`.
+    ///
+    /// # Panics
+    /// If speeds are empty or non-positive.
+    pub fn speed_proportional(speeds: &[f64], total_weight: f64, w_max: f64, epsilon: f64) -> Self {
+        assert!(!speeds.is_empty(), "need at least one speed");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        let total_speed: f64 = speeds.iter().sum();
+        let values = speeds
+            .iter()
+            .map(|&s| (1.0 + epsilon) * total_weight * s / total_speed + w_max)
+            .collect();
+        ThresholdVector::new(values, total_weight, w_max)
+            .expect("speed-proportional thresholds are feasible by construction")
+    }
+
+    /// Uniform thresholds (degenerates to the paper's model).
+    pub fn uniform(n: usize, threshold: f64, total_weight: f64, w_max: f64) -> Result<Self, String> {
+        ThresholdVector::new(vec![threshold; n], total_weight, w_max)
+    }
+
+    /// Threshold of resource `r`.
+    #[inline]
+    pub fn of(&self, r: usize) -> f64 {
+        self.values[r]
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Configuration of a non-uniform-threshold user-controlled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonUniformConfig {
+    /// Migration damping `α`.
+    pub alpha: f64,
+    /// Safety cap on rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for NonUniformConfig {
+    fn default() -> Self {
+        NonUniformConfig { alpha: 1.0, max_rounds: 10_000_000 }
+    }
+}
+
+/// Outcome of a non-uniform run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonUniformOutcome {
+    /// Rounds executed until balance (or the cap).
+    pub rounds: u64,
+    /// Whether every resource ended at/below its own threshold.
+    pub completed: bool,
+    /// Total migrations performed.
+    pub migrations: u64,
+    /// Per-resource loads at termination.
+    pub final_loads: Vec<f64>,
+}
+
+impl NonUniformOutcome {
+    /// Whether the run ended balanced.
+    pub fn balanced(&self) -> bool {
+        self.completed
+    }
+}
+
+/// User-controlled protocol on the complete graph with per-resource
+/// thresholds: each task on a resource with `x_r > T_r` migrates with
+/// probability `α·⌈φ_r/w_max⌉/b_r` to a uniformly random resource, where
+/// `φ_r` is computed against the local `T_r`.
+pub fn run_user_controlled_nonuniform<R: Rng + ?Sized>(
+    tasks: &TaskSet,
+    thresholds: &ThresholdVector,
+    placement: Placement,
+    cfg: &NonUniformConfig,
+    rng: &mut R,
+) -> NonUniformOutcome {
+    let n = thresholds.len();
+    assert!(cfg.alpha > 0.0, "alpha must be positive");
+    let weights = tasks.weights();
+    let w_max = tasks.w_max();
+
+    let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
+    for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
+        stacks[loc as usize].push(i as TaskId, weights[i]);
+    }
+
+    let balanced =
+        |stacks: &[ResourceStack]| stacks.iter().enumerate().all(|(r, s)| !s.is_overloaded(thresholds.of(r)));
+
+    let mut migrations = 0u64;
+    let mut migrants: Vec<TaskId> = Vec::new();
+    let mut rounds = 0u64;
+    let mut completed = balanced(&stacks);
+
+    while !completed && rounds < cfg.max_rounds {
+        rounds += 1;
+        migrants.clear();
+        for (r, stack) in stacks.iter_mut().enumerate() {
+            let t_r = thresholds.of(r);
+            if !stack.is_overloaded(t_r) {
+                continue;
+            }
+            let psi = stack.psi(t_r, weights, w_max);
+            let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
+            migrants.extend(stack.drain_bernoulli(p, weights, rng));
+        }
+        migrations += migrants.len() as u64;
+        for &t in &migrants {
+            let dest = rng.gen_range(0..n);
+            stacks[dest].push(t, weights[t as usize]);
+        }
+        completed = balanced(&stacks);
+    }
+
+    NonUniformOutcome {
+        rounds,
+        completed,
+        migrations,
+        final_loads: stacks.iter().map(ResourceStack::load).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn feasibility_validation() {
+        assert!(ThresholdVector::new(vec![5.0, 5.0], 8.0, 1.0).is_ok());
+        // capacity (5-1)+(5-1) = 8 >= W = 8: ok; W = 9: infeasible
+        assert!(ThresholdVector::new(vec![5.0, 5.0], 9.0, 1.0).is_err());
+        assert!(ThresholdVector::new(vec![], 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn speed_proportional_construction() {
+        let tv = ThresholdVector::speed_proportional(&[1.0, 2.0, 3.0], 60.0, 2.0, 0.2);
+        // T_r = 1.2*60*s/6 + 2 = 12s/... : s=1 -> 14, s=2 -> 26, s=3 -> 38
+        assert!((tv.of(0) - 14.0).abs() < 1e-9);
+        assert!((tv.of(1) - 26.0).abs() < 1e-9);
+        assert!((tv.of(2) - 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_machines_balance_proportionally() {
+        // 3 fast machines (speed 4) and 27 slow ones (speed 1): the fast
+        // machines' thresholds are 4x higher and the final loads respect
+        // every local threshold.
+        let mut speeds = vec![4.0; 3];
+        speeds.extend(std::iter::repeat_n(1.0, 27));
+        let tasks = TaskSet::new((0..600).map(|i| 1.0 + (i % 5) as f64).collect::<Vec<_>>());
+        let tv = ThresholdVector::speed_proportional(&speeds, tasks.total_weight(), tasks.w_max(), 0.2);
+        let out = run_user_controlled_nonuniform(
+            &tasks,
+            &tv,
+            Placement::AllOnOne(5),
+            &NonUniformConfig::default(),
+            &mut rng(1),
+        );
+        assert!(out.balanced(), "did not balance in {} rounds", out.rounds);
+        for (r, &load) in out.final_loads.iter().enumerate() {
+            assert!(load <= tv.of(r) + 1e-9, "resource {r}: {load} > {}", tv.of(r));
+        }
+        // Weight conserved.
+        let total: f64 = out.final_loads.iter().sum();
+        assert!((total - tasks.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_vector_matches_paper_protocol() {
+        use crate::threshold::ThresholdPolicy;
+        use crate::user_protocol::{run_user_controlled, UserControlledConfig};
+        let n = 30;
+        let tasks = TaskSet::uniform(300);
+        let t = ThresholdPolicy::AboveAverage { epsilon: 0.2 }.value(
+            tasks.total_weight(),
+            n,
+            tasks.w_max(),
+        );
+        let tv = ThresholdVector::uniform(n, t, tasks.total_weight(), tasks.w_max()).unwrap();
+        // Same seed, same rule => identical runs.
+        let a = run_user_controlled_nonuniform(
+            &tasks,
+            &tv,
+            Placement::AllOnOne(0),
+            &NonUniformConfig::default(),
+            &mut rng(7),
+        );
+        let b = run_user_controlled(
+            n,
+            &tasks,
+            Placement::AllOnOne(0),
+            &UserControlledConfig::default(),
+            &mut rng(7),
+        );
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.final_loads, b.final_loads);
+    }
+
+    #[test]
+    fn tighter_slack_takes_longer() {
+        let tasks = TaskSet::uniform(400);
+        let speeds = vec![1.0; 20];
+        let mean = |eps: f64, seed0: u64| -> f64 {
+            let tv = ThresholdVector::speed_proportional(
+                &speeds,
+                tasks.total_weight(),
+                tasks.w_max(),
+                eps,
+            );
+            (0..20)
+                .map(|s| {
+                    run_user_controlled_nonuniform(
+                        &tasks,
+                        &tv,
+                        Placement::AllOnOne(0),
+                        &NonUniformConfig::default(),
+                        &mut rng(seed0 + s),
+                    )
+                    .rounds as f64
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        assert!(mean(0.0, 10) > mean(1.0, 30));
+    }
+}

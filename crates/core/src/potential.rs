@@ -1,0 +1,123 @@
+//! The paper's potential function (Eq. 1 and Section 6).
+//!
+//! `Φ(t) = Σ_r φ_r(t)` where `φ_r` is the weight of the cutting task plus
+//! all tasks above the threshold on resource `r` (zero when `r` is not
+//! overloaded). `Φ = 0` iff the system is balanced; both analyses bound
+//! balancing time through the expected one-step decay of `Φ`.
+
+use crate::stack::ResourceStack;
+
+/// Total potential `Φ` over all resource stacks.
+pub fn total_potential(stacks: &[ResourceStack], threshold: f64, weights: &[f64]) -> f64 {
+    stacks.iter().map(|s| s.phi(threshold, weights)).sum()
+}
+
+/// Per-resource potentials `φ_r`.
+pub fn per_resource_potential(
+    stacks: &[ResourceStack],
+    threshold: f64,
+    weights: &[f64],
+) -> Vec<f64> {
+    stacks.iter().map(|s| s.phi(threshold, weights)).collect()
+}
+
+/// A system is balanced iff every load is at most the threshold —
+/// equivalently `Φ = 0`.
+pub fn is_balanced(stacks: &[ResourceStack], threshold: f64) -> bool {
+    stacks.iter().all(|s| !s.is_overloaded(threshold))
+}
+
+/// Maximum load over resources.
+pub fn max_load(stacks: &[ResourceStack]) -> f64 {
+    stacks.iter().map(ResourceStack::load).fold(0.0, f64::max)
+}
+
+/// Number of overloaded resources.
+pub fn num_overloaded(stacks: &[ResourceStack], threshold: f64) -> usize {
+    stacks.iter().filter(|s| s.is_overloaded(threshold)).count()
+}
+
+/// Lemma 1 (pigeonhole): at any time at least `⌈ε/(1+ε)·n⌉` resources can
+/// accept one more task of any weight `≤ w_max`, i.e. have load
+/// `≤ T − w_max`. Returns the measured fraction, which must be at least
+/// `ε/(1+ε)` whenever the threshold is `(1+ε)·W/n + w_max`.
+pub fn fraction_accepting(stacks: &[ResourceStack], threshold: f64, w_max: f64) -> f64 {
+    let n = stacks.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ok = stacks.iter().filter(|s| s.load() <= threshold - w_max).count();
+    ok as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::ResourceStack;
+
+    fn build(loads: &[&[f64]]) -> (Vec<ResourceStack>, Vec<f64>) {
+        let mut weights = Vec::new();
+        let mut stacks = Vec::new();
+        for tasks in loads {
+            let mut s = ResourceStack::new();
+            for &w in *tasks {
+                let id = weights.len() as u32;
+                weights.push(w);
+                s.push(id, w);
+            }
+            stacks.push(s);
+        }
+        (stacks, weights)
+    }
+
+    #[test]
+    fn potential_sums_per_resource() {
+        let (stacks, weights) = build(&[&[2.0, 3.0, 1.0], &[1.0], &[5.0, 5.0]]);
+        // T = 4: stack0 phi = 4 (cutting 3 + above 1); stack1 phi = 0;
+        // stack2 phi = 10 (first 5 cuts: 0<4<5; second above).
+        assert_eq!(total_potential(&stacks, 4.0, &weights), 14.0);
+        assert_eq!(per_resource_potential(&stacks, 4.0, &weights), vec![4.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn balanced_iff_zero_potential() {
+        let (stacks, weights) = build(&[&[2.0], &[3.0]]);
+        assert!(is_balanced(&stacks, 3.0));
+        assert_eq!(total_potential(&stacks, 3.0, &weights), 0.0);
+        assert!(!is_balanced(&stacks, 2.5));
+        assert!(total_potential(&stacks, 2.5, &weights) > 0.0);
+    }
+
+    #[test]
+    fn max_load_and_overloaded_count() {
+        let (stacks, _) = build(&[&[2.0], &[3.0, 3.0], &[]]);
+        assert_eq!(max_load(&stacks), 6.0);
+        assert_eq!(num_overloaded(&stacks, 2.5), 1);
+        assert_eq!(num_overloaded(&stacks, 1.0), 2);
+    }
+
+    #[test]
+    fn lemma1_fraction_holds_for_above_average_threshold() {
+        // n = 4 resources, W = 8, eps = 1 => T = 2*2 + wmax.
+        // Any configuration must leave >= eps/(1+eps) = 1/2 of resources
+        // with load <= T - wmax = 4.
+        let (stacks, _) = build(&[&[8.0], &[], &[], &[]]);
+        let w_max = 8.0;
+        let t = 2.0 * 2.0 + w_max;
+        assert!(fraction_accepting(&stacks, t, w_max) >= 0.5);
+
+        // Spread case as well.
+        let (stacks2, _) = build(&[&[2.0, 2.0], &[2.0], &[2.0], &[]]);
+        let w_max2 = 2.0;
+        let t2 = 2.0 * 2.0 + w_max2;
+        assert!(fraction_accepting(&stacks2, t2, w_max2) >= 0.5);
+    }
+
+    #[test]
+    fn empty_system_edge_cases() {
+        let stacks: Vec<ResourceStack> = vec![];
+        assert_eq!(fraction_accepting(&stacks, 1.0, 1.0), 0.0);
+        assert!(is_balanced(&stacks, 0.0));
+        assert_eq!(max_load(&stacks), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The resource-controlled protocol (paper Algorithm 5.1), for arbitrary
+//! graphs.
+//!
+//! Each round, every overloaded resource (`x_r > T`) removes every task
+//! that is above or cutting the threshold (`I_a ∪ I_c`) and sends each of
+//! them to a neighbour sampled from the max-degree random-walk matrix `P`.
+//! Arrivals stack in arbitrary order; a task whose height plus weight stays
+//! within `T` is *accepted* and never moves again. The balancing time is
+//! the first round after which every load is at most `T`.
+//!
+//! Analysis reproduced by the experiments:
+//! * Theorem 3 — above-average thresholds: `O(τ(G)·log m)` rounds w.h.p.
+//! * Theorem 7 — tight threshold `W/n + 2w_max`: expected `O(H(G)·ln W)`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tlb_graphs::{Graph, NodeId};
+use tlb_walks::{WalkKind, Walker};
+
+use crate::placement::Placement;
+use crate::potential::{is_balanced, max_load, total_potential};
+use crate::stack::ResourceStack;
+use crate::task::{TaskId, TaskSet};
+use crate::threshold::ThresholdPolicy;
+
+/// Configuration of a resource-controlled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceControlledConfig {
+    /// Threshold policy (the paper analyses above-average and
+    /// `TightResource`).
+    pub threshold: ThresholdPolicy,
+    /// Which walk reallocates tasks. The paper's protocol uses
+    /// [`WalkKind::MaxDegree`]; [`WalkKind::Lazy`] is the aperiodicity
+    /// ablation for bipartite graphs.
+    pub walk: WalkKind,
+    /// Safety cap on rounds; a run that hits it reports `completed = false`.
+    pub max_rounds: u64,
+    /// Record `Φ(t)` after every round (costs one stack scan per resource
+    /// per round).
+    pub track_potential: bool,
+    /// Shuffle the arrival order of migrating tasks each round. The paper
+    /// allows arbitrary arrival order; `false` processes arrivals in the
+    /// order their source resources were scanned (deterministic), `true`
+    /// randomizes — an ablation that should not change the asymptotics.
+    pub shuffle_arrivals: bool,
+}
+
+impl Default for ResourceControlledConfig {
+    fn default() -> Self {
+        ResourceControlledConfig {
+            threshold: ThresholdPolicy::AboveAverage { epsilon: 0.2 },
+            walk: WalkKind::MaxDegree,
+            max_rounds: 10_000_000,
+            track_potential: false,
+            shuffle_arrivals: false,
+        }
+    }
+}
+
+/// Result of a resource-controlled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceControlledOutcome {
+    /// Rounds executed until balance (or until the cap).
+    pub rounds: u64,
+    /// Whether balance was reached within `max_rounds`.
+    pub completed: bool,
+    /// Total task migrations (one per task per round moved).
+    pub migrations: u64,
+    /// The threshold value used.
+    pub threshold: f64,
+    /// `Φ` after each round, if tracking was enabled (index 0 is the
+    /// initial potential).
+    pub potential_series: Vec<f64>,
+    /// Maximum load at termination.
+    pub final_max_load: f64,
+    /// Per-resource loads at termination (index = resource id).
+    pub final_loads: Vec<f64>,
+}
+
+impl ResourceControlledOutcome {
+    /// Whether the run ended balanced.
+    pub fn balanced(&self) -> bool {
+        self.completed
+    }
+}
+
+/// Run the resource-controlled protocol to completion (or the round cap).
+///
+/// # Panics
+/// If the placement is invalid for `(m, n)` or the graph is empty.
+pub fn run_resource_controlled<R: Rng + ?Sized>(
+    g: &Graph,
+    tasks: &TaskSet,
+    placement: Placement,
+    cfg: &ResourceControlledConfig,
+    rng: &mut R,
+) -> ResourceControlledOutcome {
+    let n = g.num_nodes();
+    assert!(n > 0, "need at least one resource");
+    let weights = tasks.weights();
+    let threshold = cfg.threshold.value(tasks.total_weight(), n, tasks.w_max());
+    let walker = Walker::new(g, cfg.walk);
+
+    let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
+    for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
+        stacks[loc as usize].push(i as TaskId, weights[i]);
+    }
+
+    let mut potential_series = Vec::new();
+    if cfg.track_potential {
+        potential_series.push(total_potential(&stacks, threshold, weights));
+    }
+
+    let mut migrations = 0u64;
+    let mut pending: Vec<(TaskId, NodeId)> = Vec::new();
+    let mut rounds = 0u64;
+    let mut completed = is_balanced(&stacks, threshold);
+
+    while !completed && rounds < cfg.max_rounds {
+        rounds += 1;
+        pending.clear();
+        // Removal phase: every overloaded resource ejects I_a ∪ I_c, and
+        // each ejected task samples one walk step from its source.
+        for r in 0..n as NodeId {
+            if stacks[r as usize].is_overloaded(threshold) {
+                for t in stacks[r as usize].remove_active(threshold, weights) {
+                    let dest = walker.step(r, rng);
+                    pending.push((t, dest));
+                }
+            }
+        }
+        if cfg.shuffle_arrivals {
+            pending.shuffle(rng);
+        }
+        // Arrival phase: stack in (possibly shuffled) order; acceptance is
+        // implicit in the stack heights.
+        migrations += pending.len() as u64;
+        for &(t, dest) in &pending {
+            stacks[dest as usize].push(t, weights[t as usize]);
+        }
+        if cfg.track_potential {
+            potential_series.push(total_potential(&stacks, threshold, weights));
+        }
+        completed = is_balanced(&stacks, threshold);
+    }
+
+    ResourceControlledOutcome {
+        rounds,
+        completed,
+        migrations,
+        threshold,
+        potential_series,
+        final_max_load: max_load(&stacks),
+        final_loads: stacks.iter().map(ResourceStack::load).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tlb_graphs::generators::{complete, cycle, lollipop, torus2d};
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn balanced_start_takes_zero_rounds() {
+        let g = complete(4);
+        let tasks = TaskSet::uniform(4);
+        let out = run_resource_controlled(
+            &g,
+            &tasks,
+            Placement::RoundRobin,
+            &ResourceControlledConfig::default(),
+            &mut rng(1),
+        );
+        assert_eq!(out.rounds, 0);
+        assert!(out.balanced());
+        assert_eq!(out.migrations, 0);
+    }
+
+    #[test]
+    fn hotspot_on_complete_graph_balances_quickly() {
+        let g = complete(50);
+        let tasks = TaskSet::uniform(500);
+        let out = run_resource_controlled(
+            &g,
+            &tasks,
+            Placement::AllOnOne(0),
+            &ResourceControlledConfig::default(),
+            &mut rng(2),
+        );
+        assert!(out.balanced());
+        // Theorem 3 on K_n: O(log m) rounds. Generous constant check.
+        assert!(out.rounds <= 200, "took {} rounds", out.rounds);
+        assert!(out.final_max_load <= out.threshold);
+    }
+
+    #[test]
+    fn weighted_tasks_balance_on_complete_graph() {
+        let g = complete(20);
+        let mut w = vec![1.0; 200];
+        for wi in w.iter_mut().take(10) {
+            *wi = 25.0;
+        }
+        let tasks = TaskSet::new(w);
+        let out = run_resource_controlled(
+            &g,
+            &tasks,
+            Placement::AllOnOne(5),
+            &ResourceControlledConfig::default(),
+            &mut rng(3),
+        );
+        assert!(out.balanced());
+        assert!(out.final_max_load <= out.threshold);
+    }
+
+    #[test]
+    fn tight_threshold_on_lollipop_completes() {
+        let g = lollipop(12, 2).unwrap();
+        let tasks = TaskSet::uniform(60);
+        let cfg = ResourceControlledConfig {
+            threshold: ThresholdPolicy::TightResource,
+            ..Default::default()
+        };
+        let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(4));
+        assert!(out.balanced());
+        assert!(out.final_max_load <= out.threshold);
+    }
+
+    #[test]
+    fn potential_series_is_monotone_nonincreasing() {
+        // Observation 4: the resource-controlled potential never increases.
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new(
+            (0..120).map(|i| if i % 11 == 0 { 7.0 } else { 1.0 }).collect::<Vec<_>>(),
+        );
+        let cfg = ResourceControlledConfig { track_potential: true, ..Default::default() };
+        let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(12), &cfg, &mut rng(5));
+        assert!(out.balanced());
+        for w in out.potential_series.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "potential increased: {} -> {}", w[0], w[1]);
+        }
+        assert_eq!(*out.potential_series.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn round_cap_reports_incomplete() {
+        let g = cycle(64); // slow mixing; tiny cap
+        let tasks = TaskSet::uniform(640);
+        let cfg = ResourceControlledConfig { max_rounds: 2, ..Default::default() };
+        let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(6));
+        assert!(!out.balanced());
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn shuffled_arrivals_still_balance() {
+        let g = complete(16);
+        let tasks = TaskSet::new((0..160).map(|i| 1.0 + (i % 5) as f64).collect::<Vec<_>>());
+        let cfg = ResourceControlledConfig { shuffle_arrivals: true, ..Default::default() };
+        let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(7));
+        assert!(out.balanced());
+    }
+
+    #[test]
+    fn lazy_walk_balances_on_bipartite_graph() {
+        // Even cycle is bipartite: the non-lazy walk is periodic, but the
+        // protocol still terminates because acceptance absorbs tasks; the
+        // lazy ablation must too.
+        let g = cycle(16);
+        let tasks = TaskSet::uniform(64);
+        for walk in [WalkKind::MaxDegree, WalkKind::Lazy] {
+            let cfg = ResourceControlledConfig { walk, ..Default::default() };
+            let out =
+                run_resource_controlled(&g, &tasks, Placement::AllOnOne(3), &cfg, &mut rng(8));
+            assert!(out.balanced(), "walk {walk:?} failed");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let g = complete(10);
+        let tasks = TaskSet::uniform(100);
+        let cfg = ResourceControlledConfig::default();
+        let a = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(42));
+        let b = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_resource_graph_with_feasible_threshold() {
+        // n = 1: everything is on the only node; threshold >= W + wmax, so
+        // the system is balanced from the start.
+        let g = complete(1);
+        let tasks = TaskSet::uniform(5);
+        let out = run_resource_controlled(
+            &g,
+            &tasks,
+            Placement::AllOnOne(0),
+            &ResourceControlledConfig::default(),
+            &mut rng(9),
+        );
+        assert!(out.balanced());
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Per-resource task stacks with heights (paper Sections 5 and 6).
+//!
+//! Each resource stores its tasks in a stack; the *height* `h_i` of task
+//! `i` is the total weight of tasks below it. Task `i` **cuts** the
+//! threshold `T` if `h_i < T < h_i + w_i`; it is **above** if `h_i ≥ T`;
+//! otherwise it is **below** (equivalently *accepted*: `h_i + w_i ≤ T`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// Classification of one task relative to the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Band {
+    /// Entirely below or at the threshold (`h + w ≤ T`) — the set `I_b`.
+    Below,
+    /// Cutting the threshold (`h < T < h + w`) — the set `I_c`.
+    Cutting,
+    /// Entirely above (`h ≥ T`) — the set `I_a`.
+    Above,
+}
+
+/// A resource's stack of task ids with a cached total load.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceStack {
+    tasks: Vec<TaskId>,
+    load: f64,
+}
+
+impl ResourceStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total weight `x_r` of the stacked tasks.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        self.load
+    }
+
+    /// Number of tasks `b_r`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the stack holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Stack contents bottom-to-top.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// `x_r > T`?
+    #[inline]
+    pub fn is_overloaded(&self, threshold: f64) -> bool {
+        self.load > threshold
+    }
+
+    /// Push a task on top of the stack.
+    #[inline]
+    pub fn push(&mut self, id: TaskId, weight: f64) {
+        self.tasks.push(id);
+        self.load += weight;
+    }
+
+    /// Height of the task at stack position `pos` (sum of weights below).
+    pub fn height_at(&self, pos: usize, weights: &[f64]) -> f64 {
+        self.tasks[..pos].iter().map(|&t| weights[t as usize]).sum()
+    }
+
+    /// Classify the task at stack position `pos`.
+    pub fn band_at(&self, pos: usize, threshold: f64, weights: &[f64]) -> Band {
+        let h = self.height_at(pos, weights);
+        let w = weights[self.tasks[pos] as usize];
+        band(h, w, threshold)
+    }
+
+    /// The paper's per-resource potential `φ_r`: total weight of the
+    /// cutting task (if any) plus all tasks above the threshold; zero for
+    /// non-overloaded resources. Single bottom-to-top scan.
+    pub fn phi(&self, threshold: f64, weights: &[f64]) -> f64 {
+        if !self.is_overloaded(threshold) {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        let mut phi = 0.0;
+        for &t in &self.tasks {
+            let w = weights[t as usize];
+            if h + w > threshold {
+                // Cutting or above: counts fully toward φ_r.
+                phi += w;
+            }
+            h += w;
+        }
+        phi
+    }
+
+    /// `ψ_r = ⌈φ_r / w_max⌉` — the minimum number of departures needed to
+    /// drop below the threshold (Observation 9).
+    pub fn psi(&self, threshold: f64, weights: &[f64], w_max: f64) -> u64 {
+        let phi = self.phi(threshold, weights);
+        if phi <= 0.0 {
+            0
+        } else {
+            (phi / w_max).ceil() as u64
+        }
+    }
+
+    /// Remove and return all *active* tasks (`I_a ∪ I_c`: cutting or above
+    /// the threshold), keeping the accepted prefix — the removal step of
+    /// the resource-controlled protocol (Algorithm 5.1).
+    ///
+    /// Because heights are cumulative, the active tasks are exactly the
+    /// tasks from the first threshold violation upward, so this is a split
+    /// of the stack.
+    pub fn remove_active(&mut self, threshold: f64, weights: &[f64]) -> Vec<TaskId> {
+        let mut h = 0.0;
+        let mut split = self.tasks.len();
+        for (pos, &t) in self.tasks.iter().enumerate() {
+            let w = weights[t as usize];
+            if h + w > threshold {
+                split = pos;
+                break;
+            }
+            h += w;
+        }
+        let removed: Vec<TaskId> = self.tasks.split_off(split);
+        for &t in &removed {
+            self.load -= weights[t as usize];
+        }
+        removed
+    }
+
+    /// Independently remove each task with probability `p` (the
+    /// user-controlled migration draw); remaining tasks keep their relative
+    /// order (the stack compacts and heights are implicitly reassigned).
+    /// Returns the migrants bottom-to-top.
+    pub fn drain_bernoulli<R: Rng + ?Sized>(
+        &mut self,
+        p: f64,
+        weights: &[f64],
+        rng: &mut R,
+    ) -> Vec<TaskId> {
+        if p <= 0.0 || self.tasks.is_empty() {
+            return Vec::new();
+        }
+        let mut migrants = Vec::new();
+        let mut removed_weight = 0.0;
+        self.tasks.retain(|&t| {
+            if rng.gen_bool(p.min(1.0)) {
+                migrants.push(t);
+                removed_weight += weights[t as usize];
+                false
+            } else {
+                true
+            }
+        });
+        self.load -= removed_weight;
+        migrants
+    }
+
+    /// Recompute the cached load from scratch (guards against f64 drift in
+    /// long simulations; called periodically by the protocols).
+    pub fn rebuild_load(&mut self, weights: &[f64]) {
+        self.load = self.tasks.iter().map(|&t| weights[t as usize]).sum();
+    }
+}
+
+/// Classify `(height, weight)` against a threshold.
+#[inline]
+pub fn band(height: f64, weight: f64, threshold: f64) -> Band {
+    if height + weight <= threshold {
+        Band::Below
+    } else if height >= threshold {
+        Band::Above
+    } else {
+        Band::Cutting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// weights[i] indexed by task id.
+    fn stack_of(ids_weights: &[(TaskId, f64)]) -> (ResourceStack, Vec<f64>) {
+        let max_id = ids_weights.iter().map(|&(i, _)| i).max().unwrap_or(0);
+        let mut weights = vec![1.0; max_id as usize + 1];
+        let mut s = ResourceStack::new();
+        for &(id, w) in ids_weights {
+            weights[id as usize] = w;
+            s.push(id, w);
+        }
+        (s, weights)
+    }
+
+    #[test]
+    fn load_and_heights() {
+        let (s, weights) = stack_of(&[(0, 2.0), (1, 3.0), (2, 1.0)]);
+        assert_eq!(s.load(), 6.0);
+        assert_eq!(s.num_tasks(), 3);
+        assert_eq!(s.height_at(0, &weights), 0.0);
+        assert_eq!(s.height_at(1, &weights), 2.0);
+        assert_eq!(s.height_at(2, &weights), 5.0);
+    }
+
+    #[test]
+    fn band_classification() {
+        // T = 4: task0 (h=0,w=2) below; task1 (h=2,w=3) cutting (2<4<5);
+        // task2 (h=5,w=1) above.
+        let (s, weights) = stack_of(&[(0, 2.0), (1, 3.0), (2, 1.0)]);
+        assert_eq!(s.band_at(0, 4.0, &weights), Band::Below);
+        assert_eq!(s.band_at(1, 4.0, &weights), Band::Cutting);
+        assert_eq!(s.band_at(2, 4.0, &weights), Band::Above);
+    }
+
+    #[test]
+    fn band_boundary_exact_fit_counts_as_below() {
+        // h + w == T is accepted ("less than or equal to the threshold").
+        assert_eq!(band(1.0, 3.0, 4.0), Band::Below);
+        assert_eq!(band(4.0, 1.0, 4.0), Band::Above);
+    }
+
+    #[test]
+    fn phi_counts_cutting_plus_above() {
+        let (s, weights) = stack_of(&[(0, 2.0), (1, 3.0), (2, 1.0)]);
+        // T = 4: phi = w1 + w2 = 4
+        assert_eq!(s.phi(4.0, &weights), 4.0);
+        // Not overloaded => phi = 0
+        assert_eq!(s.phi(6.0, &weights), 0.0);
+        assert_eq!(s.phi(100.0, &weights), 0.0);
+    }
+
+    #[test]
+    fn psi_ceiling() {
+        let (s, weights) = stack_of(&[(0, 2.0), (1, 3.0), (2, 1.0)]);
+        // phi = 4, wmax = 3 -> psi = 2
+        assert_eq!(s.psi(4.0, &weights, 3.0), 2);
+        assert_eq!(s.psi(4.0, &weights, 4.0), 1);
+        assert_eq!(s.psi(6.0, &weights, 3.0), 0);
+    }
+
+    #[test]
+    fn remove_active_splits_at_first_violation() {
+        let (mut s, weights) = stack_of(&[(0, 2.0), (1, 3.0), (2, 1.0)]);
+        let removed = s.remove_active(4.0, &weights);
+        assert_eq!(removed, vec![1, 2]);
+        assert_eq!(s.tasks(), &[0]);
+        assert_eq!(s.load(), 2.0);
+        // Now under threshold: nothing to remove.
+        assert!(s.remove_active(4.0, &weights).is_empty());
+    }
+
+    #[test]
+    fn remove_active_on_exact_threshold_removes_nothing() {
+        let (mut s, weights) = stack_of(&[(0, 2.0), (1, 2.0)]);
+        assert!(s.remove_active(4.0, &weights).is_empty());
+        assert_eq!(s.num_tasks(), 2);
+    }
+
+    #[test]
+    fn drain_bernoulli_extremes() {
+        let (mut s, weights) = stack_of(&[(0, 2.0), (1, 3.0)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(s.drain_bernoulli(0.0, &weights, &mut rng).is_empty());
+        assert_eq!(s.num_tasks(), 2);
+        let all = s.drain_bernoulli(1.0, &weights, &mut rng);
+        assert_eq!(all, vec![0, 1]);
+        assert_eq!(s.load(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_bernoulli_rate_statistics() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let trials = 2000;
+        let mut total_migrants = 0usize;
+        for _ in 0..trials {
+            let (mut s, weights) = stack_of(&(0..10).map(|i| (i, 1.0)).collect::<Vec<_>>());
+            total_migrants += s.drain_bernoulli(0.3, &weights, &mut rng).len();
+        }
+        let rate = total_migrants as f64 / (trials * 10) as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn rebuild_load_fixes_drift() {
+        let (mut s, weights) = stack_of(&[(0, 0.1), (1, 0.2)]);
+        s.rebuild_load(&weights);
+        assert!((s.load() - 0.30000000000000004).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phi_with_single_giant_task() {
+        // One task heavier than the threshold: it cuts (h=0 < T < w).
+        let (s, weights) = stack_of(&[(0, 10.0)]);
+        assert_eq!(s.phi(4.0, &weights), 10.0);
+        assert_eq!(s.band_at(0, 4.0, &weights), Band::Cutting);
+    }
+}

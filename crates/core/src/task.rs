@@ -1,0 +1,170 @@
+//! Weighted tasks (the paper's "balls").
+//!
+//! Task weights are `f64` with the paper's normalization `w_min ≥ 1`
+//! (Section 4: "If this is not the case, then one can easily scale all
+//! parameters, such that w_min = 1"). [`TaskSet::rescaled`] performs that
+//! scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// Task identifier: index into the weight array.
+pub type TaskId = u32;
+
+/// An immutable collection of weighted tasks plus the aggregate statistics
+/// every protocol and threshold computation needs (`W`, `w_max`, `w_min`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSet {
+    weights: Vec<f64>,
+    total_weight: f64,
+    w_max: f64,
+    w_min: f64,
+}
+
+impl TaskSet {
+    /// Build from raw weights.
+    ///
+    /// # Panics
+    /// If `weights` is empty, or any weight is non-finite or `<= 0`.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "a task set needs at least one task");
+        let mut w_max = f64::MIN;
+        let mut w_min = f64::MAX;
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w > 0.0, "task {i} has invalid weight {w}");
+            w_max = w_max.max(w);
+            w_min = w_min.min(w);
+            total += w;
+        }
+        TaskSet { weights, total_weight: total, w_max, w_min }
+    }
+
+    /// Build a uniform (unit-weight) task set — the Ackermann et al. /
+    /// Hoefer–Sauerwald baseline setting.
+    pub fn uniform(m: usize) -> Self {
+        TaskSet::new(vec![1.0; m])
+    }
+
+    /// Number of tasks `m`.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no tasks (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of task `i`.
+    #[inline]
+    pub fn weight(&self, i: TaskId) -> f64 {
+        self.weights[i as usize]
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total weight `W`.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Maximum weight `w_max`.
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
+    /// Minimum weight `w_min`.
+    pub fn w_min(&self) -> f64 {
+        self.w_min
+    }
+
+    /// Average weight `W/m`.
+    pub fn w_avg(&self) -> f64 {
+        self.total_weight / self.len() as f64
+    }
+
+    /// The paper's heterogeneity ratio `w_max / w_min` that multiplies the
+    /// user-controlled bounds (Theorems 11 and 12).
+    pub fn heterogeneity(&self) -> f64 {
+        self.w_max / self.w_min
+    }
+
+    /// Rescale so `w_min = 1` (the paper's normalization). No-op if already
+    /// normalized.
+    pub fn rescaled(&self) -> Self {
+        if (self.w_min - 1.0).abs() < 1e-15 {
+            return self.clone();
+        }
+        let s = 1.0 / self.w_min;
+        TaskSet::new(self.weights.iter().map(|w| w * s).collect())
+    }
+
+    /// True if every task has the same weight (the uniform baseline).
+    pub fn is_uniform(&self) -> bool {
+        (self.w_max - self.w_min).abs() < 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_computed_correctly() {
+        let t = TaskSet::new(vec![1.0, 4.0, 2.5]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_weight(), 7.5);
+        assert_eq!(t.w_max(), 4.0);
+        assert_eq!(t.w_min(), 1.0);
+        assert_eq!(t.w_avg(), 2.5);
+        assert_eq!(t.heterogeneity(), 4.0);
+        assert!(!t.is_uniform());
+    }
+
+    #[test]
+    fn uniform_set() {
+        let t = TaskSet::uniform(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.total_weight(), 10.0);
+        assert!(t.is_uniform());
+        assert_eq!(t.heterogeneity(), 1.0);
+    }
+
+    #[test]
+    fn rescaling_normalizes_w_min() {
+        let t = TaskSet::new(vec![0.5, 2.0, 1.0]);
+        let r = t.rescaled();
+        assert_eq!(r.w_min(), 1.0);
+        assert_eq!(r.w_max(), 4.0);
+        assert_eq!(r.total_weight(), 7.0);
+        // heterogeneity is scale-invariant
+        assert!((r.heterogeneity() - t.heterogeneity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_is_idempotent() {
+        let t = TaskSet::new(vec![1.0, 3.0]);
+        assert_eq!(t.rescaled(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_set_panics() {
+        TaskSet::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn zero_weight_panics() {
+        TaskSet::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn nan_weight_panics() {
+        TaskSet::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Threshold policies (paper Section 4).
+//!
+//! All resources share one threshold. The paper analyses three settings:
+//!
+//! * **above-average** `T = (1+ε)·W/n + w_max` (Sections 5.1 and 6.1),
+//! * **tight, user-controlled** `T = W/n + w_max` (Theorem 12),
+//! * **tight, resource-controlled** `T = W/n + 2·w_max` (Section 5.2).
+//!
+//! A threshold below `W/n + w_max` can be infeasible (no assignment might
+//! satisfy it); [`ThresholdPolicy::value`] checks this.
+
+use serde::{Deserialize, Serialize};
+
+/// How the global threshold is derived from `(W, n, w_max)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// `T = (1+ε)·W/n + w_max`, `ε ≥ 0`.
+    AboveAverage {
+        /// The slack `ε` (the paper's simulations use 0.2).
+        epsilon: f64,
+    },
+    /// `T = W/n + w_max` — the tight threshold of the user-controlled
+    /// analysis (Theorem 12). Equals `AboveAverage { epsilon: 0 }`.
+    Tight,
+    /// `T = W/n + 2·w_max` — the tight threshold of the resource-controlled
+    /// analysis (Section 5.2, Theorem 7).
+    TightResource,
+    /// Externally provided threshold (the paper allows thresholds "provided
+    /// externally"); must be at least `W/n + w_max` to be feasible.
+    External(
+        /// The fixed threshold value.
+        f64,
+    ),
+}
+
+impl ThresholdPolicy {
+    /// Compute the threshold value.
+    ///
+    /// # Panics
+    /// If parameters are invalid (`ε < 0`, non-positive inputs) or an
+    /// [`ThresholdPolicy::External`] value is below the feasibility floor
+    /// `W/n + w_max − 1e-9`.
+    pub fn value(&self, total_weight: f64, n: usize, w_max: f64) -> f64 {
+        assert!(n > 0, "need at least one resource");
+        assert!(total_weight > 0.0 && w_max > 0.0, "weights must be positive");
+        let avg = total_weight / n as f64;
+        match *self {
+            ThresholdPolicy::AboveAverage { epsilon } => {
+                assert!(epsilon >= 0.0, "epsilon must be non-negative, got {epsilon}");
+                (1.0 + epsilon) * avg + w_max
+            }
+            ThresholdPolicy::Tight => avg + w_max,
+            ThresholdPolicy::TightResource => avg + 2.0 * w_max,
+            ThresholdPolicy::External(t) => {
+                assert!(
+                    t >= avg + w_max - 1e-9,
+                    "external threshold {t} below feasibility floor {}",
+                    avg + w_max
+                );
+                t
+            }
+        }
+    }
+
+    /// The ε such that `T = (1+ε)·W/n + w_max`; zero for tight policies.
+    /// Used by the analytic bounds (Theorems 3 and 11 need ε).
+    pub fn epsilon(&self, total_weight: f64, n: usize, w_max: f64) -> f64 {
+        let avg = total_weight / n as f64;
+        match *self {
+            ThresholdPolicy::AboveAverage { epsilon } => epsilon,
+            ThresholdPolicy::Tight => 0.0,
+            ThresholdPolicy::TightResource => w_max / avg,
+            ThresholdPolicy::External(t) => ((t - w_max) / avg - 1.0).max(0.0),
+        }
+    }
+
+    /// Short stable label for CSV output.
+    pub fn label(&self) -> String {
+        match *self {
+            ThresholdPolicy::AboveAverage { epsilon } => format!("above-avg(eps={epsilon})"),
+            ThresholdPolicy::Tight => "tight".to_string(),
+            ThresholdPolicy::TightResource => "tight-resource".to_string(),
+            ThresholdPolicy::External(t) => format!("external({t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn above_average_formula() {
+        let t = ThresholdPolicy::AboveAverage { epsilon: 0.2 };
+        // W = 1000, n = 10, wmax = 50: T = 1.2*100 + 50 = 170
+        assert!((t.value(1000.0, 10, 50.0) - 170.0).abs() < 1e-12);
+        assert_eq!(t.epsilon(1000.0, 10, 50.0), 0.2);
+    }
+
+    #[test]
+    fn tight_formulas() {
+        assert!((ThresholdPolicy::Tight.value(1000.0, 10, 50.0) - 150.0).abs() < 1e-12);
+        assert!((ThresholdPolicy::TightResource.value(1000.0, 10, 50.0) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_zero_matches_tight() {
+        let a = ThresholdPolicy::AboveAverage { epsilon: 0.0 };
+        assert_eq!(a.value(700.0, 7, 3.0), ThresholdPolicy::Tight.value(700.0, 7, 3.0));
+    }
+
+    #[test]
+    fn external_accepts_feasible_value() {
+        let t = ThresholdPolicy::External(200.0);
+        assert_eq!(t.value(1000.0, 10, 50.0), 200.0);
+        assert!((t.epsilon(1000.0, 10, 50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "feasibility floor")]
+    fn external_rejects_infeasible_value() {
+        ThresholdPolicy::External(100.0).value(1000.0, 10, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_rejected() {
+        ThresholdPolicy::AboveAverage { epsilon: -0.1 }.value(100.0, 10, 1.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            ThresholdPolicy::AboveAverage { epsilon: 0.2 },
+            ThresholdPolicy::Tight,
+            ThresholdPolicy::TightResource,
+            ThresholdPolicy::External(500.0),
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Structured per-round traces.
+//!
+//! The outcome structs report end-of-run aggregates; research tooling
+//! often needs the *trajectory* — per-round potential, overload counts,
+//! load spread, migration volume. [`RoundTrace`] captures that compactly
+//! (fixed-size record per round) and serializes with serde, so traces can
+//! be diffed across protocol variants and plotted externally.
+
+use serde::{Deserialize, Serialize};
+
+use crate::potential;
+use crate::stack::ResourceStack;
+
+/// One round's snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0 = initial state).
+    pub round: u64,
+    /// Potential `Φ` (Eq. 1).
+    pub potential: f64,
+    /// Number of overloaded resources.
+    pub overloaded: usize,
+    /// Maximum load.
+    pub max_load: f64,
+    /// Migrations performed *in* this round (0 for the initial record).
+    pub migrations: u64,
+}
+
+/// A full trajectory plus the run's static parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RoundTrace {
+    /// The threshold the run used.
+    pub threshold: f64,
+    /// Per-round records, index 0 = initial state.
+    pub records: Vec<RoundRecord>,
+}
+
+impl RoundTrace {
+    /// Start a trace with the initial snapshot.
+    pub fn start(stacks: &[ResourceStack], threshold: f64, weights: &[f64]) -> Self {
+        let mut t = RoundTrace { threshold, records: Vec::new() };
+        t.records.push(Self::snapshot(0, stacks, threshold, weights, 0));
+        t
+    }
+
+    /// Append a snapshot after a round.
+    pub fn record(
+        &mut self,
+        round: u64,
+        stacks: &[ResourceStack],
+        weights: &[f64],
+        migrations: u64,
+    ) {
+        self.records.push(Self::snapshot(round, stacks, self.threshold, weights, migrations));
+    }
+
+    fn snapshot(
+        round: u64,
+        stacks: &[ResourceStack],
+        threshold: f64,
+        weights: &[f64],
+        migrations: u64,
+    ) -> RoundRecord {
+        RoundRecord {
+            round,
+            potential: potential::total_potential(stacks, threshold, weights),
+            overloaded: potential::num_overloaded(stacks, threshold),
+            max_load: potential::max_load(stacks),
+            migrations,
+        }
+    }
+
+    /// Number of recorded rounds (excluding the initial record).
+    pub fn rounds(&self) -> usize {
+        self.records.len().saturating_sub(1)
+    }
+
+    /// Total migrations across the trace.
+    pub fn total_migrations(&self) -> u64 {
+        self.records.iter().map(|r| r.migrations).sum()
+    }
+
+    /// Potential series (convenience for plotting / decay fitting).
+    pub fn potential_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.potential).collect()
+    }
+
+    /// Render as CSV (`round,potential,overloaded,max_load,migrations`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,potential,overloaded,max_load,migrations\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.round, r.potential, r.overloaded, r.max_load, r.migrations
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stacks_with(loads: &[&[f64]]) -> (Vec<ResourceStack>, Vec<f64>) {
+        let mut weights = Vec::new();
+        let mut stacks = Vec::new();
+        for tasks in loads {
+            let mut s = ResourceStack::new();
+            for &w in *tasks {
+                let id = weights.len() as u32;
+                weights.push(w);
+                s.push(id, w);
+            }
+            stacks.push(s);
+        }
+        (stacks, weights)
+    }
+
+    #[test]
+    fn trace_records_snapshots() {
+        let (stacks, weights) = stacks_with(&[&[2.0, 3.0], &[1.0]]);
+        let mut trace = RoundTrace::start(&stacks, 3.0, &weights);
+        assert_eq!(trace.rounds(), 0);
+        assert_eq!(trace.records[0].overloaded, 1);
+        assert_eq!(trace.records[0].max_load, 5.0);
+        assert_eq!(trace.records[0].potential, 3.0); // task of weight 3 cuts
+
+        trace.record(1, &stacks, &weights, 7);
+        assert_eq!(trace.rounds(), 1);
+        assert_eq!(trace.total_migrations(), 7);
+        assert_eq!(trace.potential_series(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (stacks, weights) = stacks_with(&[&[1.0]]);
+        let trace = RoundTrace::start(&stacks, 2.0, &weights);
+        let csv = trace.to_csv();
+        assert!(csv.starts_with("round,potential,"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (stacks, weights) = stacks_with(&[&[2.0, 2.0], &[]]);
+        let trace = RoundTrace::start(&stacks, 3.0, &weights);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: RoundTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,251 @@
+//! Weight distributions / workload generators.
+//!
+//! The paper's two simulation workloads are generated exactly:
+//!
+//! * [`WeightSpec::TwoPoint`] — Figure 1: `k` heavy tasks of weight
+//!   `w_max = 50` and `m(W, k) = W − k·w_max` unit tasks, parameterized by
+//!   total weight `W`.
+//! * [`WeightSpec::SingleHeavy`] — Figure 2: one task of weight `w_max`,
+//!   the remaining `m − 1` of weight 1.
+//!
+//! Additional distributions (uniform range, exponential, truncated Pareto)
+//! support the extension experiments; all samplers clamp to `w ≥ 1`
+//! following the paper's `w_min = 1` normalization.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskSet;
+
+/// A recipe for generating a weighted task set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightSpec {
+    /// `m` unit-weight tasks — the Ackermann/Hoefer–Sauerwald baseline.
+    Uniform {
+        /// Number of tasks.
+        m: usize,
+    },
+    /// Figure-1 workload: `k` tasks of weight `heavy` plus enough unit
+    /// tasks to reach total weight `total` exactly.
+    TwoPoint {
+        /// Target total weight `W`.
+        total: f64,
+        /// Number of heavy tasks `k`.
+        k: usize,
+        /// Heavy task weight `w_max` (50 in the paper's Figure 1).
+        heavy: f64,
+    },
+    /// Figure-2 workload: one task of weight `heavy`, `m − 1` unit tasks.
+    SingleHeavy {
+        /// Number of tasks `m` (including the heavy one).
+        m: usize,
+        /// Weight of the single heavy task.
+        heavy: f64,
+    },
+    /// Independent `Uniform[1, hi]` weights.
+    UniformRange {
+        /// Number of tasks.
+        m: usize,
+        /// Upper endpoint (inclusive); must be `>= 1`.
+        hi: f64,
+    },
+    /// `1 + Exp(mean − 1)` weights — exponential service times shifted to
+    /// respect `w_min = 1`.
+    Exponential {
+        /// Number of tasks.
+        m: usize,
+        /// Mean weight (must be `>= 1`).
+        mean: f64,
+    },
+    /// Truncated Pareto on `[1, cap]` with shape `alpha` — heavy-tailed
+    /// workloads, the regime where `w_max/w_min` in Theorem 11 bites.
+    ParetoTruncated {
+        /// Number of tasks.
+        m: usize,
+        /// Tail exponent (`> 0`); smaller is heavier.
+        alpha: f64,
+        /// Upper truncation (`>= 1`).
+        cap: f64,
+    },
+}
+
+impl WeightSpec {
+    /// Number of tasks this spec will generate.
+    pub fn num_tasks(&self) -> usize {
+        match *self {
+            WeightSpec::Uniform { m }
+            | WeightSpec::SingleHeavy { m, .. }
+            | WeightSpec::UniformRange { m, .. }
+            | WeightSpec::Exponential { m, .. }
+            | WeightSpec::ParetoTruncated { m, .. } => m,
+            WeightSpec::TwoPoint { total, k, heavy } => {
+                let units = (total - k as f64 * heavy).max(0.0).round() as usize;
+                units + k
+            }
+        }
+    }
+
+    /// Generate the task set. Deterministic specs ignore the RNG.
+    ///
+    /// # Panics
+    /// On infeasible parameters (e.g. `TwoPoint` with `k·heavy > total`,
+    /// or `m == 0`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskSet {
+        match *self {
+            WeightSpec::Uniform { m } => TaskSet::uniform(m),
+            WeightSpec::TwoPoint { total, k, heavy } => {
+                assert!(heavy >= 1.0, "heavy weight must be >= 1");
+                let heavy_total = k as f64 * heavy;
+                assert!(
+                    heavy_total <= total,
+                    "k*heavy = {heavy_total} exceeds requested total weight {total}"
+                );
+                let units = (total - heavy_total).round() as usize;
+                assert!(units + k > 0, "empty workload");
+                let mut w = Vec::with_capacity(units + k);
+                w.extend(std::iter::repeat_n(heavy, k));
+                w.extend(std::iter::repeat_n(1.0, units));
+                TaskSet::new(w)
+            }
+            WeightSpec::SingleHeavy { m, heavy } => {
+                assert!(m >= 1, "need at least the heavy task");
+                assert!(heavy >= 1.0, "heavy weight must be >= 1");
+                let mut w = Vec::with_capacity(m);
+                w.push(heavy);
+                w.extend(std::iter::repeat_n(1.0, m - 1));
+                TaskSet::new(w)
+            }
+            WeightSpec::UniformRange { m, hi } => {
+                assert!(m >= 1 && hi >= 1.0, "need m >= 1 and hi >= 1");
+                TaskSet::new((0..m).map(|_| rng.gen_range(1.0..=hi)).collect())
+            }
+            WeightSpec::Exponential { m, mean } => {
+                assert!(m >= 1 && mean >= 1.0, "need m >= 1 and mean >= 1");
+                let lambda_inv = mean - 1.0;
+                TaskSet::new(
+                    (0..m)
+                        .map(|_| {
+                            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                            1.0 + lambda_inv * (-u.ln())
+                        })
+                        .collect(),
+                )
+            }
+            WeightSpec::ParetoTruncated { m, alpha, cap } => {
+                assert!(m >= 1 && alpha > 0.0 && cap >= 1.0, "invalid Pareto parameters");
+                // Inverse-CDF sampling of Pareto(1, alpha) truncated at cap:
+                // F(x) = (1 - x^-a) / (1 - cap^-a).
+                let tail = 1.0 - cap.powf(-alpha);
+                TaskSet::new(
+                    (0..m)
+                        .map(|_| {
+                            let u: f64 = rng.gen_range(0.0..1.0);
+                            (1.0 - u * tail).powf(-1.0 / alpha).min(cap)
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Paper Figure 1 workload: total weight `w_total`, `k` heavy tasks of
+    /// weight 50.
+    pub fn figure1(w_total: f64, k: usize) -> Self {
+        WeightSpec::TwoPoint { total: w_total, k, heavy: 50.0 }
+    }
+
+    /// Paper Figure 2 workload: `m` tasks, one of weight `w_max`.
+    pub fn figure2(m: usize, w_max: f64) -> Self {
+        if w_max <= 1.0 {
+            WeightSpec::Uniform { m }
+        } else {
+            WeightSpec::SingleHeavy { m, heavy: w_max }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xDEADBEEF)
+    }
+
+    #[test]
+    fn two_point_hits_total_weight_exactly() {
+        let spec = WeightSpec::figure1(5000.0, 20);
+        let t = spec.generate(&mut rng());
+        assert_eq!(t.total_weight(), 5000.0);
+        assert_eq!(t.w_max(), 50.0);
+        assert_eq!(t.w_min(), 1.0);
+        // m(W, k) = W - k*wmax unit tasks plus k heavy ones.
+        assert_eq!(t.len(), 5000 - 20 * 50 + 20);
+        assert_eq!(spec.num_tasks(), t.len());
+    }
+
+    #[test]
+    fn two_point_all_heavy_edge_case() {
+        let spec = WeightSpec::TwoPoint { total: 100.0, k: 2, heavy: 50.0 };
+        let t = spec.generate(&mut rng());
+        assert_eq!(t.len(), 2);
+        assert!(t.is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds requested total")]
+    fn two_point_rejects_overweight_heavies() {
+        WeightSpec::TwoPoint { total: 99.0, k: 2, heavy: 50.0 }.generate(&mut rng());
+    }
+
+    #[test]
+    fn single_heavy_structure() {
+        let t = WeightSpec::figure2(1000, 64.0).generate(&mut rng());
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.w_max(), 64.0);
+        assert_eq!(t.weights().iter().filter(|&&w| w > 1.0).count(), 1);
+        assert_eq!(t.total_weight(), 999.0 + 64.0);
+    }
+
+    #[test]
+    fn figure2_with_unit_wmax_degrades_to_uniform() {
+        let t = WeightSpec::figure2(10, 1.0).generate(&mut rng());
+        assert!(t.is_uniform());
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let t = WeightSpec::UniformRange { m: 500, hi: 9.0 }.generate(&mut rng());
+        assert!(t.w_min() >= 1.0);
+        assert!(t.w_max() <= 9.0);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let t = WeightSpec::Exponential { m: 30_000, mean: 4.0 }.generate(&mut rng());
+        assert!(t.w_min() >= 1.0);
+        let avg = t.w_avg();
+        assert!((avg - 4.0).abs() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn pareto_respects_truncation() {
+        let t =
+            WeightSpec::ParetoTruncated { m: 10_000, alpha: 1.2, cap: 100.0 }.generate(&mut rng());
+        assert!(t.w_min() >= 1.0);
+        assert!(t.w_max() <= 100.0 + 1e-9);
+        // Heavy-tailed: the max should land well above the mean.
+        assert!(t.w_max() > 3.0 * t.w_avg());
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let spec = WeightSpec::Exponential { m: 100, mean: 2.0 };
+        let a = spec.generate(&mut SmallRng::seed_from_u64(5));
+        let b = spec.generate(&mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

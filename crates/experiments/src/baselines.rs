@@ -1,0 +1,78 @@
+//! Uniform-task baselines.
+//!
+//! The paper's bounds for weighted tasks "match the bounds of Ackermann et
+//! al. \[1\] and Hoefer & Sauerwald \[2\] for uniform tasks"; the baseline
+//! against which the weighted runs are compared is therefore the *same*
+//! protocol with all weights 1. This module packages those runs so the
+//! figures can print weighted-vs-uniform ratios.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::task::TaskSet;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_graphs::Graph;
+
+use crate::harness;
+use crate::stats::Summary;
+
+/// Mean balancing time of the *uniform-task* user-controlled protocol
+/// (Ackermann et al. setting) with `m` tasks on `n` resources, all
+/// starting on resource 0.
+pub fn user_uniform_baseline(
+    n: usize,
+    m: usize,
+    cfg: &UserControlledConfig,
+    trials: usize,
+    seed: u64,
+) -> Summary {
+    let tasks = TaskSet::uniform(m);
+    let samples = harness::run_trials(trials, seed, |s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        run_user_controlled(n, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds as f64
+    });
+    Summary::of(&samples)
+}
+
+/// Mean balancing time of the *uniform-task* resource-controlled protocol
+/// (Hoefer–Sauerwald setting) on graph `g`.
+pub fn resource_uniform_baseline(
+    g: &Graph,
+    m: usize,
+    cfg: &ResourceControlledConfig,
+    trials: usize,
+    seed: u64,
+) -> Summary {
+    let tasks = TaskSet::uniform(m);
+    let samples = harness::run_trials(trials, seed, |s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        run_resource_controlled(g, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds as f64
+    });
+    Summary::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_graphs::generators::complete;
+
+    #[test]
+    fn uniform_user_baseline_is_logarithmic_ish() {
+        let cfg = UserControlledConfig::default();
+        let small = user_uniform_baseline(50, 200, &cfg, 20, 1);
+        let large = user_uniform_baseline(50, 2000, &cfg, 20, 2);
+        // 10x more tasks should cost far less than 10x more rounds.
+        assert!(large.mean < small.mean * 5.0 + 10.0,
+            "rounds grew too fast: {} -> {}", small.mean, large.mean);
+    }
+
+    #[test]
+    fn uniform_resource_baseline_runs() {
+        let g = complete(20);
+        let cfg = ResourceControlledConfig::default();
+        let s = resource_uniform_baseline(&g, 200, &cfg, 10, 3);
+        assert!(s.mean >= 1.0);
+        assert!(s.count == 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! A3: balancing time vs alpha (how conservative is the analysis alpha?).
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::alpha_sweep;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut cfg =
+        if opts.quick { alpha_sweep::Config::quick() } else { alpha_sweep::Config::default() };
+    if let Some(t) = opts.trials {
+        cfg.trials = t;
+    }
+    let table = alpha_sweep::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

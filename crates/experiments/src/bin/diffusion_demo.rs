@@ -1,0 +1,17 @@
+//! A5: footnote-1 diffusion average estimation vs mixing time.
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::diffusion_expt;
+
+fn main() {
+    let opts = Options::from_env();
+    let cfg = if opts.quick {
+        diffusion_expt::Config::quick()
+    } else {
+        diffusion_expt::Config::default()
+    };
+    let table = diffusion_expt::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

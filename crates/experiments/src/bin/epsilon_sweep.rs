@@ -1,0 +1,17 @@
+//! A4: tight vs above-average thresholds for the user-controlled protocol.
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::epsilon_sweep;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut cfg =
+        if opts.quick { epsilon_sweep::Config::quick() } else { epsilon_sweep::Config::default() };
+    if let Some(t) = opts.trials {
+        cfg.trials = t;
+    }
+    let table = epsilon_sweep::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,16 @@
+//! A7: the Section-8 mixed protocol vs the paper's two protocols.
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::mixed;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut cfg = if opts.quick { mixed::Config::quick() } else { mixed::Config::default() };
+    if let Some(t) = opts.trials {
+        cfg.trials = t;
+    }
+    let table = mixed::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

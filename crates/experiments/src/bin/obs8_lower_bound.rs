@@ -1,0 +1,16 @@
+//! A2: Observation-8 lower-bound family (lollipop, tight thresholds).
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::obs8;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut cfg = if opts.quick { obs8::Config::quick() } else { obs8::Config::default() };
+    if let Some(t) = opts.trials {
+        cfg.trials = t;
+    }
+    let table = obs8::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,20 @@
+//! A6: measured potential decay vs Lemma 10's analytic delta.
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::potential_decay;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut cfg = if opts.quick {
+        potential_decay::Config::quick()
+    } else {
+        potential_decay::Config::default()
+    };
+    if let Some(t) = opts.trials {
+        cfg.trials = t;
+    }
+    let table = potential_decay::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

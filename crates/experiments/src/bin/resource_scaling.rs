@@ -1,0 +1,20 @@
+//! A1: resource-controlled balancing time vs tau(G) log m (Theorem 3 shape).
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::resource_scaling;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut cfg = if opts.quick {
+        resource_scaling::Config::quick()
+    } else {
+        resource_scaling::Config::default()
+    };
+    if let Some(t) = opts.trials {
+        cfg.trials = t;
+    }
+    let table = resource_scaling::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,13 @@
+//! Regenerate the paper's Table 1 (mixing & hitting times per family).
+
+use tlb_experiments::cli::Options;
+use tlb_experiments::figures::table1;
+
+fn main() {
+    let opts = Options::from_env();
+    let cfg = if opts.quick { table1::Config::quick() } else { table1::Config::default() };
+    let table = table1::run(&cfg);
+    print!("{}", table.render());
+    let path = table.save(&opts.out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,98 @@
+//! Minimal argument handling shared by the experiment binaries.
+//!
+//! Every driver understands:
+//!
+//! * `--quick` — run the reduced configuration (smoke-test scale),
+//! * `--trials N` — override the trial count,
+//! * `--out DIR` — results directory (default `results/`).
+
+use std::path::PathBuf;
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Use the reduced configuration.
+    pub quick: bool,
+    /// Trial-count override.
+    pub trials: Option<usize>,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { quick: false, trials: None, out_dir: PathBuf::from("results") }
+    }
+}
+
+impl Options {
+    /// Parse from an iterator of arguments (without the program name).
+    ///
+    /// # Panics
+    /// On unknown flags or malformed values — the binaries are internal
+    /// tools, loud failure beats silent misconfiguration.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--trials" => {
+                    let v = it.next().expect("--trials needs a value");
+                    opts.trials = Some(v.parse().expect("--trials value must be an integer"));
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(it.next().expect("--out needs a value"));
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--trials N] [--out DIR]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert!(!o.quick);
+        assert_eq!(o.trials, None);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = parse(&["--quick", "--trials", "42", "--out", "/tmp/x"]);
+        assert!(o.quick);
+        assert_eq!(o.trials, Some(42));
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        parse(&["--wat"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        parse(&["--trials"]);
+    }
+}

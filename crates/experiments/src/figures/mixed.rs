@@ -1,0 +1,152 @@
+//! **A7 — mixed protocol** (paper Section 8 future work): the mixed
+//! resource/user protocol head-to-head against both paper protocols.
+//!
+//! On the complete graph all three should land in the same
+//! `O(log m)`-ish regime; on sparse graphs the user-controlled protocol is
+//! unavailable (it needs uniform jumps) and the comparison is mixed vs
+//! resource-controlled — the mixed protocol trades slower single-round
+//! drain (Bernoulli departures) for the same walk-limited spreading.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::mixed_protocol::{run_mixed, Departure, MixedConfig};
+use tlb_core::placement::Placement;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+use tlb_graphs::generators::Family;
+
+use crate::figures::table1::build_family;
+use crate::harness;
+use crate::output::Table;
+use crate::stats::Summary;
+
+/// Configuration for the mixed-protocol comparison.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Approximate graph size per family.
+    pub size: usize,
+    /// Tasks per resource.
+    pub tasks_per_node: usize,
+    /// Trials per point.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { size: 256, tasks_per_node: 10, trials: 100, seed: 0xA7 }
+    }
+}
+
+impl Config {
+    /// Reduced configuration for smoke tests and benches.
+    pub fn quick() -> Self {
+        Config { size: 64, trials: 15, ..Default::default() }
+    }
+}
+
+/// Run the comparison. Columns: family, protocol, rounds_mean,
+/// rounds_ci95, migrations_mean.
+pub fn run(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "mixed_comparison",
+        format!(
+            "A7/Section 8: mixed protocol vs the paper's two (size~{}, {} trials, Pareto weights)",
+            cfg.size, cfg.trials
+        ),
+        &["family", "protocol", "rounds_mean", "rounds_ci95", "migrations_mean"],
+    );
+    for family in [Family::Complete, Family::RegularExpander, Family::Grid] {
+        let (g, kind) = build_family(family, cfg.size, cfg.seed);
+        let n = g.num_nodes();
+        let m = n * cfg.tasks_per_node;
+        let spec = WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: 32.0 };
+
+        // (protocol label, closure seed-salt)
+        let mut push = |label: &str, samples: Vec<(f64, f64)>| {
+            let rounds: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let migs: Vec<f64> = samples.iter().map(|s| s.1).collect();
+            let rs = Summary::of(&rounds);
+            let ms = Summary::of(&migs);
+            table.push_row(vec![
+                family.name().to_string(),
+                label.to_string(),
+                format!("{:.2}", rs.mean),
+                format!("{:.2}", rs.ci95),
+                format!("{:.0}", ms.mean),
+            ]);
+        };
+
+        let res_cfg = ResourceControlledConfig { walk: kind, ..Default::default() };
+        push(
+            "resource",
+            harness::run_trials_map(cfg.trials, cfg.seed ^ 1, |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let tasks = spec.generate(&mut rng);
+                let o = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &res_cfg, &mut rng);
+                (o.rounds as f64, o.migrations as f64)
+            }),
+        );
+
+        let mixed_cfg =
+            MixedConfig { departure: Departure::Bernoulli, walk: kind, ..Default::default() };
+        push(
+            "mixed",
+            harness::run_trials_map(cfg.trials, cfg.seed ^ 2, |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let tasks = spec.generate(&mut rng);
+                let o = run_mixed(&g, &tasks, Placement::AllOnOne(0), &mixed_cfg, &mut rng);
+                (o.rounds as f64, o.migrations as f64)
+            }),
+        );
+
+        if family == Family::Complete {
+            let user_cfg = UserControlledConfig::default();
+            push(
+                "user",
+                harness::run_trials_map(cfg.trials, cfg.seed ^ 3, |s| {
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    let tasks = spec.generate(&mut rng);
+                    let o = run_user_controlled(n, &tasks, Placement::AllOnOne(0), &user_cfg, &mut rng);
+                    (o.rounds as f64, o.migrations as f64)
+                }),
+            );
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_three_families_and_protocols() {
+        let cfg = Config::quick();
+        let t = run(&cfg);
+        // complete: 3 protocols; expander + grid: 2 each = 7 rows
+        assert_eq!(t.rows.len(), 7);
+        for r in t.column_f64("rounds_mean") {
+            assert!(r >= 1.0);
+        }
+    }
+
+    #[test]
+    fn mixed_and_user_agree_on_complete_graph() {
+        let cfg = Config::quick();
+        let t = run(&cfg);
+        let get = |proto: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == "Complete Graph" && r[1] == proto)
+                .map(|r| r[2].parse().unwrap())
+                .unwrap()
+        };
+        let mixed = get("mixed");
+        let user = get("user");
+        let ratio = mixed / user;
+        assert!((0.4..=2.5).contains(&ratio), "mixed {mixed} vs user {user}");
+    }
+}

@@ -1,0 +1,28 @@
+//! One module per paper artifact / ablation; see `DESIGN.md` §3 for the
+//! experiment index.
+//!
+//! | id | module | paper artifact |
+//! |----|--------|----------------|
+//! | T1 | [`table1`] | Table 1 (mixing & hitting times) |
+//! | F1 | [`figure1`] | Figure 1 (balancing time vs `W`, two-point weights) |
+//! | F2 | [`figure2`] | Figure 2 (normalized time vs `m`, single heavy task) |
+//! | A1 | [`resource_scaling`] | Theorem 3 shape check |
+//! | A2 | [`obs8`] | Observation 8 lower-bound family |
+//! | A3 | [`alpha_sweep`] | α conservatism (§7 open question) |
+//! | A4 | [`epsilon_sweep`] | tight vs above-average thresholds |
+//! | A5 | [`diffusion_expt`] | footnote-1 average estimation |
+//! | A6 | [`potential_decay`] | Lemma 10 drift vs measurement |
+//! | A7 | [`mixed`] | Section-8 future work: mixed protocol |
+//! | A8 | [`related_work`] | Section-3 related-work allocators |
+
+pub mod alpha_sweep;
+pub mod diffusion_expt;
+pub mod epsilon_sweep;
+pub mod figure1;
+pub mod figure2;
+pub mod mixed;
+pub mod obs8;
+pub mod potential_decay;
+pub mod related_work;
+pub mod resource_scaling;
+pub mod table1;

@@ -1,0 +1,142 @@
+//! **A1 — Theorem 3 shape check**: resource-controlled balancing time vs
+//! `τ(G)·log m` across graph families.
+//!
+//! Theorem 3 predicts `O(τ(G)·log m)` rounds w.h.p. for above-average
+//! thresholds, *independent of the task weights*. This experiment measures
+//! the balancing time on every Table-1 family and reports the ratio
+//! `rounds / (τ·ln m)`, which should stay bounded (near-constant) across
+//! families whose mixing times differ by orders of magnitude, for both
+//! uniform and weighted workloads.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_core::weights::WeightSpec;
+use tlb_graphs::generators::Family;
+
+use crate::figures::table1::build_family;
+use crate::harness;
+use crate::output::Table;
+use crate::stats::Summary;
+
+/// Configuration for the Theorem-3 scaling experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Approximate graph size per family.
+    pub size: usize,
+    /// Tasks per resource (`m = tasks_per_node · n`).
+    pub tasks_per_node: usize,
+    /// Threshold slack.
+    pub epsilon: f64,
+    /// Trials per (family, workload) point.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { size: 256, tasks_per_node: 10, epsilon: 0.2, trials: 100, seed: 0xA1 }
+    }
+}
+
+impl Config {
+    /// Reduced configuration for smoke tests and benches.
+    pub fn quick() -> Self {
+        Config { size: 64, trials: 15, ..Default::default() }
+    }
+}
+
+/// A named workload constructor.
+type WorkloadCtor = fn(usize) -> WeightSpec;
+
+/// Workload kinds compared (Theorem 3 says weights should not matter).
+const WORKLOADS: [(&str, WorkloadCtor); 2] = [
+    ("uniform", |m| WeightSpec::Uniform { m }),
+    ("pareto", |m| WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: 32.0 }),
+];
+
+/// Run the sweep. Columns: family, n, m, workload, tau, rounds_mean,
+/// rounds_ci95, rounds_over_tau_logm.
+pub fn run(cfg: &Config) -> Table {
+    let mut table = Table::new(
+        "resource_scaling",
+        format!(
+            "A1/Theorem 3: resource-controlled rounds vs tau(G) log m (size~{}, {} trials)",
+            cfg.size, cfg.trials
+        ),
+        &["family", "n", "m", "workload", "tau_lemma2", "rounds_mean", "rounds_ci95", "ratio"],
+    );
+    for family in Family::ALL {
+        let (g, kind) = build_family(family, cfg.size, cfg.seed);
+        let n = g.num_nodes();
+        let m = n * cfg.tasks_per_node;
+        let p = tlb_walks::TransitionMatrix::build(&g, kind);
+        let gap = tlb_walks::spectral::spectral_gap_power(&p, &g, 1e-10, 100_000);
+        let tau = tlb_walks::mixing::lemma2_mixing_time(n, &gap).unwrap_or(u64::MAX) as f64;
+        for (wname, wf) in WORKLOADS {
+            let spec = wf(m);
+            let proto = ResourceControlledConfig {
+                threshold: ThresholdPolicy::AboveAverage { epsilon: cfg.epsilon },
+                walk: kind,
+                ..Default::default()
+            };
+            let samples = harness::run_trials(cfg.trials, cfg.seed ^ (family as u64) << 8, |s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let tasks = spec.generate(&mut rng);
+                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &proto, &mut rng)
+                    .rounds as f64
+            });
+            let s = Summary::of(&samples);
+            let denom = tau * (m as f64).ln();
+            table.push_row(vec![
+                family.name().to_string(),
+                n.to_string(),
+                m.to_string(),
+                wname.to_string(),
+                format!("{tau:.1}"),
+                format!("{:.2}", s.mean),
+                format!("{:.2}", s.ci95),
+                format!("{:.5}", s.mean / denom),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_all_families_and_workloads() {
+        let cfg = Config::quick();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), Family::ALL.len() * WORKLOADS.len());
+        for ratio in t.column_f64("ratio") {
+            assert!(ratio > 0.0 && ratio.is_finite());
+        }
+    }
+
+    #[test]
+    fn ratios_are_bounded_across_families() {
+        // The collapse claim: rounds/(tau ln m) varies far less across
+        // families than tau itself does. Allow a generous factor.
+        let cfg = Config::quick();
+        let t = run(&cfg);
+        let ratios = t.column_f64("ratio");
+        let max = ratios.iter().fold(f64::MIN, |a, &b| a.max(b));
+        let min = ratios.iter().fold(f64::MAX, |a, &b| a.min(b));
+        let taus = t.column_f64("tau_lemma2");
+        let tau_spread = taus.iter().fold(f64::MIN, |a, &b| a.max(b))
+            / taus.iter().fold(f64::MAX, |a, &b| a.min(b));
+        assert!(
+            max / min < tau_spread,
+            "normalized spread {:.2} should be smaller than raw tau spread {:.2}",
+            max / min,
+            tau_spread
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Rayon-parallel trial fan-out with deterministic seeding.
+//!
+//! Section 7 of the paper averages every data point over 1000 independent
+//! trials. Trials are embarrassingly parallel; the harness fans them out
+//! over the rayon thread pool while keeping results bit-reproducible: trial
+//! `t` of an experiment with base seed `s` always uses the derived seed
+//! `splitmix(s, t)`, independent of thread scheduling.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Derive the seed of trial `index` from a base seed (splitmix64 over the
+/// pair, so neighbouring trials get decorrelated streams).
+#[inline]
+pub fn trial_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Run `trials` independent trials in parallel; `f(seed)` must be a pure
+/// function of its seed. Results are returned in trial order.
+pub fn run_trials<F>(trials: usize, base_seed: u64, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    (0..trials as u64)
+        .into_par_iter()
+        .map(|t| f(trial_seed(base_seed, t)))
+        .collect()
+}
+
+/// Sequential variant (used by the harness-scaling ablation to measure the
+/// rayon speedup, and handy under a profiler).
+pub fn run_trials_sequential<F>(trials: usize, base_seed: u64, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64,
+{
+    (0..trials as u64).map(|t| f(trial_seed(base_seed, t))).collect()
+}
+
+/// Parallel trials with a progress callback invoked after each completed
+/// trial with the number finished so far. The callback is serialized
+/// through a mutex, so keep it cheap (the drivers print a dot every few
+/// percent).
+pub fn run_trials_with_progress<F, P>(trials: usize, base_seed: u64, f: F, progress: P) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Sync,
+    P: FnMut(usize) + Send,
+{
+    let done = Mutex::new((0usize, progress));
+    (0..trials as u64)
+        .into_par_iter()
+        .map(|t| {
+            let r = f(trial_seed(base_seed, t));
+            let mut guard = done.lock();
+            guard.0 += 1;
+            let count = guard.0;
+            (guard.1)(count);
+            r
+        })
+        .collect()
+}
+
+/// Run a generic per-trial function returning any `Send` payload (used
+/// when a trial yields more than one metric).
+pub fn run_trials_map<T, F>(trials: usize, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    (0..trials as u64)
+        .into_par_iter()
+        .map(|t| f(trial_seed(base_seed, t)))
+        .collect()
+}
+
+/// Streaming variant: trials run on the rayon pool while a consumer
+/// receives `(trial_index, result)` pairs over a crossbeam channel *as
+/// they finish* (completion order, not trial order). Useful for live
+/// dashboards and for aborting long sweeps early; the returned vector is
+/// whatever the consumer produced.
+///
+/// The consumer runs on the calling thread; the channel is bounded so a
+/// slow consumer back-pressures the workers instead of buffering the
+/// whole sweep.
+pub fn run_trials_streaming<T, F, C, O>(trials: usize, base_seed: u64, f: F, consumer: C) -> O
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync + Send,
+    C: FnOnce(crossbeam::channel::Receiver<(usize, T)>) -> O,
+{
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, T)>(256);
+    crossbeam::scope(|scope| {
+        scope.spawn(move |_| {
+            (0..trials as u64).into_par_iter().for_each_with(tx, |tx, t| {
+                let r = f(trial_seed(base_seed, t));
+                // Receiver dropping early (consumer aborted) is fine.
+                let _ = tx.send((t as usize, r));
+            });
+        });
+        consumer(rx)
+    })
+    .expect("streaming harness thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..1000).map(|t| trial_seed(42, t)).collect();
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), seeds.len(), "seed collision");
+        assert_eq!(trial_seed(42, 7), trial_seed(42, 7));
+        assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = |seed: u64| (seed % 1000) as f64;
+        let par = run_trials(500, 9, f);
+        let seq = run_trials_sequential(500, 9, f);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn results_in_trial_order() {
+        let out = run_trials(100, 0, |s| s as f64);
+        let expected: Vec<f64> = (0..100).map(|t| trial_seed(0, t) as f64).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn progress_callback_sees_every_trial() {
+        let hits = AtomicUsize::new(0);
+        let out = run_trials_with_progress(64, 1, |s| s as f64, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn streaming_delivers_every_trial_once() {
+        let seen = run_trials_streaming(
+            200,
+            3,
+            |s| s % 97,
+            |rx| {
+                let mut got: Vec<(usize, u64)> = rx.iter().collect();
+                got.sort_unstable();
+                got
+            },
+        );
+        assert_eq!(seen.len(), 200);
+        for (i, (idx, val)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, trial_seed(3, i as u64) % 97);
+        }
+    }
+
+    #[test]
+    fn streaming_consumer_can_abort_early() {
+        let first_five = run_trials_streaming(
+            1000,
+            7,
+            |s| s,
+            |rx| rx.iter().take(5).count(),
+        );
+        assert_eq!(first_five, 5);
+        // Workers observing the dropped receiver must not panic the pool.
+    }
+
+    #[test]
+    fn map_variant_carries_structs() {
+        #[derive(PartialEq, Debug)]
+        struct Pair(u64, f64);
+        let out = run_trials_map(10, 5, |s| Pair(s, s as f64 * 0.5));
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[3], Pair(trial_seed(5, 3), trial_seed(5, 3) as f64 * 0.5));
+    }
+}

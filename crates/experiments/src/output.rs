@@ -1,0 +1,168 @@
+//! Result tables: aligned text rendering plus CSV/JSON persistence.
+//!
+//! Every figure/table driver produces a [`Table`]; the binaries print it
+//! and persist it under `results/<experiment>.csv` (raw rows) and
+//! `results/<experiment>.json` (with metadata), so EXPERIMENTS.md can
+//! reference stable artifacts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rectangular result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier (used as the output file stem).
+    pub name: String,
+    /// Free-form description (paper artifact, parameters).
+    pub description: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        headers: &[&str],
+    ) -> Table {
+        Table {
+            name: name.into(),
+            description: description.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// If the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in table {}", self.name);
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table (what the drivers print).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.name, self.description);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Persist CSV + JSON under `dir`; returns the CSV path.
+    pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let csv_path = dir.join(format!("{}.csv", self.name));
+        fs::write(&csv_path, self.to_csv())?;
+        let json_path = dir.join(format!("{}.json", self.name));
+        fs::write(&json_path, serde_json::to_string_pretty(self).expect("table serializes"))?;
+        Ok(csv_path)
+    }
+
+    /// Extract one column parsed as `f64` (non-numeric cells are skipped).
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let idx = self
+            .headers
+            .iter()
+            .position(|h| h == header)
+            .unwrap_or_else(|| panic!("no column named {header} in table {}", self.name));
+        self.rows.iter().filter_map(|r| r[idx].parse::<f64>().ok()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", "a demo table", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2.5".into()]);
+        t.push_row(vec!["10".into(), "hello, world".into()]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("demo"));
+        assert!(r.contains('x'));
+        assert!(r.contains("2.5"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let c = sample().to_csv();
+        assert!(c.contains("\"hello, world\""));
+        assert!(c.starts_with("x,y\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn column_extraction_skips_non_numeric() {
+        let t = sample();
+        assert_eq!(t.column_f64("x"), vec![1.0, 10.0]);
+        assert_eq!(t.column_f64("y"), vec![2.5]);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("tlb_output_test");
+        let t = sample();
+        let csv = t.save(&dir).unwrap();
+        let content = std::fs::read_to_string(csv).unwrap();
+        assert!(content.contains("2.5"));
+        let json = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,151 @@
+//! Summary statistics for trial batches.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for count < 2).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    /// On an empty sample.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let std = var.sqrt();
+        let sem = std / (n as f64).sqrt();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary { count: n, mean, std, ci95: 1.96 * sem, min, max }
+    }
+
+    /// `mean ± ci95` formatted compactly.
+    pub fn display(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.ci95)
+    }
+}
+
+/// Ordinary least squares fit `y ≈ a + b·x`; returns `(a, b, r²)`.
+///
+/// Used by the shape checks in EXPERIMENTS.md (e.g. Figure 1's
+/// `rounds ~ c·log m` and Figure 2's `rounds/log m ~ c·w_max`).
+///
+/// # Panics
+/// If inputs differ in length or have fewer than 2 points.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxy: f64 = x.iter().zip(y.iter()).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let syy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+    let b = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let a = my - b * mx;
+    let r2 = if sxx == 0.0 || syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+/// Pearson correlation of two equal-length samples.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    let (_, _, r2) = linear_fit(x, y);
+    let (_, b, _) = linear_fit(x, y);
+    r2.sqrt() * b.signum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::of(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        // mean 2, var ((1)^2+(0)^2+(1)^2)/2 = 1 -> std 1
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let (a, b, r2) = linear_fit(&x, &y);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_line_high_r2() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + ((v * 7.3).sin())).collect();
+        let (_, b, r2) = linear_fit(&x, &y);
+        assert!((b - 2.0).abs() < 0.05);
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0];
+        let up = [1.0, 2.0, 3.1];
+        let down = [3.0, 2.0, 0.9];
+        assert!(correlation(&x, &up) > 0.99);
+        assert!(correlation(&x, &down) < -0.99);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!(s.display().contains('±'));
+    }
+}

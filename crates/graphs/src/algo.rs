@@ -1,0 +1,207 @@
+//! Traversal and validation algorithms: BFS, connectivity, components,
+//! diameter, bipartiteness, degree statistics.
+
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel distance for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source`; unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Connected components as a label vector: `labels[v]` is the smallest node
+/// id in `v`'s component. Second return value is the component count.
+pub fn connected_components(g: &Graph) -> (Vec<NodeId>, usize) {
+    let n = g.num_nodes();
+    let mut labels = vec![NodeId::MAX; n];
+    let mut count = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != NodeId::MAX {
+            continue;
+        }
+        count += 1;
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == NodeId::MAX {
+                    labels[u as usize] = start;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    (labels, count)
+}
+
+/// Eccentricity of `v` (max BFS distance); `None` if some node is
+/// unreachable from `v`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter via all-pairs BFS — `O(n·(n+m))`; fine for the graph
+/// sizes where exact walk quantities are computed. `None` if disconnected
+/// or empty.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..n as NodeId {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// 2-colourability check. Bipartite graphs make the *non-lazy* simple
+/// random walk periodic — the walk substrate consults this to warn/ablate.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as NodeId {
+        if color[start as usize] != u8::MAX {
+            continue;
+        }
+        color[start as usize] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let cv = color[v as usize];
+            for &u in g.neighbors(v) {
+                if color[u as usize] == u8::MAX {
+                    color[u as usize] = 1 - cv;
+                    queue.push_back(u);
+                } else if color[u as usize] == cv {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Summary degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree `2|E|/n`.
+    pub mean: f64,
+}
+
+/// Compute [`DegreeStats`]; `None` for the empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    Some(DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean: g.degree_sum() as f64 / n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, grid2d, path, star};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_on_path_counts_hops() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build();
+        assert!(!is_connected(&g));
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels, vec![0, 0, 2, 2]);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, 0), None);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        assert_eq!(diameter(&complete(6)), Some(1));
+    }
+
+    #[test]
+    fn odd_cycle_not_bipartite_even_cycle_is() {
+        assert!(!is_bipartite(&cycle(5)));
+        assert!(is_bipartite(&cycle(6)));
+    }
+
+    #[test]
+    fn star_and_grid_bipartite() {
+        assert!(is_bipartite(&star(7)));
+        assert!(is_bipartite(&grid2d(3, 3)));
+        assert!(!is_bipartite(&complete(3)));
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&star(5)).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert!(degree_stats(&GraphBuilder::new(0).build()).is_none());
+    }
+
+    #[test]
+    fn singleton_graph_trivially_connected() {
+        let g = GraphBuilder::new(1).build();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(0));
+        assert!(is_bipartite(&g));
+    }
+}

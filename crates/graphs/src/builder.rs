@@ -1,0 +1,171 @@
+//! Mutable edge-list builder that finalizes into CSR [`Graph`].
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// Accumulates undirected edges, rejects self-loops and out-of-range
+/// endpoints, deduplicates parallel edges, and finalizes into a CSR
+/// [`Graph`].
+///
+/// ```
+/// use tlb_graphs::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 0).unwrap(); // duplicate, ignored at build time
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Normalized (min, max) endpoint pairs.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph on `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::new() }
+    }
+
+    /// Start a builder with capacity for `edges` edges pre-reserved.
+    pub fn with_edge_capacity(num_nodes: usize, edges: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::with_capacity(edges) }
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (possibly duplicate) edges recorded so far.
+    pub fn num_recorded_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Record the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] if `u == v`, [`GraphError::NodeOutOfRange`]
+    /// if either endpoint is `>= num_nodes`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u as usize));
+        }
+        for &e in &[u, v] {
+            if e as usize >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: e as usize,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(())
+    }
+
+    /// Whether the normalized edge is already recorded. `O(|edges|)` — only
+    /// used by randomized generators on small candidate sets; they keep
+    /// their own hash sets when it matters.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = (u.min(v), u.max(v));
+        self.edges.contains(&key)
+    }
+
+    /// Finalize into a CSR [`Graph`], deduplicating parallel edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.num_nodes;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each adjacency list must be sorted for binary-search `has_edge`.
+        // Edges were inserted in sorted (u, v) order, so `u`'s list receives
+        // increasing `v` values, but `v`'s list receives `u`s out of order —
+        // sort per list.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2),
+            Err(GraphError::NodeOutOfRange { node: 2, num_nodes: 2 })
+        ));
+    }
+
+    #[test]
+    fn dedups_parallel_edges_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let mut b = GraphBuilder::new(6);
+        // Insert in deliberately scrambled order around node 5.
+        for u in [4, 0, 3, 1, 2] {
+            b.add_edge(5, u).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(5), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn contains_edge_is_orientation_insensitive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1).unwrap();
+        assert!(b.contains_edge(1, 2));
+        assert!(b.contains_edge(2, 1));
+        assert!(!b.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

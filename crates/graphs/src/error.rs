@@ -1,0 +1,57 @@
+//! Error type for graph construction and generator parameter validation.
+
+use std::fmt;
+
+/// Errors raised while building graphs or validating generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a node id `>= n`.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: usize,
+        /// Number of nodes in the graph under construction.
+        num_nodes: usize,
+    },
+    /// A self-loop `(v, v)` was added; graphs here are simple.
+    SelfLoop(
+        /// The node that was connected to itself.
+        usize,
+    ),
+    /// Generator parameters are infeasible (e.g. `n*d` odd for a d-regular
+    /// graph, or `k >= n` for the lollipop family).
+    InvalidParameters(String),
+    /// A randomized generator failed to produce a valid graph within its
+    /// retry budget (possible for random regular graphs with adversarial
+    /// parameters).
+    GenerationFailed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop on node {v} (graphs are simple)"),
+            GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            GraphError::GenerationFailed(msg) => write!(f, "generation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+        assert!(GraphError::SelfLoop(3).to_string().contains('3'));
+        assert!(GraphError::InvalidParameters("bad".into()).to_string().contains("bad"));
+        assert!(GraphError::GenerationFailed("oops".into()).to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic classic families: complete, path, cycle, star, binary tree.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Complete graph `K_n`. The paper's user-controlled protocol (Section 6)
+/// and all of its Section-7 simulations live on this family.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v).expect("complete-graph edges are always valid");
+        }
+    }
+    b.build()
+}
+
+/// Path `P_n`: `0 — 1 — … — n-1`. Worst-case-ish mixing; used in tests.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for u in 1..n as NodeId {
+        b.add_edge(u - 1, u).expect("path edges are always valid");
+    }
+    b.build()
+}
+
+/// Cycle `C_n`. Requires `n >= 3` to stay simple; smaller `n` degrades to a
+/// path.
+pub fn cycle(n: usize) -> Graph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut b = GraphBuilder::with_edge_capacity(n, n);
+    for u in 0..n as NodeId {
+        let v = (u + 1) % n as NodeId;
+        b.add_edge(u, v).expect("cycle edges are always valid");
+    }
+    b.build()
+}
+
+/// Star `S_n`: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for v in 1..n as NodeId {
+        b.add_edge(0, v).expect("star edges are always valid");
+    }
+    b.build()
+}
+
+/// Complete binary tree on `n` nodes in heap order (children of `v` are
+/// `2v+1`, `2v+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        let parent = ((v - 1) / 2) as NodeId;
+        b.add_edge(parent, v as NodeId).expect("tree edges are always valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn complete_counts() {
+        for n in [1usize, 2, 5, 17] {
+            let g = complete(n);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), n * (n - 1) / 2);
+            assert!(g.is_regular());
+            if n > 1 {
+                assert_eq!(g.max_degree() as usize, n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_a_tree() {
+        let g = path(10);
+        assert_eq!(g.num_edges(), 9);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), Some(9));
+    }
+
+    #[test]
+    fn cycle_is_two_regular() {
+        let g = cycle(8);
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn tiny_cycles_degrade_to_paths() {
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(cycle(0).num_nodes(), 0);
+    }
+
+    #[test]
+    fn star_has_hub() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 1));
+        assert_eq!(algo::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3); // parent 0, children 3 and 4
+        assert!(algo::is_connected(&g));
+        assert!(algo::is_bipartite(&g));
+    }
+}

@@ -1,0 +1,118 @@
+//! Composite families used for lower-bound constructions.
+//!
+//! Observation 8 of the paper builds a graph from a clique `K_{n-1}` plus
+//! one extra node `u` attached to exactly `k` clique nodes; its hitting time
+//! is `Θ(n²/k)`, which makes the tight-threshold bound
+//! `O(H(G)·log m)` demonstrably tight. We call this family [`lollipop`].
+//! The related two-clique construction of Hoefer–Sauerwald (their Theorem
+//! 3.7) is provided as [`barbell`].
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// Clique `K_{n-1}` on nodes `0..n-1` plus a single pendant node `n-1`
+/// connected to the first `k` clique nodes (`1 ≤ k ≤ n-1`).
+///
+/// This is the Observation-8 family: `H(G) = Θ(n²/k)`.
+pub fn lollipop(n: usize, k: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("lollipop needs n >= 2, got {n}")));
+    }
+    if k == 0 || k > n - 1 {
+        return Err(GraphError::InvalidParameters(format!(
+            "lollipop attachment k = {k} outside [1, n-1 = {}]",
+            n - 1
+        )));
+    }
+    let clique = n - 1;
+    let mut b = GraphBuilder::with_edge_capacity(n, clique * (clique - 1) / 2 + k);
+    for u in 0..clique as NodeId {
+        for v in (u + 1)..clique as NodeId {
+            b.add_edge(u, v).expect("validated endpoints");
+        }
+    }
+    let pendant = (n - 1) as NodeId;
+    for v in 0..k as NodeId {
+        b.add_edge(pendant, v).expect("validated endpoints");
+    }
+    Ok(b.build())
+}
+
+/// Two cliques of size `n_half` each, joined by `k` parallel "bridge" edges
+/// between distinct node pairs (`1 ≤ k ≤ n_half`). Hoefer–Sauerwald's
+/// lower-bound family.
+pub fn barbell(n_half: usize, k: usize) -> Result<Graph, GraphError> {
+    if n_half < 2 {
+        return Err(GraphError::InvalidParameters(format!(
+            "barbell needs clique size >= 2, got {n_half}"
+        )));
+    }
+    if k == 0 || k > n_half {
+        return Err(GraphError::InvalidParameters(format!(
+            "barbell bridge count k = {k} outside [1, {n_half}]"
+        )));
+    }
+    let n = 2 * n_half;
+    let mut b = GraphBuilder::with_edge_capacity(n, n_half * (n_half - 1) + k);
+    for offset in [0usize, n_half] {
+        for u in 0..n_half {
+            for v in (u + 1)..n_half {
+                b.add_edge((offset + u) as NodeId, (offset + v) as NodeId)
+                    .expect("validated endpoints");
+            }
+        }
+    }
+    for i in 0..k {
+        b.add_edge(i as NodeId, (n_half + i) as NodeId).expect("validated endpoints");
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn lollipop_structure() {
+        let n = 10;
+        let k = 3;
+        let g = lollipop(n, k).unwrap();
+        assert_eq!(g.num_nodes(), n);
+        let clique = n - 1;
+        assert_eq!(g.num_edges(), clique * (clique - 1) / 2 + k);
+        let pendant = (n - 1) as NodeId;
+        assert_eq!(g.degree(pendant), k);
+        assert!(algo::is_connected(&g));
+        // attached clique nodes have degree clique-1+1
+        assert_eq!(g.degree(0), clique);
+        assert_eq!(g.degree((k) as NodeId), clique - 1);
+    }
+
+    #[test]
+    fn lollipop_rejects_bad_k() {
+        assert!(lollipop(10, 0).is_err());
+        assert!(lollipop(10, 10).is_err());
+        assert!(lollipop(1, 1).is_err());
+        assert!(lollipop(10, 9).is_ok()); // pendant attached to every clique node
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(5, 2).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 2 * 10 + 2);
+        assert!(algo::is_connected(&g));
+        assert!(g.has_edge(0, 5));
+        assert!(g.has_edge(1, 6));
+        assert!(!g.has_edge(2, 7));
+    }
+
+    #[test]
+    fn barbell_rejects_bad_parameters() {
+        assert!(barbell(1, 1).is_err());
+        assert!(barbell(5, 0).is_err());
+        assert!(barbell(5, 6).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Lattice families: 2-D grid, 2-D torus, boolean hypercube.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Open (non-wrapping) `rows × cols` grid. Node `(r, c)` has id
+/// `r * cols + c`.
+///
+/// The paper's Table 1 "Grid" row is the 2-D grid with `n` nodes: mixing
+/// time `O(n)`, hitting time `O(n log n)`.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                b.add_edge(id, id + 1).expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(id, id + cols as NodeId).expect("grid edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Wrapping `rows × cols` torus. Degree-4-regular when both sides are
+/// `>= 3`. Preferred in Table-1 sweeps because regularity removes the
+/// boundary effects of the open grid without changing the asymptotics.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as NodeId;
+            let right = (r * cols + (c + 1) % cols) as NodeId;
+            let down = (((r + 1) % rows) * cols + c) as NodeId;
+            if right != id {
+                b.add_edge(id, right).expect("torus edges are valid");
+            }
+            if down != id {
+                b.add_edge(id, down).expect("torus edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Boolean hypercube `Q_dim` on `n = 2^dim` nodes; nodes adjacent iff their
+/// ids differ in exactly one bit. Table-1 row: mixing
+/// `O(log n · log log n)`, hitting `O(n)`.
+///
+/// # Panics
+/// If `dim >= 32` (node ids are `u32`).
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim < 32, "hypercube dimension must fit in u32 node ids");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_edge_capacity(n, n * dim as usize / 2);
+    for v in 0..n as NodeId {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v, u).expect("hypercube edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn grid_counts_and_shape() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // edges: horizontal 3*3 + vertical 2*4 = 17
+        assert_eq!(g.num_edges(), 17);
+        assert!(algo::is_connected(&g));
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(algo::diameter(&g), Some(5)); // (3-1)+(4-1)
+        // corner degree 2, interior degree 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn torus_is_four_regular() {
+        let g = torus2d(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.num_edges(), 40);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn small_torus_degenerates_gracefully() {
+        // 2-wide torus would create parallel edges; builder dedups them, so
+        // the graph stays simple (degree 3 instead of 4).
+        let g = torus2d(2, 3);
+        assert_eq!(g.num_nodes(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) <= 4));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(3);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(algo::diameter(&g), Some(3));
+        assert!(algo::is_bipartite(&g));
+        // 0b000 adjacent to 0b001, 0b010, 0b100
+        assert_eq!(g.neighbors(0), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn hypercube_dim_zero_is_single_node() {
+        let g = hypercube(0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

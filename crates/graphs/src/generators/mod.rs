@@ -1,0 +1,78 @@
+//! Graph family generators.
+//!
+//! Every family mentioned by the paper is here:
+//!
+//! * Table 1 rows — [`complete`], [`random_regular`] (regular expander),
+//!   [`erdos_renyi`], [`hypercube`], [`grid2d`]/[`torus2d`];
+//! * Observation 8 lower-bound family — [`lollipop`] (clique `K_{n-1}` plus
+//!   a pendant node attached by `k` edges, hitting time `Θ(n²/k)`);
+//! * auxiliary families used in tests and ablations — [`path`], [`cycle`],
+//!   [`star`], [`binary_tree`], [`barbell`].
+//!
+//! Randomized generators take an explicit `&mut impl Rng` so that every
+//! experiment in the harness is reproducible from a single seed.
+
+mod classic;
+mod composite;
+mod lattice;
+mod random;
+
+pub use classic::{binary_tree, complete, cycle, path, star};
+pub use composite::{barbell, lollipop};
+pub use lattice::{grid2d, hypercube, torus2d};
+pub use random::{erdos_renyi, erdos_renyi_connected, random_regular};
+
+/// Enumeration of the Table-1 graph families, used by the experiment
+/// harness to sweep over families generically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Complete graph `K_n` — mixing `O(1)`, hitting `O(n)`.
+    Complete,
+    /// Random d-regular graph (`d ≥ 3`), an expander w.h.p. — mixing
+    /// `O(log n)`, hitting `O(n)`.
+    RegularExpander,
+    /// Erdős–Rényi `G(n, p)` with `p > (1+ε)·ln n / n` — mixing `O(log n)`,
+    /// hitting `O(n)`.
+    ErdosRenyi,
+    /// Boolean hypercube `Q_d`, `n = 2^d` — mixing `O(log n · log log n)`,
+    /// hitting `O(n)`.
+    Hypercube,
+    /// 2-D torus grid `√n × √n` — mixing `O(n)`, hitting `O(n log n)`.
+    Grid,
+}
+
+impl Family {
+    /// All Table-1 families in the paper's row order.
+    pub const ALL: [Family; 5] = [
+        Family::Complete,
+        Family::RegularExpander,
+        Family::ErdosRenyi,
+        Family::Hypercube,
+        Family::Grid,
+    ];
+
+    /// Human-readable name matching the paper's Table 1 row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Complete => "Complete Graph",
+            Family::RegularExpander => "Reg. Expander",
+            Family::ErdosRenyi => "Erdos-Renyi Graph",
+            Family::Hypercube => "Hypercube",
+            Family::Grid => "Grid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_match_paper_rows() {
+        let names: Vec<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Complete Graph", "Reg. Expander", "Erdos-Renyi Graph", "Hypercube", "Grid"]
+        );
+    }
+}

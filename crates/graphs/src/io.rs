@@ -1,0 +1,116 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (whitespace-delimited, `#` comments):
+//!
+//! ```text
+//! # anything
+//! <num_nodes>
+//! <u> <v>
+//! <u> <v>
+//! …
+//! ```
+//!
+//! This exists so experiment configurations can pin down an exact graph
+//! (e.g. one sampled expander) across runs and across tools.
+
+use std::fmt::Write as _;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Serialize to the edge-list format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + g.num_edges() * 8);
+    let _ = writeln!(out, "# tlb-graphs edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    let _ = writeln!(out, "{}", g.num_nodes());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parse the edge-list format.
+///
+/// # Errors
+/// [`GraphError::InvalidParameters`] on malformed input; endpoint errors
+/// propagate from the builder.
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| GraphError::InvalidParameters("missing node-count line".into()))?
+        .parse()
+        .map_err(|e| GraphError::InvalidParameters(format!("bad node count: {e}")))?;
+    let mut b = GraphBuilder::new(n);
+    for (lineno, line) in lines.enumerate() {
+        let mut parts = line.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| GraphError::InvalidParameters(format!("edge line {lineno}: empty")))?
+            .parse()
+            .map_err(|e| GraphError::InvalidParameters(format!("edge line {lineno}: {e}")))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| {
+                GraphError::InvalidParameters(format!("edge line {lineno}: missing second endpoint"))
+            })?
+            .parse()
+            .map_err(|e| GraphError::InvalidParameters(format!("edge line {lineno}: {e}")))?;
+        if parts.next().is_some() {
+            return Err(GraphError::InvalidParameters(format!(
+                "edge line {lineno}: trailing tokens"
+            )));
+        }
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{hypercube, lollipop};
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        for g in [hypercube(4), lollipop(10, 3).unwrap()] {
+            let text = to_edge_list(&g);
+            let back = from_edge_list(&text).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let g = from_edge_list("# hi\n\n3\n# edge next\n0 1\n\n1 2\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("abc\n").is_err());
+        assert!(from_edge_list("3\n0\n").is_err());
+        assert!(from_edge_list("3\n0 1 2\n").is_err());
+        assert!(from_edge_list("3\n0 x\n").is_err());
+        // out-of-range endpoint propagates the builder error
+        assert!(matches!(
+            from_edge_list("2\n0 5\n"),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        // self-loop rejected
+        assert!(matches!(from_edge_list("2\n1 1\n"), Err(GraphError::SelfLoop(1))));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = crate::GraphBuilder::new(5).build();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cover times: the expected time for a walk to visit *every* node.
+//!
+//! Not used by the paper's bounds directly, but the natural third member
+//! of the walk-quantity family (mixing, hitting, cover) and a useful
+//! diagnostic: `C(G) ≤ H(G)·ln n` (Matthews) upper-bounds how long the
+//! tight-threshold protocol can take to touch every resource at least
+//! once.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use tlb_graphs::{Graph, NodeId};
+
+use crate::linalg::Matrix;
+use crate::transition::WalkKind;
+use crate::walker::Walker;
+
+/// Matthews' upper bound `C(G) ≤ H_max·H(n)` where `H(n) = Σ 1/k` is the
+/// harmonic number, computed from an exact all-pairs hitting matrix.
+pub fn matthews_upper_bound(hitting: &Matrix) -> f64 {
+    let n = hitting.rows();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut h_max = 0.0f64;
+    for u in 0..n {
+        for v in 0..n {
+            h_max = h_max.max(hitting[(u, v)]);
+        }
+    }
+    let harmonic: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    h_max * harmonic
+}
+
+/// Matthews' lower bound `C(G) ≥ min_{u≠v} H_{u,v} · H(n-1)`.
+pub fn matthews_lower_bound(hitting: &Matrix) -> f64 {
+    let n = hitting.rows();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut h_min = f64::INFINITY;
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                h_min = h_min.min(hitting[(u, v)]);
+            }
+        }
+    }
+    let harmonic: f64 = (1..n).map(|k| 1.0 / k as f64).sum();
+    h_min * harmonic
+}
+
+/// One sampled cover time: steps until all nodes are visited, starting at
+/// `start`; `None` if `cap` steps were not enough.
+pub fn cover_time_once(
+    g: &Graph,
+    kind: WalkKind,
+    start: NodeId,
+    cap: usize,
+    seed: u64,
+) -> Option<usize> {
+    let n = g.num_nodes();
+    let w = Walker::new(g, kind);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut visited = vec![false; n];
+    visited[start as usize] = true;
+    let mut remaining = n - 1;
+    if remaining == 0 {
+        return Some(0);
+    }
+    let mut v = start;
+    for t in 1..=cap {
+        v = w.step(v, &mut rng);
+        if !visited[v as usize] {
+            visited[v as usize] = true;
+            remaining -= 1;
+            if remaining == 0 {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// Monte-Carlo mean cover time from `start` over `trials` walks (capped
+/// walks contribute `cap`, biasing down; choose `cap` generously).
+pub fn cover_time_mc(
+    g: &Graph,
+    kind: WalkKind,
+    start: NodeId,
+    trials: usize,
+    cap: usize,
+    seed: u64,
+) -> f64 {
+    let total: u64 = (0..trials as u64)
+        .into_par_iter()
+        .map(|t| {
+            cover_time_once(g, kind, start, cap, seed ^ t.wrapping_mul(0x9E3779B97F4A7C15))
+                .unwrap_or(cap) as u64
+        })
+        .sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting::hitting_times_exact;
+    use crate::transition::TransitionMatrix;
+    use tlb_graphs::generators::{complete, cycle};
+
+    #[test]
+    fn complete_graph_cover_is_coupon_collector() {
+        // Max-degree walk on K_n moves to a uniform other node each step:
+        // cover time = coupon collector over n-1 coupons ≈ (n-1)·H(n-1).
+        let n = 12usize;
+        let g = complete(n);
+        let est = cover_time_mc(&g, WalkKind::MaxDegree, 0, 4000, 1_000_000, 3);
+        let expected: f64 = (n as f64 - 1.0) * (1..n).map(|k| 1.0 / k as f64).sum::<f64>();
+        assert!(
+            (est - expected).abs() / expected < 0.1,
+            "estimate {est} vs coupon-collector {expected}"
+        );
+    }
+
+    #[test]
+    fn matthews_bounds_sandwich_measured_cover() {
+        let g = cycle(9);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let h = hitting_times_exact(&p);
+        let lo = matthews_lower_bound(&h);
+        let hi = matthews_upper_bound(&h);
+        assert!(lo <= hi);
+        let est = cover_time_mc(&g, WalkKind::MaxDegree, 0, 3000, 1_000_000, 5);
+        // Cycle cover time is exactly n(n-1)/2 = 36 for n = 9.
+        assert!((est - 36.0).abs() < 4.0, "cycle cover estimate {est}");
+        assert!(est <= hi * 1.1, "estimate {est} above Matthews upper {hi}");
+        assert!(est >= lo * 0.9, "estimate {est} below Matthews lower {lo}");
+    }
+
+    #[test]
+    fn single_node_cover_is_zero() {
+        let g = tlb_graphs::GraphBuilder::new(1).build();
+        assert_eq!(cover_time_once(&g, WalkKind::MaxDegree, 0, 10, 1), Some(0));
+    }
+
+    #[test]
+    fn cap_reports_none() {
+        let g = cycle(50);
+        assert_eq!(cover_time_once(&g, WalkKind::MaxDegree, 0, 3, 1), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Hitting times `H_{u,v}` and the maximum hitting time
+//! `H(G) = max_{u,v} H_{u,v}` (paper Section 4.1).
+//!
+//! Exact values come from the fundamental matrix
+//! `Z = (I − P + Π)⁻¹` (Π has every row equal to π): for an irreducible
+//! chain, `H_{u,v} = (Z_{vv} − Z_{uv}) / π_v`. One `O(n³)` LU inversion
+//! yields all `n²` pairs, which is what the Table-1 sweep needs.
+//!
+//! For graphs too large to factor there is a rayon-parallel Monte-Carlo
+//! estimator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use tlb_graphs::{Graph, NodeId};
+
+use crate::linalg::{LuFactors, Matrix};
+use crate::transition::{TransitionMatrix, WalkKind};
+use crate::walker::Walker;
+
+/// All-pairs hitting times via the fundamental matrix.
+///
+/// Returns the row-major `n × n` matrix `H` with `H[(u, v)] = H_{u,v}`
+/// (zero diagonal).
+///
+/// # Panics
+/// If the chain is reducible (fundamental matrix undefined) — callers
+/// ensure connectivity; the paper's model assumes a connected `G`.
+pub fn hitting_times_exact(p: &TransitionMatrix) -> Matrix {
+    let n = p.num_states();
+    // Z = (I - P + Π)^{-1}. For the walks in this crate π is known
+    // analytically from the kind; Π row = π. This matrix is invertible for
+    // every irreducible chain, periodic or not.
+    let pi = match p.kind() {
+        WalkKind::MaxDegree | WalkKind::Lazy => vec![1.0 / n as f64; n],
+        WalkKind::Simple => {
+            // For simple walks callers must supply the graph-aware wrapper
+            // below; reconstructing π needs degrees. We approximate π from
+            // the matrix itself: π solves πP = π. Use power iteration on
+            // the transpose. Simple walks are only used in ablations on
+            // small graphs, so this is fine.
+            stationary_from_matrix(p.matrix())
+        }
+    };
+    hitting_times_from_parts(p.matrix(), &pi)
+}
+
+/// All-pairs hitting times when the stationary distribution is already
+/// known (avoids the π estimation for simple walks).
+pub fn hitting_times_exact_with_graph(p: &TransitionMatrix, g: &Graph) -> Matrix {
+    let pi = p.stationary(g);
+    hitting_times_from_parts(p.matrix(), &pi)
+}
+
+fn hitting_times_from_parts(pm: &Matrix, pi: &[f64]) -> Matrix {
+    let n = pm.rows();
+    let a = Matrix::from_fn(n, n, |i, j| {
+        let id = if i == j { 1.0 } else { 0.0 };
+        id - pm[(i, j)] + pi[j]
+    });
+    let lu = LuFactors::factor(&a).expect("I - P + Pi is invertible for irreducible chains");
+    let z = lu.inverse();
+    Matrix::from_fn(n, n, |u, v| {
+        if u == v {
+            0.0
+        } else {
+            (z[(v, v)] - z[(u, v)]) / pi[v]
+        }
+    })
+}
+
+/// Estimate π by iterating `x ← xP` from uniform until fixed point.
+fn stationary_from_matrix(pm: &Matrix) -> Vec<f64> {
+    let n = pm.rows();
+    let mut x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    for _ in 0..100_000 {
+        pm.vecmat_into(&x, &mut y);
+        let diff: f64 = x.iter().zip(y.iter()).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut x, &mut y);
+        if diff < 1e-14 {
+            break;
+        }
+    }
+    x
+}
+
+/// Exact `H_{u,v}` for one pair.
+pub fn hitting_time_exact(p: &TransitionMatrix, u: NodeId, v: NodeId) -> f64 {
+    hitting_times_exact(p)[(u as usize, v as usize)]
+}
+
+/// Exact maximum hitting time `H(G) = max_{u,v} H_{u,v}`.
+pub fn max_hitting_time_exact(p: &TransitionMatrix) -> f64 {
+    let h = hitting_times_exact(p);
+    let n = h.rows();
+    let mut best = 0.0f64;
+    for u in 0..n {
+        for v in 0..n {
+            best = best.max(h[(u, v)]);
+        }
+    }
+    best
+}
+
+/// Monte-Carlo estimate of `H_{u,v}`: mean walk length over `trials`
+/// independent walks, each capped at `cap` steps (capped walks contribute
+/// `cap`, biasing the estimate *down* — pick `cap` well above the expected
+/// value).
+pub fn hitting_time_mc(
+    g: &Graph,
+    kind: WalkKind,
+    u: NodeId,
+    v: NodeId,
+    trials: usize,
+    cap: usize,
+    seed: u64,
+) -> f64 {
+    let total: u64 = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let w = Walker::new(g, kind);
+            w.steps_to_hit(u, v, cap, &mut rng).unwrap_or(cap) as u64
+        })
+        .sum();
+    total as f64 / trials as f64
+}
+
+/// Monte-Carlo estimate of the *maximum* hitting time: evaluates
+/// `hitting_time_mc` over `pairs` sampled (plus heuristically extremal)
+/// pairs and returns the largest mean.
+pub fn max_hitting_time_mc(
+    g: &Graph,
+    kind: WalkKind,
+    pairs: usize,
+    trials_per_pair: usize,
+    cap: usize,
+    seed: u64,
+) -> f64 {
+    let n = g.num_nodes();
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs + 2);
+    // Heuristic extremes: hitting times are typically maximized into
+    // low-degree nodes from far away — include (max-degree -> min-degree).
+    let vmin = g.nodes().min_by_key(|&v| g.degree(v)).expect("n >= 2");
+    let vmax = g.nodes().max_by_key(|&v| g.degree(v)).expect("n >= 2");
+    if vmin != vmax {
+        candidates.push((vmax, vmin));
+        candidates.push((vmin, vmax));
+    }
+    while candidates.len() < pairs {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            candidates.push((u, v));
+        }
+    }
+    candidates
+        .into_iter()
+        .enumerate()
+        .map(|(i, (u, v))| hitting_time_mc(g, kind, u, v, trials_per_pair, cap, seed ^ (i as u64) << 32))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_graphs::generators::{complete, cycle, path, star};
+
+    #[test]
+    fn complete_graph_hitting_is_n_minus_one() {
+        for n in [4usize, 10, 25] {
+            let g = complete(n);
+            let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+            let h = max_hitting_time_exact(&p);
+            assert!((h - (n as f64 - 1.0)).abs() < 1e-8, "n={n}: {h}");
+        }
+    }
+
+    #[test]
+    fn cycle_hitting_matches_k_times_n_minus_k() {
+        // 2-regular: max-degree == simple walk; H_{u,v} = k(n-k) for
+        // distance k. Periodic chains are fine for hitting times.
+        let n = 8usize;
+        let g = cycle(n);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let h = hitting_times_exact(&p);
+        for k in 1..n {
+            let expected = (k * (n - k)) as f64;
+            assert!(
+                (h[(0, k)] - expected).abs() < 1e-7,
+                "k={k}: {} vs {expected}",
+                h[(0, k)]
+            );
+        }
+        assert!((max_hitting_time_exact(&p) - (n * n) as f64 / 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn star_hitting_closed_forms() {
+        // Max-degree walk on star(n): H(leaf→hub) = n−1,
+        // H(hub→leaf) = (n−1)², H(leaf→leaf′) = n(n−1).
+        let n = 7usize;
+        let g = star(n);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let h = hitting_times_exact(&p);
+        let f = (n - 1) as f64;
+        assert!((h[(1, 0)] - f).abs() < 1e-8);
+        assert!((h[(0, 1)] - f * f).abs() < 1e-8);
+        assert!((h[(1, 2)] - f * (f + 1.0)).abs() < 1e-8);
+        assert!((max_hitting_time_exact(&p) - f * (f + 1.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lazy_walk_doubles_hitting_times() {
+        let g = path(6);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let pl = TransitionMatrix::build(&g, WalkKind::Lazy);
+        let h = hitting_times_exact(&p);
+        let hl = hitting_times_exact(&pl);
+        for u in 0..6 {
+            for v in 0..6 {
+                if u != v {
+                    assert!(
+                        (hl[(u, v)] - 2.0 * h[(u, v)]).abs() < 1e-6,
+                        "({u},{v}): {} vs 2*{}",
+                        hl[(u, v)],
+                        h[(u, v)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_aware_simple_walk_hitting_on_path() {
+        // Simple walk on P_3: H(0→2) = 4 (classic gambler's ruin value).
+        let g = path(3);
+        let p = TransitionMatrix::build(&g, WalkKind::Simple);
+        let h = hitting_times_exact_with_graph(&p, &g);
+        assert!((h[(0, 2)] - 4.0).abs() < 1e-8, "{}", h[(0, 2)]);
+        assert!((h[(1, 2)] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mc_estimator_agrees_with_exact_on_complete_graph() {
+        let n = 12usize;
+        let g = complete(n);
+        let est = hitting_time_mc(&g, WalkKind::MaxDegree, 0, 5, 8000, 100_000, 42);
+        assert!((est - (n as f64 - 1.0)).abs() < 0.6, "estimate {est}");
+    }
+
+    #[test]
+    fn mc_max_estimator_finds_star_worst_pair() {
+        let n = 6usize;
+        let g = star(n);
+        let exact = {
+            let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+            max_hitting_time_exact(&p)
+        };
+        let est = max_hitting_time_mc(&g, WalkKind::MaxDegree, 10, 4000, 1_000_000, 7);
+        assert!((est - exact).abs() / exact < 0.15, "est {est} vs exact {exact}");
+    }
+}

@@ -1,0 +1,449 @@
+//! Minimal dense linear algebra: row-major matrices and LU with partial
+//! pivoting.
+//!
+//! The workspace deliberately implements its own solver instead of pulling
+//! a linear-algebra dependency: the only consumers are the exact walk
+//! quantities (spectral gap cross-checks and hitting times), whose systems
+//! are dense, symmetric-ish, and at most a few thousand rows.
+
+use std::fmt;
+
+/// Row-major dense `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a nested-closure initializer.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `y = self · x` (matrix–vector product).
+    ///
+    /// # Panics
+    /// If `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = self · x` writing into a caller-provided buffer (the hot loop of
+    /// power iteration and distribution evolution — no per-step allocation).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yi = acc;
+        }
+    }
+
+    /// `y = xᵀ · self` (vector–matrix product), the update used when
+    /// evolving a *distribution* `x(t+1) = x(t) P`.
+    pub fn vecmat_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "vecmat dimension mismatch");
+        assert_eq!(y.len(), self.cols, "vecmat output dimension mismatch");
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (yj, &pij) in y.iter_mut().zip(row.iter()) {
+                *yj += xi * pij;
+            }
+        }
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// If inner dimensions mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj ordering: stream over `other`'s rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Max-norm of `self - other`; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from LU factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (pivot below tolerance) at the given column.
+    Singular(usize),
+    /// Shape precondition violated.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular(k) => write!(f, "matrix singular at pivot column {k}"),
+            LinalgError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// LU factorization with partial pivoting: `P·A = L·U` stored compactly.
+///
+/// Factor once, then [`LuFactors::solve`] any number of right-hand sides —
+/// exactly the access pattern of the fundamental-matrix hitting-time
+/// computation (`n` solves against one factorization).
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L (strict lower, unit diagonal implicit) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the source row of output row `i`.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factor a square matrix.
+    ///
+    /// # Errors
+    /// [`LinalgError::Singular`] when a pivot falls below `1e-12` in
+    /// absolute value; [`LinalgError::ShapeMismatch`] for non-square input.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.rows != a.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "LU needs square matrix, got {}x{}",
+                a.rows, a.cols
+            )));
+        }
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut piv = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if best < 1e-12 {
+                return Err(LinalgError::Singular(k));
+            }
+            if piv != k {
+                perm.swap(k, piv);
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(piv, j)];
+                    lu[(piv, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows
+    }
+
+    /// Solve `A·x = b`.
+    ///
+    /// # Panics
+    /// If `b.len()` differs from the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution (L has implicit unit diagonal).
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc / row[i];
+        }
+        x
+    }
+
+    /// Invert the factored matrix (n solves against unit vectors).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.order();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let m = Matrix::identity(4);
+        let x = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64); // [[0,1,2],[3,4,5]]
+        let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64); // [[0,1],[2,3],[4,5]]
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_close(c[(0, 0)], 10.0, 1e-12);
+        assert_close(c[(0, 1)], 13.0, 1e-12);
+        assert_close(c[(1, 0)], 28.0, 1e-12);
+        assert_close(c[(1, 1)], 40.0, 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_small_system() {
+        // A = [[2,1],[1,3]], b = [5, 10] -> x = [1, 3]
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert_close(x[0], 1.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert_close(x[0], 3.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(matches!(LuFactors::factor(&a), Err(LinalgError::Singular(_))));
+    }
+
+    #[test]
+    fn lu_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(LuFactors::factor(&a), Err(LinalgError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            }
+        });
+        let lu = LuFactors::factor(&a).unwrap();
+        let inv = lu.inverse();
+        let prod = a.matmul(&inv);
+        let id = Matrix::identity(3);
+        assert!(prod.max_abs_diff(&id).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn vecmat_preserves_distribution_mass() {
+        // A stochastic matrix times a distribution stays a distribution.
+        let p = Matrix::from_fn(3, 3, |_i, _j| 1.0 / 3.0);
+        let x = vec![0.2, 0.3, 0.5];
+        let mut y = vec![0.0; 3];
+        p.vecmat_into(&x, &mut y);
+        assert_close(y.iter().sum::<f64>(), 1.0, 1e-12);
+        for v in y {
+            assert_close(v, 1.0 / 3.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        assert_close(norm2(&[3.0, 4.0]), 5.0, 1e-12);
+        assert_close(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0, 1e-12);
+    }
+
+    #[test]
+    fn random_system_residual_small() {
+        // Deterministic pseudo-random fill; check ||Ax - b|| tiny.
+        let n = 40;
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::from_fn(n, n, |_, _| next());
+        for i in 0..n {
+            a[(i, i)] += 4.0; // diagonally dominant => nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        let ax = a.matvec(&x);
+        let resid: f64 = ax.iter().zip(b.iter()).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        assert!(resid < 1e-9, "residual {resid}");
+    }
+}

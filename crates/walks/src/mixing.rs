@@ -1,0 +1,182 @@
+//! Mixing times: the paper's analytic Lemma-2 bound and empirical
+//! total-variation measurement.
+
+use tlb_graphs::Graph;
+
+use crate::spectral::{spectral_gap_power, SpectralGap};
+use crate::transition::TransitionMatrix;
+
+/// The paper's operational mixing time (Lemma 2, after Levin–Peres–Wilmer):
+/// `τ(G) = 4·ln n / µ`, rounded up. After `t ≥ τ` steps,
+/// `P^t_{ij} = π_j ± n⁻³`.
+///
+/// Returns `None` when the gap is (numerically) zero — the chain is
+/// periodic or disconnected and never mixes.
+pub fn lemma2_mixing_time(n: usize, gap: &SpectralGap) -> Option<u64> {
+    if n <= 1 {
+        return Some(0);
+    }
+    if gap.gap <= 1e-12 {
+        return None;
+    }
+    Some((4.0 * (n as f64).ln() / gap.gap).ceil() as u64)
+}
+
+/// Convenience: spectral gap (power iteration) + Lemma-2 bound in one call.
+pub fn mixing_time(p: &TransitionMatrix, g: &Graph) -> Option<u64> {
+    let gap = spectral_gap_power(p, g, 1e-12, 50_000);
+    lemma2_mixing_time(p.num_states(), &gap)
+}
+
+/// Total-variation distance `½·Σ|a_i − b_i|`.
+pub fn tv_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    0.5 * a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Evolution of the TV distance to stationarity from a point start:
+/// returns `d(t) = TV(δ_start · P^t, π)` for `t = 0..=t_max`.
+pub fn tv_curve(p: &TransitionMatrix, g: &Graph, start: usize, t_max: usize) -> Vec<f64> {
+    let n = p.num_states();
+    assert!(start < n, "start node out of range");
+    let pi = p.stationary(g);
+    let mut dist = vec![0.0; n];
+    dist[start] = 1.0;
+    let mut next = vec![0.0; n];
+    let mut curve = Vec::with_capacity(t_max + 1);
+    curve.push(tv_distance(&dist, &pi));
+    for _ in 0..t_max {
+        p.matrix().vecmat_into(&dist, &mut next);
+        std::mem::swap(&mut dist, &mut next);
+        curve.push(tv_distance(&dist, &pi));
+    }
+    curve
+}
+
+/// Empirical ε-mixing time: smallest `t` with
+/// `max_{sampled starts} TV(δ_s·P^t, π) ≤ eps`, or `None` if not reached by
+/// `t_max`.
+///
+/// All starts are used when `n ≤ 128`; otherwise a deterministic sample of
+/// 32 starts spread over the node range plus the extremal-degree nodes —
+/// enough to catch the worst start on every family this workspace sweeps.
+pub fn tv_mixing_time(
+    p: &TransitionMatrix,
+    g: &Graph,
+    eps: f64,
+    t_max: usize,
+) -> Option<usize> {
+    let n = p.num_states();
+    if n <= 1 {
+        return Some(0);
+    }
+    let starts: Vec<usize> = if n <= 128 {
+        (0..n).collect()
+    } else {
+        let mut s: Vec<usize> = (0..32).map(|i| i * n / 32).collect();
+        let min_deg = g.nodes().min_by_key(|&v| g.degree(v)).expect("n > 0") as usize;
+        let max_deg = g.nodes().max_by_key(|&v| g.degree(v)).expect("n > 0") as usize;
+        s.push(min_deg);
+        s.push(max_deg);
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+
+    let pi = p.stationary(g);
+    let mut dists: Vec<Vec<f64>> = starts
+        .iter()
+        .map(|&s| {
+            let mut d = vec![0.0; n];
+            d[s] = 1.0;
+            d
+        })
+        .collect();
+    let mut scratch = vec![0.0; n];
+
+    // Track which starts are still above eps; once below, TV is monotone
+    // non-increasing, so they can be dropped.
+    let mut active: Vec<usize> = (0..starts.len()).collect();
+    for t in 0..=t_max {
+        if t > 0 {
+            for &i in &active {
+                p.matrix().vecmat_into(&dists[i], &mut scratch);
+                std::mem::swap(&mut dists[i], &mut scratch);
+            }
+        }
+        active.retain(|&i| tv_distance(&dists[i], &pi) > eps);
+        if active.is_empty() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::WalkKind;
+    use tlb_graphs::generators::{complete, cycle, grid2d, path};
+
+    #[test]
+    fn tv_distance_basics() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(tv_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((tv_distance(&[0.7, 0.3], &[0.5, 0.5]) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complete_graph_mixes_in_constant_steps() {
+        let g = complete(64);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let t = tv_mixing_time(&p, &g, 0.01, 100).unwrap();
+        assert!(t <= 5, "K_64 should mix almost immediately, took {t}");
+    }
+
+    #[test]
+    fn tv_curve_is_monotone_nonincreasing() {
+        let g = path(12);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let curve = tv_curve(&p, &g, 0, 300);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "TV must not increase: {} -> {}", w[0], w[1]);
+        }
+        assert!(curve.last().unwrap() < &0.05);
+    }
+
+    #[test]
+    fn periodic_chain_never_mixes() {
+        // Even cycle, non-lazy walk: distribution oscillates between the
+        // two colour classes; TV to uniform stays >= 1/2.
+        let g = cycle(8);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        assert_eq!(tv_mixing_time(&p, &g, 0.1, 2000), None);
+        // The Lemma-2 bound agrees: zero gap => no mixing time.
+        assert_eq!(mixing_time(&p, &g), None);
+        // Lazy version mixes fine.
+        let pl = TransitionMatrix::build(&g, WalkKind::Lazy);
+        assert!(tv_mixing_time(&pl, &g, 0.1, 2000).is_some());
+    }
+
+    #[test]
+    fn lemma2_bound_dominates_empirical_mixing() {
+        // τ = 4 ln n / µ guarantees TV within n^-3; the empirical 1/4-mixing
+        // time must come earlier.
+        for g in [grid2d(4, 4), complete(16)] {
+            let p = TransitionMatrix::build(&g, WalkKind::Lazy);
+            let analytic = mixing_time(&p, &g).unwrap() as usize;
+            let empirical = tv_mixing_time(&p, &g, 0.25, analytic + 1).unwrap();
+            assert!(
+                empirical <= analytic,
+                "empirical {empirical} must be <= analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma2_handles_degenerate_sizes() {
+        let gap = SpectralGap { lambda2_abs: 0.5, gap: 0.5 };
+        assert_eq!(lemma2_mixing_time(1, &gap), Some(0));
+        assert!(lemma2_mixing_time(10, &gap).unwrap() >= 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Spectral gap `µ = 1 − max_{i≥2} |λ_i|` of walk transition matrices.
+//!
+//! Two engines:
+//!
+//! * [`spectral_gap_power`] — power iteration with deflation of the known
+//!   top eigenvector; `O(n²)` per iteration, scales to a few thousand nodes.
+//! * [`spectral_gap_jacobi`] — classical Jacobi sweeps computing the full
+//!   symmetric spectrum; exact reference for cross-checks on small graphs.
+//!
+//! Both operate on the *symmetrized* chain `S = D_π^{1/2} P D_π^{-1/2}`,
+//! which shares `P`'s eigenvalues for reversible chains. All walks in this
+//! workspace (max-degree, lazy, simple) are reversible.
+
+use tlb_graphs::Graph;
+
+use crate::linalg::{dot, norm2, Matrix};
+use crate::transition::TransitionMatrix;
+
+/// Result of a spectral-gap computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralGap {
+    /// `max_{i≥2} |λ_i|` — the modulus of the subdominant eigenvalue.
+    pub lambda2_abs: f64,
+    /// `µ = 1 − lambda2_abs`.
+    pub gap: f64,
+}
+
+/// Build the symmetrized matrix `S = D^{1/2} P D^{-1/2}` where
+/// `D = diag(π)`, together with its known top eigenvector `√π`.
+fn symmetrize(p: &TransitionMatrix, g: &Graph) -> (Matrix, Vec<f64>) {
+    let n = p.num_states();
+    let pi = p.stationary(g);
+    let sqrt_pi: Vec<f64> = pi.iter().map(|v| v.sqrt()).collect();
+    let m = p.matrix();
+    let s = Matrix::from_fn(n, n, |i, j| m[(i, j)] * sqrt_pi[i] / sqrt_pi[j]);
+    (s, sqrt_pi)
+}
+
+/// Spectral gap by power iteration with deflation.
+///
+/// Deflates the top eigenpair `(1, √π)` by re-orthogonalizing the iterate
+/// every step, so the iteration converges to the eigenvalue of largest
+/// modulus among the rest. Uses a fixed deterministic pseudo-random start
+/// so results are reproducible.
+pub fn spectral_gap_power(p: &TransitionMatrix, g: &Graph, tol: f64, max_iters: usize) -> SpectralGap {
+    let n = p.num_states();
+    if n <= 1 {
+        return SpectralGap { lambda2_abs: 0.0, gap: 1.0 };
+    }
+    let (s, top) = symmetrize(p, g);
+    let top_norm = norm2(&top);
+    let top_unit: Vec<f64> = top.iter().map(|v| v / top_norm).collect();
+
+    // Deterministic scrambled start vector.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    orthogonalize(&mut x, &top_unit);
+    let nx = norm2(&x).max(f64::MIN_POSITIVE);
+    x.iter_mut().for_each(|v| *v /= nx);
+
+    let mut y = vec![0.0; n];
+    let mut lambda_prev = 0.0f64;
+    for _ in 0..max_iters {
+        s.matvec_into(&x, &mut y);
+        orthogonalize(&mut y, &top_unit);
+        let ny = norm2(&y);
+        if ny < 1e-300 {
+            // The deflated operator annihilates the iterate: all remaining
+            // eigenvalues are (numerically) zero.
+            return SpectralGap { lambda2_abs: 0.0, gap: 1.0 };
+        }
+        y.iter_mut().for_each(|v| *v /= ny);
+        // Rayleigh quotient on the normalized iterate.
+        s.matvec_into(&y, &mut x);
+        let lambda = dot(&y, &x).abs();
+        std::mem::swap(&mut x, &mut y);
+        // x now holds S·y; renormalize it for the next round.
+        orthogonalize(&mut x, &top_unit);
+        let nx2 = norm2(&x).max(f64::MIN_POSITIVE);
+        x.iter_mut().for_each(|v| *v /= nx2);
+        if (lambda - lambda_prev).abs() < tol {
+            let l = lambda.min(1.0);
+            return SpectralGap { lambda2_abs: l, gap: 1.0 - l };
+        }
+        lambda_prev = lambda;
+    }
+    let l = lambda_prev.min(1.0);
+    SpectralGap { lambda2_abs: l, gap: 1.0 - l }
+}
+
+fn orthogonalize(x: &mut [f64], unit: &[f64]) {
+    let c = dot(x, unit);
+    for (xi, ui) in x.iter_mut().zip(unit.iter()) {
+        *xi -= c * ui;
+    }
+}
+
+/// All eigenvalues of a symmetric matrix by cyclic Jacobi rotations,
+/// descending order. `O(n³)` per sweep; intended for `n ≤ ~500`.
+pub fn symmetric_eigenvalues(a: &Matrix, sweeps: usize) -> Vec<f64> {
+    assert_eq!(a.rows(), a.cols(), "eigenvalues of non-square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    for _ in 0..sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    eigs.sort_by(|a, b| b.partial_cmp(a).expect("eigenvalues are finite"));
+    eigs
+}
+
+/// Exact spectral gap via the full Jacobi spectrum of the symmetrized
+/// chain. Small graphs only.
+pub fn spectral_gap_jacobi(p: &TransitionMatrix, g: &Graph) -> SpectralGap {
+    let n = p.num_states();
+    if n <= 1 {
+        return SpectralGap { lambda2_abs: 0.0, gap: 1.0 };
+    }
+    let (s, _) = symmetrize(p, g);
+    let eigs = symmetric_eigenvalues(&s, 30);
+    // eigs are descending; the top one is 1 (stationarity). The subdominant
+    // modulus is max(|second largest|, |most negative|).
+    let lambda2 = eigs[1];
+    let lambda_min = *eigs.last().expect("n >= 2");
+    let l = lambda2.abs().max(lambda_min.abs()).min(1.0);
+    SpectralGap { lambda2_abs: l, gap: 1.0 - l }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::WalkKind;
+    use tlb_graphs::generators::{complete, cycle, hypercube, star};
+
+    fn gap_both_ways(g: &tlb_graphs::Graph, kind: WalkKind) -> (SpectralGap, SpectralGap) {
+        let p = TransitionMatrix::build(g, kind);
+        let pw = spectral_gap_power(&p, g, 1e-12, 20_000);
+        let jc = spectral_gap_jacobi(&p, g);
+        (pw, jc)
+    }
+
+    #[test]
+    fn complete_graph_gap_matches_closed_form() {
+        // K_n max-degree walk: eigenvalues 1 and -1/(n-1); |λ2| = 1/(n-1).
+        for n in [4usize, 8, 16] {
+            let g = complete(n);
+            let (pw, jc) = gap_both_ways(&g, WalkKind::MaxDegree);
+            let expected = 1.0 / (n as f64 - 1.0);
+            assert!((pw.lambda2_abs - expected).abs() < 1e-8, "power n={n}: {}", pw.lambda2_abs);
+            assert!((jc.lambda2_abs - expected).abs() < 1e-8, "jacobi n={n}: {}", jc.lambda2_abs);
+        }
+    }
+
+    #[test]
+    fn cycle_gap_matches_closed_form() {
+        // C_n (2-regular, so max-degree == simple): eigenvalues cos(2πk/n).
+        // For even n, λ = -1 is present: gap 0 (periodic). For odd n the
+        // subdominant modulus is max(cos(2π/n), |cos(π(n-1)/n)|).
+        let n = 9usize;
+        let g = cycle(n);
+        let (pw, jc) = gap_both_ways(&g, WalkKind::MaxDegree);
+        let lam: f64 = (0..n)
+            .map(|k| (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos())
+            .filter(|l| (*l - 1.0).abs() > 1e-9)
+            .map(f64::abs)
+            .fold(0.0, f64::max);
+        assert!((jc.lambda2_abs - lam).abs() < 1e-8, "jacobi {} vs {lam}", jc.lambda2_abs);
+        assert!((pw.lambda2_abs - lam).abs() < 1e-6, "power {} vs {lam}", pw.lambda2_abs);
+    }
+
+    #[test]
+    fn even_cycle_is_periodic_until_lazy() {
+        let g = cycle(8);
+        let (_, jc) = gap_both_ways(&g, WalkKind::MaxDegree);
+        assert!(jc.gap < 1e-9, "non-lazy even cycle must have zero gap, got {}", jc.gap);
+        let (_, jc_lazy) = gap_both_ways(&g, WalkKind::Lazy);
+        assert!(jc_lazy.gap > 0.01, "lazy walk must be aperiodic");
+    }
+
+    #[test]
+    fn hypercube_gap_closed_form() {
+        // Q_d max-degree walk (regular, d = dim): eigenvalues 1 - 2k/d.
+        // Non-lazy: λ_min = -1 (bipartite) => gap 0. Lazy: (1+λ)/2 ∈ [0,1],
+        // subdominant = 1 - 1/d.
+        let dim = 4u32;
+        let g = hypercube(dim);
+        let p = TransitionMatrix::build(&g, WalkKind::Lazy);
+        let jc = spectral_gap_jacobi(&p, &g);
+        let expected = 1.0 - 1.0 / dim as f64;
+        assert!((jc.lambda2_abs - expected).abs() < 1e-8, "{}", jc.lambda2_abs);
+    }
+
+    #[test]
+    fn star_gap_positive_and_engines_agree() {
+        let g = star(12);
+        let (pw, jc) = gap_both_ways(&g, WalkKind::MaxDegree);
+        assert!(jc.gap > 0.0);
+        assert!((pw.lambda2_abs - jc.lambda2_abs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobi_on_diagonal_matrix_returns_diagonal() {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 0)] = 3.0;
+        m[(1, 1)] = -1.0;
+        m[(2, 2)] = 0.5;
+        let eigs = symmetric_eigenvalues(&m, 5);
+        assert_eq!(eigs, vec![3.0, 0.5, -1.0]);
+    }
+
+    #[test]
+    fn single_node_graph_has_full_gap() {
+        let g = tlb_graphs::GraphBuilder::new(1).build();
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let gap = spectral_gap_power(&p, &g, 1e-10, 100);
+        assert_eq!(gap.gap, 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Walk kinds and dense transition-matrix materialization.
+
+use serde::{Deserialize, Serialize};
+use tlb_graphs::{Graph, NodeId};
+
+use crate::linalg::Matrix;
+
+/// Which random walk drives task migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WalkKind {
+    /// The paper's walk (Section 4.1): `P_{ij} = 1/d` across each edge and
+    /// self-loop `P_{ii} = (d − d_i)/d`, with `d` the maximum degree. The
+    /// stationary distribution is uniform on every graph. Regular graphs
+    /// get no self-loops, so on bipartite regular graphs (grid, hypercube,
+    /// even cycle) this walk is periodic — Table-1 sweeps use [`WalkKind::Lazy`]
+    /// there, an ablation the paper's Lemma 2 implicitly allows (any walk
+    /// with uniform stationary distribution qualifies).
+    MaxDegree,
+    /// Lazy max-degree walk: stay with probability `1/2`, otherwise take a
+    /// max-degree step. Aperiodic on every graph; stationary distribution
+    /// still uniform; spectral gap halves.
+    Lazy,
+    /// Simple random walk: uniform over neighbours. Stationary distribution
+    /// `π_v ∝ deg(v)` — *not* uniform on irregular graphs; provided as a
+    /// baseline/ablation only.
+    Simple,
+}
+
+impl WalkKind {
+    /// Short stable identifier for CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WalkKind::MaxDegree => "max-degree",
+            WalkKind::Lazy => "lazy",
+            WalkKind::Simple => "simple",
+        }
+    }
+}
+
+/// A dense transition matrix for a walk on a specific graph, plus the
+/// metadata (kind, uniform-stationarity) downstream analyses need.
+#[derive(Debug, Clone)]
+pub struct TransitionMatrix {
+    matrix: Matrix,
+    kind: WalkKind,
+    n: usize,
+}
+
+impl TransitionMatrix {
+    /// Materialize the dense `n × n` transition matrix of `kind` on `g`.
+    ///
+    /// Dense materialization is only used by the exact analyses (spectral
+    /// gap, hitting times, TV mixing); simulation uses [`crate::Walker`]
+    /// which never touches a matrix.
+    ///
+    /// # Panics
+    /// On the empty graph, or on a graph with isolated nodes for
+    /// [`WalkKind::Simple`] (a simple walk is undefined there).
+    pub fn build(g: &Graph, kind: WalkKind) -> Self {
+        let n = g.num_nodes();
+        assert!(n > 0, "transition matrix of the empty graph is undefined");
+        let d = g.max_degree() as f64;
+        let mut m = Matrix::zeros(n, n);
+        match kind {
+            WalkKind::MaxDegree => {
+                if d == 0.0 {
+                    // Single node or edgeless graph: the walk stays put.
+                    for i in 0..n {
+                        m[(i, i)] = 1.0;
+                    }
+                } else {
+                    for v in 0..n as NodeId {
+                        let deg = g.degree(v) as f64;
+                        m[(v as usize, v as usize)] = (d - deg) / d;
+                        for &u in g.neighbors(v) {
+                            m[(v as usize, u as usize)] = 1.0 / d;
+                        }
+                    }
+                }
+            }
+            WalkKind::Lazy => {
+                let base = TransitionMatrix::build(g, WalkKind::MaxDegree);
+                for i in 0..n {
+                    for j in 0..n {
+                        m[(i, j)] = 0.5 * base.matrix[(i, j)] + if i == j { 0.5 } else { 0.0 };
+                    }
+                }
+            }
+            WalkKind::Simple => {
+                for v in 0..n as NodeId {
+                    let deg = g.degree(v);
+                    assert!(deg > 0, "simple walk undefined on isolated node {v}");
+                    let p = 1.0 / deg as f64;
+                    for &u in g.neighbors(v) {
+                        m[(v as usize, u as usize)] = p;
+                    }
+                }
+            }
+        }
+        TransitionMatrix { matrix: m, kind, n }
+    }
+
+    /// The dense matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Walk kind this matrix was built for.
+    pub fn kind(&self) -> WalkKind {
+        self.kind
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// The stationary distribution this walk is *supposed* to have:
+    /// uniform for max-degree/lazy, degree-proportional for simple.
+    pub fn stationary(&self, g: &Graph) -> Vec<f64> {
+        match self.kind {
+            WalkKind::MaxDegree | WalkKind::Lazy => vec![1.0 / self.n as f64; self.n],
+            WalkKind::Simple => {
+                let two_m = g.degree_sum() as f64;
+                g.nodes().map(|v| g.degree(v) as f64 / two_m).collect()
+            }
+        }
+    }
+
+    /// Verify row-stochasticity and (for max-degree/lazy) that the uniform
+    /// vector is stationary: returns the max violation.
+    pub fn stochasticity_error(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            let s: f64 = self.matrix.row(i).iter().sum();
+            worst = worst.max((s - 1.0).abs());
+            for &v in self.matrix.row(i) {
+                if v < 0.0 {
+                    worst = worst.max(-v);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Max violation of `πP = π` for the nominal stationary distribution.
+    pub fn stationarity_error(&self, g: &Graph) -> f64 {
+        let pi = self.stationary(g);
+        let mut out = vec![0.0; self.n];
+        self.matrix.vecmat_into(&pi, &mut out);
+        pi.iter().zip(out.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_graphs::generators::{complete, cycle, path, star};
+
+    #[test]
+    fn complete_graph_matrix_entries() {
+        let g = complete(4);
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let m = p.matrix();
+        for i in 0..4 {
+            assert_eq!(m[(i, i)], 0.0);
+            for j in 0..4 {
+                if i != j {
+                    assert!((m[(i, j)] - 1.0 / 3.0).abs() < 1e-15);
+                }
+            }
+        }
+        assert!(p.stochasticity_error() < 1e-12);
+        assert!(p.stationarity_error(&g) < 1e-12);
+    }
+
+    #[test]
+    fn star_gets_self_loops_on_leaves() {
+        let g = star(5); // hub degree 4, leaves degree 1, d = 4
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let m = p.matrix();
+        assert_eq!(m[(0, 0)], 0.0); // hub: no self-loop
+        for leaf in 1..5 {
+            assert!((m[(leaf, leaf)] - 0.75).abs() < 1e-15);
+            assert!((m[(leaf, 0)] - 0.25).abs() < 1e-15);
+        }
+        // Uniform must be stationary even though the graph is irregular.
+        assert!(p.stationarity_error(&g) < 1e-12);
+    }
+
+    #[test]
+    fn lazy_walk_halves_motion() {
+        let g = cycle(6);
+        let md = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        let lz = TransitionMatrix::build(&g, WalkKind::Lazy);
+        assert!((lz.matrix()[(0, 0)] - 0.5).abs() < 1e-15);
+        assert!((lz.matrix()[(0, 1)] - 0.5 * md.matrix()[(0, 1)]).abs() < 1e-15);
+        assert!(lz.stochasticity_error() < 1e-12);
+        assert!(lz.stationarity_error(&g) < 1e-12);
+    }
+
+    #[test]
+    fn simple_walk_stationary_is_degree_proportional() {
+        let g = path(3); // degrees 1, 2, 1
+        let p = TransitionMatrix::build(&g, WalkKind::Simple);
+        let pi = p.stationary(&g);
+        assert!((pi[0] - 0.25).abs() < 1e-15);
+        assert!((pi[1] - 0.5).abs() < 1e-15);
+        assert!(p.stationarity_error(&g) < 1e-12);
+        // But uniform is NOT stationary for the simple walk on a path.
+        let uni = vec![1.0 / 3.0; 3];
+        let mut out = vec![0.0; 3];
+        p.matrix().vecmat_into(&uni, &mut out);
+        assert!((out[1] - uni[1]).abs() > 0.1);
+    }
+
+    #[test]
+    fn edgeless_graph_walk_stays_put() {
+        let g = tlb_graphs::GraphBuilder::new(3).build();
+        let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+        assert_eq!(p.matrix()[(0, 0)], 1.0);
+        assert!(p.stochasticity_error() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(WalkKind::MaxDegree.label(), "max-degree");
+        assert_eq!(WalkKind::Lazy.label(), "lazy");
+        assert_eq!(WalkKind::Simple.label(), "simple");
+    }
+}

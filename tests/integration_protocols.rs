@@ -1,0 +1,185 @@
+//! Cross-crate integration: protocols (tlb-core) on generated graphs
+//! (tlb-graphs), checked against walk theory (tlb-walks) and the paper's
+//! analytic bounds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::drift;
+use tlb_core::placement::Placement;
+use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::task::TaskSet;
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+use tlb_experiments::harness;
+use tlb_experiments::stats::Summary;
+use tlb_graphs::generators;
+use tlb_walks::{hitting, mixing, spectral, TransitionMatrix, WalkKind};
+
+/// Theorem 3 numerically: on the complete graph (τ = O(1)), the measured
+/// resource-controlled balancing time must sit below the theorem's
+/// explicit step count with c = 1 for the vast majority of trials.
+#[test]
+fn resource_controlled_within_theorem3_budget_on_complete_graph() {
+    let n = 100;
+    let g = generators::complete(n);
+    let m = 1000;
+    let tasks = TaskSet::uniform(m);
+    let eps = 0.2;
+    let cfg = ResourceControlledConfig {
+        threshold: ThresholdPolicy::AboveAverage { epsilon: eps },
+        ..Default::default()
+    };
+
+    let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+    let gap = spectral::spectral_gap_power(&p, &g, 1e-10, 100_000);
+    let tau = mixing::lemma2_mixing_time(n, &gap).unwrap() as f64;
+    let budget = drift::theorem3_steps(1.0, eps, tau, m);
+
+    let rounds = harness::run_trials(50, 31337, |s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+    });
+    let s = Summary::of(&rounds);
+    assert!(
+        s.max <= budget,
+        "worst measured rounds {} exceeded the Theorem-3 budget {budget:.0}",
+        s.max
+    );
+    assert!(s.mean >= 1.0);
+}
+
+/// Theorem 7 numerically: tight-threshold balancing on the lollipop stays
+/// below the explicit drift bound 8·H(G)·(1 + ln W).
+#[test]
+fn resource_controlled_within_theorem7_budget_on_lollipop() {
+    let n = 24;
+    let k = 2;
+    let g = generators::lollipop(n, k).unwrap();
+    let m = n * 6;
+    let tasks = TaskSet::uniform(m);
+    let cfg = ResourceControlledConfig {
+        threshold: ThresholdPolicy::TightResource,
+        ..Default::default()
+    };
+
+    let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+    let h = hitting::max_hitting_time_exact(&p);
+    let budget = drift::theorem7_bound(h, tasks.total_weight());
+
+    let rounds = harness::run_trials(30, 99, |s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+    });
+    let s = Summary::of(&rounds);
+    assert!(
+        s.max <= budget,
+        "worst measured rounds {} exceeded the Theorem-7 budget {budget:.0}",
+        s.max
+    );
+}
+
+/// The weighted user-controlled protocol shows the paper's headline
+/// `w_max/w_min` scaling: doubling the heavy weight increases the mean
+/// balancing time, and the time stays below the Theorem-11 bound.
+#[test]
+fn user_controlled_heterogeneity_scaling() {
+    let n = 200;
+    let m = 1000;
+    let cfg = UserControlledConfig::default();
+    let mean_rounds = |w_max: f64, seed: u64| -> f64 {
+        let spec = WeightSpec::figure2(m, w_max);
+        let rounds = harness::run_trials(40, seed, |s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let tasks = spec.generate(&mut rng);
+            run_user_controlled(n, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+        });
+        Summary::of(&rounds).mean
+    };
+    let r1 = mean_rounds(1.0, 1);
+    let r64 = mean_rounds(64.0, 2);
+    let r256 = mean_rounds(256.0, 3);
+    assert!(r64 > r1, "w_max=64 ({r64}) should be slower than uniform ({r1})");
+    assert!(r256 > r64, "w_max=256 ({r256}) should be slower than w_max=64 ({r64})");
+    assert!(r256 <= drift::theorem11_bound(0.2, 1.0, 256.0, 1.0, m));
+}
+
+/// Resource-controlled balancing time is nearly weight-independent
+/// (Theorem 3's bound has no w_max factor) — contrast with the
+/// user-controlled protocol where heterogeneity bites.
+#[test]
+fn resource_controlled_nearly_weight_independent() {
+    let g = generators::complete(200);
+    let m = 1000;
+    let cfg = ResourceControlledConfig::default();
+    let mean_rounds = |spec: WeightSpec, seed: u64| -> f64 {
+        let rounds = harness::run_trials(40, seed, |s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let tasks = spec.generate(&mut rng);
+            run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds
+                as f64
+        });
+        Summary::of(&rounds).mean
+    };
+    let uniform = mean_rounds(WeightSpec::Uniform { m }, 10);
+    let heavy = mean_rounds(WeightSpec::figure2(m, 64.0), 11);
+    // Within a small constant factor — not the ~linear blow-up of the
+    // user-controlled protocol.
+    assert!(
+        heavy < 3.0 * uniform + 5.0,
+        "resource-controlled should not scale with w_max: uniform {uniform}, heavy {heavy}"
+    );
+}
+
+/// Both protocols agree with the centralized first-fit baseline on
+/// feasibility: the decentralized final loads satisfy the same threshold
+/// the proper assignment guarantees.
+#[test]
+fn decentralized_outcomes_match_centralized_feasibility() {
+    let n = 50;
+    let mut rng = SmallRng::seed_from_u64(4);
+    let tasks = WeightSpec::ParetoTruncated { m: 500, alpha: 1.5, cap: 20.0 }.generate(&mut rng);
+
+    // Centralized: first fit is proper (max load <= W/n + w_max).
+    let assignment = tlb_core::assignment::first_fit(&tasks, n);
+    assert!(tlb_core::assignment::is_proper(&tasks, &assignment, n));
+
+    // Decentralized user-controlled with the tight threshold reaches a
+    // state at most w_max above the proper bound guarantee.
+    let cfg = UserControlledConfig {
+        threshold: ThresholdPolicy::Tight,
+        ..Default::default()
+    };
+    let out = run_user_controlled(n, &tasks, Placement::AllOnOne(0), &cfg, &mut rng);
+    assert!(out.balanced());
+    let proper_bound = tasks.total_weight() / n as f64 + tasks.w_max();
+    assert!(out.final_max_load <= proper_bound + 1e-9);
+}
+
+/// Seed determinism across the whole stack: graph generation, workload
+/// generation, and both protocol runs reproduce bit-identically.
+#[test]
+fn end_to_end_determinism() {
+    let run = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::random_regular(40, 4, &mut rng).unwrap();
+        let tasks = WeightSpec::Exponential { m: 300, mean: 2.5 }.generate(&mut rng);
+        let r = run_resource_controlled(
+            &g,
+            &tasks,
+            Placement::UniformRandom,
+            &ResourceControlledConfig::default(),
+            &mut rng,
+        );
+        let u = run_user_controlled(
+            40,
+            &tasks,
+            Placement::UniformRandom,
+            &UserControlledConfig::default(),
+            &mut rng,
+        );
+        (r.rounds, r.migrations, u.rounds, u.migrations, r.final_max_load, u.final_max_load)
+    };
+    assert_eq!(run(12345), run(12345));
+    assert_ne!(run(12345), run(54321));
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration: the walk-theory substrate against closed forms
+//! and against itself (spectral vs empirical, exact vs Monte Carlo) on the
+//! generated families.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_graphs::generators::{self, Family};
+use tlb_walks::{hitting, mixing, spectral, TransitionMatrix, WalkKind};
+
+/// The two spectral engines agree on every Table-1 family at small size.
+#[test]
+fn power_iteration_agrees_with_jacobi_on_all_families() {
+    for family in Family::ALL {
+        let (g, kind) = tlb_experiments::figures::table1::build_family(family, 48, 7);
+        let p = TransitionMatrix::build(&g, kind);
+        let pw = spectral::spectral_gap_power(&p, &g, 1e-12, 50_000);
+        let jc = spectral::spectral_gap_jacobi(&p, &g);
+        assert!(
+            (pw.lambda2_abs - jc.lambda2_abs).abs() < 1e-5,
+            "{}: power {} vs jacobi {}",
+            family.name(),
+            pw.lambda2_abs,
+            jc.lambda2_abs
+        );
+    }
+}
+
+/// Lemma 2 is honored empirically: after the analytic mixing time, the
+/// worst-start TV distance is within the n^{-3} guarantee (we check the
+/// much weaker 1/4 to keep the test cheap and robust).
+#[test]
+fn analytic_mixing_time_suffices_for_tv_quarter() {
+    for family in Family::ALL {
+        let (g, kind) = tlb_experiments::figures::table1::build_family(family, 36, 3);
+        let p = TransitionMatrix::build(&g, kind);
+        let tau = mixing::mixing_time(&p, &g).expect("aperiodic by construction") as usize;
+        let t_emp = mixing::tv_mixing_time(&p, &g, 0.25, tau + 1)
+            .unwrap_or_else(|| panic!("{} did not reach TV 1/4 by tau", family.name()));
+        assert!(t_emp <= tau, "{}: empirical {} > analytic {}", family.name(), t_emp, tau);
+    }
+}
+
+/// Monte-Carlo hitting estimates track the exact fundamental-matrix values
+/// on irregular graphs (star: the worst pair is leaf -> other leaf).
+#[test]
+fn monte_carlo_hitting_tracks_exact_on_lollipop() {
+    let g = generators::lollipop(16, 3).unwrap();
+    let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+    let exact = hitting::max_hitting_time_exact(&p);
+    let mc = hitting::max_hitting_time_mc(&g, WalkKind::MaxDegree, 12, 1500, 1_000_000, 13);
+    assert!(
+        (mc - exact).abs() / exact < 0.2,
+        "MC {mc} vs exact {exact} disagree by more than 20%"
+    );
+}
+
+/// Hitting time Θ(n²/k) for the lollipop: halving slope in log-log between
+/// consecutive k values is ~-1.
+#[test]
+fn lollipop_hitting_scales_inverse_in_k() {
+    let n = 32;
+    let hs: Vec<f64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| {
+            let g = generators::lollipop(n, k).unwrap();
+            let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+            hitting::max_hitting_time_exact(&p)
+        })
+        .collect();
+    for w in hs.windows(2) {
+        let ratio = w[0] / w[1];
+        assert!(
+            (1.4..=2.8).contains(&ratio),
+            "doubling k should roughly halve H: ratio {ratio}, series {hs:?}"
+        );
+    }
+}
+
+/// The complete graph's walk quantities match closed forms end-to-end
+/// through the public API (gap 1 − 1/(n−1), H = n − 1, τ_TV ≈ 1).
+#[test]
+fn complete_graph_closed_forms() {
+    let n = 64;
+    let g = generators::complete(n);
+    let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+    let gap = spectral::spectral_gap_power(&p, &g, 1e-12, 50_000);
+    assert!((gap.gap - (1.0 - 1.0 / (n as f64 - 1.0))).abs() < 1e-8);
+    assert!((hitting::max_hitting_time_exact(&p) - (n as f64 - 1.0)).abs() < 1e-6);
+    assert!(mixing::tv_mixing_time(&p, &g, 0.25, 10).unwrap() <= 2);
+}
+
+/// Hypercube lazy-walk spectral gap matches the closed form (1 − 1/d)/1
+/// subdominant modulus — i.e. gap = 1/d — and the hitting time is Θ(n).
+#[test]
+fn hypercube_closed_forms() {
+    let dim = 6u32;
+    let g = generators::hypercube(dim);
+    let p = TransitionMatrix::build(&g, WalkKind::Lazy);
+    let gap = spectral::spectral_gap_jacobi(&p, &g);
+    assert!((gap.gap - 1.0 / dim as f64).abs() < 1e-8, "gap {}", gap.gap);
+    let h = hitting::max_hitting_time_exact(&p);
+    let n = g.num_nodes() as f64;
+    // Lazy walk doubles the simple walk's hitting time; H_simple ~ n for
+    // the hypercube's antipodal pair, so expect ~2n within a factor.
+    assert!(h > n && h < 6.0 * n, "hypercube H = {h}, n = {n}");
+}
+
+/// Walk sampler statistics match the matrix semantics on an irregular
+/// graph through the full stack (graph -> walker -> empirical frequency
+/// vs graph -> matrix -> entry).
+#[test]
+fn walker_frequencies_match_matrix_on_erdos_renyi() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = generators::erdos_renyi_connected(30, 0.25, 50, &mut rng).unwrap();
+    let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
+    let w = tlb_walks::Walker::new(&g, WalkKind::MaxDegree);
+    let v = 5u32;
+    let trials = 60_000;
+    let mut counts = vec![0usize; 30];
+    for _ in 0..trials {
+        counts[w.step(v, &mut rng) as usize] += 1;
+    }
+    for (j, &c) in counts.iter().enumerate() {
+        let expected = p.matrix()[(v as usize, j)];
+        let freq = c as f64 / trials as f64;
+        assert!(
+            (freq - expected).abs() < 0.015,
+            "step {v}->{j}: frequency {freq} vs matrix {expected}"
+        );
+    }
+}

@@ -66,10 +66,7 @@ mod tests {
     fn two_choice_beats_one_choice() {
         let g1 = mean_gap(20_000, 100, 1, 10, 11);
         let g2 = mean_gap(20_000, 100, 2, 10, 22);
-        assert!(
-            g2 < g1 / 3.0,
-            "two-choice gap {g2} should be far below one-choice gap {g1}"
-        );
+        assert!(g2 < g1 / 3.0, "two-choice gap {g2} should be far below one-choice gap {g1}");
     }
 
     #[test]
@@ -77,10 +74,7 @@ mod tests {
         // Berenbrink et al. [10]: gap does not grow with m.
         let small = mean_gap(5_000, 100, 2, 15, 33);
         let large = mean_gap(50_000, 100, 2, 15, 44);
-        assert!(
-            large < small + 2.0,
-            "two-choice gap grew with m: {small} -> {large}"
-        );
+        assert!(large < small + 2.0, "two-choice gap grew with m: {small} -> {large}");
     }
 
     #[test]
@@ -88,10 +82,7 @@ mod tests {
         // One-choice gap ~ sqrt(m ln n / n): x10 m => ~x3 gap.
         let small = mean_gap(5_000, 100, 1, 15, 55);
         let large = mean_gap(50_000, 100, 1, 15, 66);
-        assert!(
-            large > 2.0 * small,
-            "one-choice gap should grow ~sqrt(m): {small} -> {large}"
-        );
+        assert!(large > 2.0 * small, "one-choice gap should grow ~sqrt(m): {small} -> {large}");
     }
 
     #[test]
@@ -99,8 +90,8 @@ mod tests {
         // Talwar–Wieder [9]: finite second moment => m-independent gap.
         let gap_at = |m: usize, seed: u64| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let tasks = tlb_core::weights::WeightSpec::Exponential { m, mean: 2.0 }
-                .generate(&mut rng);
+            let tasks =
+                tlb_core::weights::WeightSpec::Exponential { m, mean: 2.0 }.generate(&mut rng);
             (0..10)
                 .map(|t| {
                     let mut r = SmallRng::seed_from_u64(seed + 100 + t);

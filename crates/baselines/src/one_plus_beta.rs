@@ -70,10 +70,7 @@ mod tests {
     fn gap_independent_of_m_for_fixed_beta() {
         let small = mean_gap(5_000, 100, 0.5, 12, 3);
         let large = mean_gap(50_000, 100, 0.5, 12, 4);
-        assert!(
-            large < 2.0 * small + 3.0,
-            "(1+beta) gap grew with m: {small} -> {large}"
-        );
+        assert!(large < 2.0 * small + 3.0, "(1+beta) gap grew with m: {small} -> {large}");
     }
 
     #[test]

@@ -132,10 +132,7 @@ mod tests {
         for w in s.windows(2) {
             assert!(w[1] <= w[0], "survivors must not increase: {s:?}");
         }
-        assert!(
-            *s.last().unwrap() < 5000 / 20,
-            "six rounds should place almost everything: {s:?}"
-        );
+        assert!(*s.last().unwrap() < 5000 / 20, "six rounds should place almost everything: {s:?}");
     }
 
     #[test]
@@ -155,10 +152,7 @@ mod tests {
         };
         let one = mean_max(1, 10);
         let four = mean_max(4, 20);
-        assert!(
-            four < one,
-            "4 rounds ({four}) should beat 1 round ({one}) on max load"
-        );
+        assert!(four < one, "4 rounds ({four}) should beat 1 round ({one}) on max load");
     }
 
     #[test]
@@ -174,12 +168,9 @@ mod tests {
     #[test]
     fn weighted_balls_respect_threshold_until_forcing() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let tasks = tlb_core::weights::WeightSpec::ParetoTruncated {
-            m: 2000,
-            alpha: 1.5,
-            cap: 16.0,
-        }
-        .generate(&mut rng);
+        let tasks =
+            tlb_core::weights::WeightSpec::ParetoTruncated { m: 2000, alpha: 1.5, cap: 16.0 }
+                .generate(&mut rng);
         let t = tasks.total_weight() / 100.0 + 2.0 * tasks.w_max();
         let out = allocate(&tasks, 100, &[t, t, t, t, t, t, t, t], &mut rng);
         if out.forced == 0 {

@@ -104,11 +104,7 @@ mod tests {
         let out = allocate(&tasks, n, 1.0, 50, &mut rng);
         assert!(out.allocation().max_load() <= (m / n) as f64 + 2.0);
         // O(m) choices: allow a small constant factor.
-        assert!(
-            out.choices < 6 * m as u64,
-            "choices {} should be O(m)",
-            out.choices
-        );
+        assert!(out.choices < 6 * m as u64, "choices {} should be O(m)", out.choices);
         assert_eq!(out.escalations, 0, "slack 1 should never escalate at these densities");
     }
 

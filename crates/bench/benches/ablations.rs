@@ -26,15 +26,19 @@ fn bench_alpha(c: &mut Criterion) {
     let spec = WeightSpec::figure2(1000, 16.0);
     for &alpha in &[0.01f64, 0.1, 1.0] {
         let cfg = UserControlledConfig { alpha, ..Default::default() };
-        group.bench_with_input(BenchmarkId::from_parameter(format!("alpha={alpha}")), &cfg, |b, cfg| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let tasks = spec.generate(&mut rng);
-                run_user_controlled(n, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha={alpha}")),
+            &cfg,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let tasks = spec.generate(&mut rng);
+                    run_user_controlled(n, &tasks, Placement::AllOnOne(0), cfg, &mut rng).rounds
+                })
+            },
+        );
     }
     group.finish();
 }

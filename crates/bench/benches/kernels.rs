@@ -79,18 +79,14 @@ fn bench_linalg(c: &mut Criterion) {
             b.iter(|| p.matrix().matvec_into(&x, &mut y))
         });
         let a = Matrix::from_fn(n, n, |i, j| if i == j { 4.0 } else { 1.0 / (1 + i + j) as f64 });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("lu_factor_{n}")), &a, |b, a| {
-            b.iter(|| LuFactors::factor(a).unwrap().order())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("lu_factor_{n}")),
+            &a,
+            |b, a| b.iter(|| LuFactors::factor(a).unwrap().order()),
+        );
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_walker_step,
-    bench_stack_ops,
-    bench_diffusion_step,
-    bench_linalg
-);
+criterion_group!(benches, bench_walker_step, bench_stack_ops, bench_diffusion_step, bench_linalg);
 criterion_main!(benches);

@@ -68,7 +68,12 @@ impl ThresholdVector {
     }
 
     /// Uniform thresholds (degenerates to the paper's model).
-    pub fn uniform(n: usize, threshold: f64, total_weight: f64, w_max: f64) -> Result<Self, String> {
+    pub fn uniform(
+        n: usize,
+        threshold: f64,
+        total_weight: f64,
+        w_max: f64,
+    ) -> Result<Self, String> {
         ThresholdVector::new(vec![threshold; n], total_weight, w_max)
     }
 
@@ -150,8 +155,9 @@ pub fn run_user_controlled_nonuniform<R: Rng + ?Sized>(
         stacks[loc as usize].push(i as TaskId, weights[i]);
     }
 
-    let balanced =
-        |stacks: &[ResourceStack]| stacks.iter().enumerate().all(|(r, s)| !s.is_overloaded(thresholds.of(r)));
+    let balanced = |stacks: &[ResourceStack]| {
+        stacks.iter().enumerate().all(|(r, s)| !s.is_overloaded(thresholds.of(r)))
+    };
 
     let mut migrations = 0u64;
     let mut migrants: Vec<TaskId> = Vec::new();
@@ -221,7 +227,8 @@ mod tests {
         let mut speeds = vec![4.0; 3];
         speeds.extend(std::iter::repeat_n(1.0, 27));
         let tasks = TaskSet::new((0..600).map(|i| 1.0 + (i % 5) as f64).collect::<Vec<_>>());
-        let tv = ThresholdVector::speed_proportional(&speeds, tasks.total_weight(), tasks.w_max(), 0.2);
+        let tv =
+            ThresholdVector::speed_proportional(&speeds, tasks.total_weight(), tasks.w_max(), 0.2);
         let out = run_user_controlled_nonuniform(
             &tasks,
             &tv,

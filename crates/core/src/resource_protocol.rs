@@ -236,9 +236,8 @@ mod tests {
     fn potential_series_is_monotone_nonincreasing() {
         // Observation 4: the resource-controlled potential never increases.
         let g = torus2d(5, 5);
-        let tasks = TaskSet::new(
-            (0..120).map(|i| if i % 11 == 0 { 7.0 } else { 1.0 }).collect::<Vec<_>>(),
-        );
+        let tasks =
+            TaskSet::new((0..120).map(|i| if i % 11 == 0 { 7.0 } else { 1.0 }).collect::<Vec<_>>());
         let cfg = ResourceControlledConfig { track_potential: true, ..Default::default() };
         let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(12), &cfg, &mut rng(5));
         assert!(out.balanced());

@@ -51,7 +51,8 @@ impl RoundTrace {
         weights: &[f64],
         migrations: u64,
     ) {
-        self.records.push(Self::snapshot(round, stacks, self.threshold, weights, migrations));
+        self.records
+            .push(Self::snapshot(round, stacks, self.threshold, weights, migrations));
     }
 
     fn snapshot(

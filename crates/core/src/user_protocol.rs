@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn tight_threshold_balances() {
         let tasks = TaskSet::uniform(200);
-        let cfg = UserControlledConfig {
-            threshold: ThresholdPolicy::Tight,
-            ..Default::default()
-        };
+        let cfg = UserControlledConfig { threshold: ThresholdPolicy::Tight, ..Default::default() };
         let out = run_user_controlled(20, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(3));
         assert!(out.balanced());
         assert!(out.final_max_load <= out.threshold);
@@ -251,10 +248,7 @@ mod tests {
         };
         let light = mean_rounds(1.0, 100);
         let heavy = mean_rounds(32.0, 200);
-        assert!(
-            heavy > light,
-            "heterogeneity should slow balancing: light {light}, heavy {heavy}"
-        );
+        assert!(heavy > light, "heterogeneity should slow balancing: light {light}, heavy {heavy}");
     }
 
     #[test]

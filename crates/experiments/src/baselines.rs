@@ -63,8 +63,12 @@ mod tests {
         let small = user_uniform_baseline(50, 200, &cfg, 20, 1);
         let large = user_uniform_baseline(50, 2000, &cfg, 20, 2);
         // 10x more tasks should cost far less than 10x more rounds.
-        assert!(large.mean < small.mean * 5.0 + 10.0,
-            "rounds grew too fast: {} -> {}", small.mean, large.mean);
+        assert!(
+            large.mean < small.mean * 5.0 + 10.0,
+            "rounds grew too fast: {} -> {}",
+            small.mean,
+            large.mean
+        );
     }
 
     #[test]

@@ -6,11 +6,8 @@ use tlb_experiments::figures::related_work;
 
 fn main() {
     let opts = Options::from_env();
-    let mut cfg = if opts.quick {
-        related_work::Config::quick()
-    } else {
-        related_work::Config::default()
-    };
+    let mut cfg =
+        if opts.quick { related_work::Config::quick() } else { related_work::Config::default() };
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }

@@ -67,9 +67,7 @@ impl Config {
         let lo = analysis_alpha(self.epsilon);
         // Geometric ladder lo … 1.0 in 6 steps.
         let steps = 6;
-        (0..=steps)
-            .map(|i| lo * (1.0 / lo).powf(i as f64 / steps as f64))
-            .collect()
+        (0..=steps).map(|i| lo * (1.0 / lo).powf(i as f64 / steps as f64)).collect()
     }
 }
 
@@ -138,7 +136,8 @@ mod tests {
     fn alpha_times_rounds_is_stable_within_factor() {
         // E[T] ∝ 1/α means α·E[T] varies slowly; allow a loose factor
         // since small-α runs have extra constant overhead.
-        let cfg = Config { alphas: vec![0.2, 0.5, 1.0], trials: 25, n: 60, m: 300, ..Config::quick() };
+        let cfg =
+            Config { alphas: vec![0.2, 0.5, 1.0], trials: 25, n: 60, m: 300, ..Config::quick() };
         let t = run(&cfg);
         let prods = t.column_f64("alpha_x_rounds");
         let max = prods.iter().fold(f64::MIN, |a, &b| a.max(b));

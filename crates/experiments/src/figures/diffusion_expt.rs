@@ -94,11 +94,7 @@ mod tests {
         let t = run(&cfg);
         assert_eq!(t.rows.len(), Family::ALL.len());
         for (row, steps) in t.rows.iter().zip(t.column_f64("steps_to_tol")) {
-            assert!(
-                (steps as usize) < cfg.max_steps,
-                "family {} did not converge",
-                row[0]
-            );
+            assert!((steps as usize) < cfg.max_steps, "family {} did not converge", row[0]);
         }
     }
 

@@ -99,8 +99,8 @@ pub fn run(cfg: &Config) -> Table {
                 |s| {
                     let mut rng = SmallRng::seed_from_u64(s);
                     let tasks = spec.generate(&mut rng);
-                    run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng)
-                        .rounds as f64
+                    run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng).rounds
+                        as f64
                 },
             );
             let s = Summary::of(&samples);

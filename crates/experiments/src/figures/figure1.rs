@@ -76,11 +76,12 @@ pub fn point(cfg: &Config, w_total: f64, k: usize) -> Summary {
         ..Default::default()
     };
     let n = cfg.n;
-    let samples = harness::run_trials(cfg.trials, cfg.seed ^ (w_total as u64) ^ ((k as u64) << 32), |s| {
-        let mut rng = SmallRng::seed_from_u64(s);
-        let tasks = spec.generate(&mut rng);
-        run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng).rounds as f64
-    });
+    let samples =
+        harness::run_trials(cfg.trials, cfg.seed ^ (w_total as u64) ^ ((k as u64) << 32), |s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let tasks = spec.generate(&mut rng);
+            run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng).rounds as f64
+        });
     Summary::of(&samples)
 }
 

@@ -85,7 +85,8 @@ pub fn run(cfg: &Config) -> Table {
             harness::run_trials_map(cfg.trials, cfg.seed ^ 1, |s| {
                 let mut rng = SmallRng::seed_from_u64(s);
                 let tasks = spec.generate(&mut rng);
-                let o = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &res_cfg, &mut rng);
+                let o =
+                    run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &res_cfg, &mut rng);
                 (o.rounds as f64, o.migrations as f64)
             }),
         );
@@ -109,7 +110,8 @@ pub fn run(cfg: &Config) -> Table {
                 harness::run_trials_map(cfg.trials, cfg.seed ^ 3, |s| {
                     let mut rng = SmallRng::seed_from_u64(s);
                     let tasks = spec.generate(&mut rng);
-                    let o = run_user_controlled(n, &tasks, Placement::AllOnOne(0), &user_cfg, &mut rng);
+                    let o =
+                        run_user_controlled(n, &tasks, Placement::AllOnOne(0), &user_cfg, &mut rng);
                     (o.rounds as f64, o.migrations as f64)
                 }),
             );

@@ -144,9 +144,6 @@ mod tests {
         let cfg = Config::quick();
         let t = run(&cfg);
         let decays = t.column_f64("measured_decay");
-        assert!(
-            decays[0] > decays[1],
-            "uniform workload should decay faster: {decays:?}"
-        );
+        assert!(decays[0] > decays[1], "uniform workload should decay faster: {decays:?}");
     }
 }

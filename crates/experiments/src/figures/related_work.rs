@@ -100,8 +100,7 @@ pub fn run(cfg: &Config) -> Table {
     );
     for scheme in SCHEMES {
         for &m in &cfg.ms {
-            let spec =
-                WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: cfg.weight_cap };
+            let spec = WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: cfg.weight_cap };
             let results = harness::run_trials_map(
                 cfg.trials,
                 cfg.seed ^ ((m as u64) << 8) ^ scheme.len() as u64,
@@ -126,10 +125,8 @@ pub fn run(cfg: &Config) -> Table {
 /// Shape check: per scheme, the ratio gap(m_max)/gap(m_min) — one-choice
 /// must grow, the multi-choice/threshold schemes must not (by much).
 pub fn growth_ratios(cfg: &Config, table: &Table) -> Vec<(String, f64)> {
-    let (m_min, m_max) = (
-        *cfg.ms.iter().min().expect("non-empty ms"),
-        *cfg.ms.iter().max().expect("non-empty ms"),
-    );
+    let (m_min, m_max) =
+        (*cfg.ms.iter().min().expect("non-empty ms"), *cfg.ms.iter().max().expect("non-empty ms"));
     SCHEMES
         .iter()
         .map(|&scheme| {

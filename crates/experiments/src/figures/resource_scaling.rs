@@ -86,8 +86,8 @@ pub fn run(cfg: &Config) -> Table {
             let samples = harness::run_trials(cfg.trials, cfg.seed ^ (family as u64) << 8, |s| {
                 let mut rng = SmallRng::seed_from_u64(s);
                 let tasks = spec.generate(&mut rng);
-                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &proto, &mut rng)
-                    .rounds as f64
+                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &proto, &mut rng).rounds
+                    as f64
             });
             let s = Summary::of(&samples);
             let denom = tau * (m as f64).ln();

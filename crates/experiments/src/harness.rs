@@ -91,13 +91,25 @@ where
     F: Fn(u64) -> T + Sync + Send,
     C: FnOnce(crossbeam::channel::Receiver<(usize, T)>) -> O,
 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let (tx, rx) = crossbeam::channel::bounded::<(usize, T)>(256);
+    // Flipped when the consumer drops the receiver, so remaining trials
+    // are skipped instead of computed into a closed channel.
+    let aborted = AtomicBool::new(false);
+    let aborted = &aborted;
     crossbeam::scope(|scope| {
         scope.spawn(move |_| {
             (0..trials as u64).into_par_iter().for_each_with(tx, |tx, t| {
+                if aborted.load(Ordering::Relaxed) {
+                    return;
+                }
                 let r = f(trial_seed(base_seed, t));
-                // Receiver dropping early (consumer aborted) is fine.
-                let _ = tx.send((t as usize, r));
+                if tx.send((t as usize, r)).is_err() {
+                    // Receiver dropped early (consumer aborted): stop
+                    // burning CPU on trials nobody will read.
+                    aborted.store(true, Ordering::Relaxed);
+                }
             });
         });
         consumer(rx)
@@ -137,9 +149,14 @@ mod tests {
     #[test]
     fn progress_callback_sees_every_trial() {
         let hits = AtomicUsize::new(0);
-        let out = run_trials_with_progress(64, 1, |s| s as f64, |_| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        });
+        let out = run_trials_with_progress(
+            64,
+            1,
+            |s| s as f64,
+            |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(out.len(), 64);
         assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
@@ -165,14 +182,29 @@ mod tests {
 
     #[test]
     fn streaming_consumer_can_abort_early() {
-        let first_five = run_trials_streaming(
-            1000,
-            7,
-            |s| s,
-            |rx| rx.iter().take(5).count(),
-        );
+        let first_five = run_trials_streaming(1000, 7, |s| s, |rx| rx.iter().take(5).count());
         assert_eq!(first_five, 5);
         // Workers observing the dropped receiver must not panic the pool.
+    }
+
+    #[test]
+    fn streaming_abort_skips_remaining_work() {
+        let computed = AtomicUsize::new(0);
+        let taken = run_trials_streaming(
+            100_000,
+            7,
+            |s| {
+                computed.fetch_add(1, Ordering::Relaxed);
+                s
+            },
+            |rx| rx.iter().take(5).count(),
+        );
+        assert_eq!(taken, 5);
+        // Early abort must save actual computation, not just delivery.
+        // (Bound is loose: in-flight chunks finish their current trial and
+        // the channel buffer may fill before the abort flag propagates.)
+        let done = computed.load(Ordering::Relaxed);
+        assert!(done < 100_000 / 2, "abort did not save work: {done} of 100000 trials computed");
     }
 
     #[test]

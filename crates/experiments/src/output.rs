@@ -26,11 +26,7 @@ pub struct Table {
 
 impl Table {
     /// Start an empty table.
-    pub fn new(
-        name: impl Into<String>,
-        description: impl Into<String>,
-        headers: &[&str],
-    ) -> Table {
+    pub fn new(name: impl Into<String>, description: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             name: name.into(),
             description: description.into(),
@@ -67,7 +63,8 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ =
+            writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }
@@ -84,7 +81,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

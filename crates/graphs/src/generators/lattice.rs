@@ -82,6 +82,7 @@ mod tests {
         assert!(algo::is_connected(&g));
         assert!(algo::is_bipartite(&g));
         assert_eq!(algo::diameter(&g), Some(5)); // (3-1)+(4-1)
+
         // corner degree 2, interior degree 4
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(5), 4);

@@ -130,9 +130,9 @@ pub fn random_regular<R: Rng + ?Sized>(
     let mut present: std::collections::HashSet<(NodeId, NodeId)> =
         std::collections::HashSet::with_capacity(n * d / 2);
     let push = |edges: &mut Vec<(NodeId, NodeId)>,
-                    present: &mut std::collections::HashSet<(NodeId, NodeId)>,
-                    u: NodeId,
-                    v: NodeId| {
+                present: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                u: NodeId,
+                v: NodeId| {
         let key = (u.min(v), u.max(v));
         if present.insert(key) {
             edges.push(key);

@@ -33,11 +33,7 @@ impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
-        let max_degree = offsets
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as u32)
-            .max()
-            .unwrap_or(0);
+        let max_degree = offsets.windows(2).map(|w| (w[1] - w[0]) as u32).max().unwrap_or(0);
         Graph { offsets, neighbors, max_degree }
     }
 
@@ -90,11 +86,7 @@ impl Graph {
     /// Iterate every undirected edge once, as ordered pairs `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 

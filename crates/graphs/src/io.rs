@@ -22,7 +22,8 @@ use crate::graph::Graph;
 /// Serialize to the edge-list format.
 pub fn to_edge_list(g: &Graph) -> String {
     let mut out = String::with_capacity(16 + g.num_edges() * 8);
-    let _ = writeln!(out, "# tlb-graphs edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    let _ =
+        writeln!(out, "# tlb-graphs edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges());
     let _ = writeln!(out, "{}", g.num_nodes());
     for (u, v) in g.edges() {
         let _ = writeln!(out, "{u} {v}");
@@ -36,10 +37,7 @@ pub fn to_edge_list(g: &Graph) -> String {
 /// [`GraphError::InvalidParameters`] on malformed input; endpoint errors
 /// propagate from the builder.
 pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
     let n: usize = lines
         .next()
         .ok_or_else(|| GraphError::InvalidParameters("missing node-count line".into()))?
@@ -56,7 +54,9 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
         let v: u32 = parts
             .next()
             .ok_or_else(|| {
-                GraphError::InvalidParameters(format!("edge line {lineno}: missing second endpoint"))
+                GraphError::InvalidParameters(format!(
+                    "edge line {lineno}: missing second endpoint"
+                ))
             })?
             .parse()
             .map_err(|e| GraphError::InvalidParameters(format!("edge line {lineno}: {e}")))?;
@@ -99,10 +99,7 @@ mod tests {
         assert!(from_edge_list("3\n0 1 2\n").is_err());
         assert!(from_edge_list("3\n0 x\n").is_err());
         // out-of-range endpoint propagates the builder error
-        assert!(matches!(
-            from_edge_list("2\n0 5\n"),
-            Err(GraphError::NodeOutOfRange { .. })
-        ));
+        assert!(matches!(from_edge_list("2\n0 5\n"), Err(GraphError::NodeOutOfRange { .. })));
         // self-loop rejected
         assert!(matches!(from_edge_list("2\n1 1\n"), Err(GraphError::SelfLoop(1))));
     }

@@ -60,13 +60,7 @@ fn hitting_times_from_parts(pm: &Matrix, pi: &[f64]) -> Matrix {
     });
     let lu = LuFactors::factor(&a).expect("I - P + Pi is invertible for irreducible chains");
     let z = lu.inverse();
-    Matrix::from_fn(n, n, |u, v| {
-        if u == v {
-            0.0
-        } else {
-            (z[(v, v)] - z[(u, v)]) / pi[v]
-        }
-    })
+    Matrix::from_fn(n, n, |u, v| if u == v { 0.0 } else { (z[(v, v)] - z[(u, v)]) / pi[v] })
 }
 
 /// Estimate π by iterating `x ← xP` from uniform until fixed point.
@@ -119,7 +113,8 @@ pub fn hitting_time_mc(
     let total: u64 = (0..trials)
         .into_par_iter()
         .map(|t| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
             let w = Walker::new(g, kind);
             w.steps_to_hit(u, v, cap, &mut rng).unwrap_or(cap) as u64
         })
@@ -160,7 +155,9 @@ pub fn max_hitting_time_mc(
     candidates
         .into_iter()
         .enumerate()
-        .map(|(i, (u, v))| hitting_time_mc(g, kind, u, v, trials_per_pair, cap, seed ^ (i as u64) << 32))
+        .map(|(i, (u, v))| {
+            hitting_time_mc(g, kind, u, v, trials_per_pair, cap, seed ^ (i as u64) << 32)
+        })
         .fold(0.0, f64::max)
 }
 
@@ -189,11 +186,7 @@ mod tests {
         let h = hitting_times_exact(&p);
         for k in 1..n {
             let expected = (k * (n - k)) as f64;
-            assert!(
-                (h[(0, k)] - expected).abs() < 1e-7,
-                "k={k}: {} vs {expected}",
-                h[(0, k)]
-            );
+            assert!((h[(0, k)] - expected).abs() < 1e-7, "k={k}: {} vs {expected}", h[(0, k)]);
         }
         assert!((max_hitting_time_exact(&p) - (n * n) as f64 / 4.0).abs() < 1e-7);
     }

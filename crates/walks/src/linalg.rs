@@ -393,13 +393,8 @@ mod tests {
 
     #[test]
     fn inverse_roundtrip() {
-        let a = Matrix::from_fn(3, 3, |i, j| {
-            if i == j {
-                4.0
-            } else {
-                1.0 / (1.0 + (i + j) as f64)
-            }
-        });
+        let a =
+            Matrix::from_fn(3, 3, |i, j| if i == j { 4.0 } else { 1.0 / (1.0 + (i + j) as f64) });
         let lu = LuFactors::factor(&a).unwrap();
         let inv = lu.inverse();
         let prod = a.matmul(&inv);

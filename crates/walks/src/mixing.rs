@@ -60,12 +60,7 @@ pub fn tv_curve(p: &TransitionMatrix, g: &Graph, start: usize, t_max: usize) -> 
 /// All starts are used when `n ≤ 128`; otherwise a deterministic sample of
 /// 32 starts spread over the node range plus the extremal-degree nodes —
 /// enough to catch the worst start on every family this workspace sweeps.
-pub fn tv_mixing_time(
-    p: &TransitionMatrix,
-    g: &Graph,
-    eps: f64,
-    t_max: usize,
-) -> Option<usize> {
+pub fn tv_mixing_time(p: &TransitionMatrix, g: &Graph, eps: f64, t_max: usize) -> Option<usize> {
     let n = p.num_states();
     if n <= 1 {
         return Some(0);
@@ -166,10 +161,7 @@ mod tests {
             let p = TransitionMatrix::build(&g, WalkKind::Lazy);
             let analytic = mixing_time(&p, &g).unwrap() as usize;
             let empirical = tv_mixing_time(&p, &g, 0.25, analytic + 1).unwrap();
-            assert!(
-                empirical <= analytic,
-                "empirical {empirical} must be <= analytic {analytic}"
-            );
+            assert!(empirical <= analytic, "empirical {empirical} must be <= analytic {analytic}");
         }
     }
 

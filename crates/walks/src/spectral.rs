@@ -42,7 +42,12 @@ fn symmetrize(p: &TransitionMatrix, g: &Graph) -> (Matrix, Vec<f64>) {
 /// every step, so the iteration converges to the eigenvalue of largest
 /// modulus among the rest. Uses a fixed deterministic pseudo-random start
 /// so results are reproducible.
-pub fn spectral_gap_power(p: &TransitionMatrix, g: &Graph, tol: f64, max_iters: usize) -> SpectralGap {
+pub fn spectral_gap_power(
+    p: &TransitionMatrix,
+    g: &Graph,
+    tol: f64,
+    max_iters: usize,
+) -> SpectralGap {
     let n = p.num_states();
     if n <= 1 {
         return SpectralGap { lambda2_abs: 0.0, gap: 1.0 };

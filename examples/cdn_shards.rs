@@ -35,7 +35,11 @@ fn main() {
 
     let eps = 0.2;
     let scenarios: Vec<(&str, f64, ThresholdPolicy)> = vec![
-        ("analysis alpha, above-average", analysis_alpha(eps), ThresholdPolicy::AboveAverage { epsilon: eps }),
+        (
+            "analysis alpha, above-average",
+            analysis_alpha(eps),
+            ThresholdPolicy::AboveAverage { epsilon: eps },
+        ),
         ("alpha = 1,      above-average", 1.0, ThresholdPolicy::AboveAverage { epsilon: eps }),
         ("alpha = 1,      tight        ", 1.0, ThresholdPolicy::Tight),
     ];

@@ -50,12 +50,14 @@ fn main() {
         init_loads[l as usize] += tasks.weight(i as u32);
     }
     let true_avg = tasks.total_weight() / n as f64;
-    let (estimates, steps) =
-        estimate_average_to_tolerance(&g, &init_loads, 0.01 * true_avg, 1_000_000, DiffusionKind::Damped);
-    let worst = estimates
-        .iter()
-        .map(|e| (e - true_avg).abs() / true_avg)
-        .fold(0.0f64, f64::max);
+    let (estimates, steps) = estimate_average_to_tolerance(
+        &g,
+        &init_loads,
+        0.01 * true_avg,
+        1_000_000,
+        DiffusionKind::Damped,
+    );
+    let worst = estimates.iter().map(|e| (e - true_avg).abs() / true_avg).fold(0.0f64, f64::max);
     println!("\nphase 1: diffusion average estimation");
     println!("  true average  = {true_avg:.2}");
     println!("  steps         = {steps}");

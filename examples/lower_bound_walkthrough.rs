@@ -52,8 +52,7 @@ fn main() {
         let trials = 10;
         let mean_rounds: f64 = (0..trials)
             .map(|_| {
-                run_resource_controlled(&g, &tasks, placement.clone(), &cfg, &mut rng).rounds
-                    as f64
+                run_resource_controlled(&g, &tasks, placement.clone(), &cfg, &mut rng).rounds as f64
             })
             .sum::<f64>()
             / trials as f64;

@@ -40,7 +40,10 @@ fn main() {
     println!("  migrations     = {}", out.migrations);
     println!("  final max load = {:.2}", out.final_max_load);
     let bound = tlb_core::drift::theorem11_bound(0.2, 1.0, tasks.w_max(), 1.0, tasks.len());
-    println!("  Theorem-11 bound at alpha=1: {bound:.0} rounds (measured {} — far below)", out.rounds);
+    println!(
+        "  Theorem-11 bound at alpha=1: {bound:.0} rounds (measured {} — far below)",
+        out.rounds
+    );
 
     // --- Resource-controlled protocol (arbitrary graph, Algorithm 5.1) --
     let g = generators::torus2d(20, 25); // 500 resources on a torus

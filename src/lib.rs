@@ -1,0 +1,15 @@
+//! Umbrella crate for the threshold-load-balancing workspace.
+//!
+//! Re-exports the six member crates under one roof so downstream users
+//! (and the repo-level integration tests and examples) can depend on a
+//! single package. See `tlb_core` for the protocol implementations and
+//! `tlb_experiments` for the paper's figure/table drivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tlb_baselines as baselines;
+pub use tlb_core as core;
+pub use tlb_experiments as experiments;
+pub use tlb_graphs as graphs;
+pub use tlb_walks as walks;

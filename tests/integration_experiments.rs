@@ -106,8 +106,8 @@ fn obs8_ratio_stays_bounded() {
     let t = obs8::run(&cfg);
     let hs = t.column_f64("H_exact");
     let ratios = t.column_f64("ratio");
-    let h_spread = hs.iter().fold(f64::MIN, |a, &b| a.max(b))
-        / hs.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let h_spread =
+        hs.iter().fold(f64::MIN, |a, &b| a.max(b)) / hs.iter().fold(f64::MAX, |a, &b| a.min(b));
     let ratio_spread = ratios.iter().fold(f64::MIN, |a, &b| a.max(b))
         / ratios.iter().fold(f64::MAX, |a, &b| a.min(b));
     assert!(h_spread > 5.0, "H should vary strongly with k (spread {h_spread})");
@@ -125,10 +125,8 @@ fn tables_persist_and_reload() {
     let dir = std::env::temp_dir().join("tlb_integration_results");
     let csv = t.save(&dir).unwrap();
     assert!(csv.exists());
-    let json: tlb_experiments::output::Table = serde_json::from_str(
-        &std::fs::read_to_string(dir.join("table1.json")).unwrap(),
-    )
-    .unwrap();
+    let json: tlb_experiments::output::Table =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("table1.json")).unwrap()).unwrap();
     assert_eq!(json, t);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -5,7 +5,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tlb_core::mixed_protocol::{run_mixed, Departure, MixedConfig};
+use tlb_core::mixed_protocol::{run_mixed, MixedConfig};
 use tlb_core::nonuniform::{run_user_controlled_nonuniform, NonUniformConfig, ThresholdVector};
 use tlb_core::placement::Placement;
 use tlb_core::task::TaskSet;
@@ -53,7 +53,7 @@ fn mixed_protocol_tracks_mixing_time() {
 #[test]
 fn nonuniform_thresholds_load_fast_machines_more() {
     let mut speeds = vec![4.0; 5];
-    speeds.extend(std::iter::repeat(1.0).take(45));
+    speeds.extend(std::iter::repeat_n(1.0, 45));
     let mut rng = SmallRng::seed_from_u64(3);
     let tasks = WeightSpec::Exponential { m: 2000, mean: 2.0 }.generate(&mut rng);
     let tv = ThresholdVector::speed_proportional(&speeds, tasks.total_weight(), tasks.w_max(), 0.1);

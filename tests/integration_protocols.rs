@@ -146,10 +146,7 @@ fn decentralized_outcomes_match_centralized_feasibility() {
 
     // Decentralized user-controlled with the tight threshold reaches a
     // state at most w_max above the proper bound guarantee.
-    let cfg = UserControlledConfig {
-        threshold: ThresholdPolicy::Tight,
-        ..Default::default()
-    };
+    let cfg = UserControlledConfig { threshold: ThresholdPolicy::Tight, ..Default::default() };
     let out = run_user_controlled(n, &tasks, Placement::AllOnOne(0), &cfg, &mut rng);
     assert!(out.balanced());
     let proper_bound = tasks.total_weight() / n as f64 + tasks.w_max();

@@ -48,10 +48,7 @@ fn monte_carlo_hitting_tracks_exact_on_lollipop() {
     let p = TransitionMatrix::build(&g, WalkKind::MaxDegree);
     let exact = hitting::max_hitting_time_exact(&p);
     let mc = hitting::max_hitting_time_mc(&g, WalkKind::MaxDegree, 12, 1500, 1_000_000, 13);
-    assert!(
-        (mc - exact).abs() / exact < 0.2,
-        "MC {mc} vs exact {exact} disagree by more than 20%"
-    );
+    assert!((mc - exact).abs() / exact < 0.2, "MC {mc} vs exact {exact} disagree by more than 20%");
 }
 
 /// Hitting time Θ(n²/k) for the lollipop: halving slope in log-log between

@@ -1,0 +1,142 @@
+//! Offline stand-in for `anyhow`: a boxed dynamic error with context.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A dynamically typed error with an optional chain of context messages.
+pub struct Error {
+    message: String,
+    source: Option<Box<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+/// `Result` specialized to [`Error`].
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+impl Error {
+    /// Build from any display-able message.
+    pub fn msg(message: impl fmt::Display) -> Self {
+        Error { message: message.to_string(), source: None }
+    }
+
+    /// Build from a concrete error value.
+    pub fn new<E>(error: E) -> Self
+    where
+        E: std::error::Error + Send + Sync + 'static,
+    {
+        Error { message: error.to_string(), source: Some(Box::new(error)) }
+    }
+
+    /// Add a context line (outermost first when displayed).
+    pub fn context(self, context: impl fmt::Display) -> Self {
+        Error { message: format!("{context}: {}", self.message), source: self.source }
+    }
+
+    /// The underlying concrete error, when this `Error` wraps one
+    /// (`anyhow::Error::source` equivalent; message-only errors have none).
+    pub fn source(&self) -> Option<&(dyn std::error::Error + Send + Sync + 'static)> {
+        self.source.as_deref()
+    }
+
+    /// Downcast a reference to the underlying concrete error type.
+    pub fn downcast_ref<E: std::error::Error + 'static>(&self) -> Option<&E> {
+        self.source.as_deref().and_then(|s| s.downcast_ref::<E>())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl<E> From<E> for Error
+where
+    E: std::error::Error + Send + Sync + 'static,
+{
+    fn from(error: E) -> Self {
+        Error::new(error)
+    }
+}
+
+/// Attach context to a fallible result, like `anyhow::Context`.
+pub trait Context<T> {
+    /// Wrap the error with a fixed message.
+    fn context(self, context: impl fmt::Display) -> Result<T>;
+
+    /// Wrap the error with a lazily built message.
+    fn with_context<C: fmt::Display, F: FnOnce() -> C>(self, f: F) -> Result<T>;
+}
+
+impl<T, E> Context<T> for std::result::Result<T, E>
+where
+    E: std::error::Error + Send + Sync + 'static,
+{
+    fn context(self, context: impl fmt::Display) -> Result<T> {
+        self.map_err(|e| Error::new(e).context(context))
+    }
+
+    fn with_context<C: fmt::Display, F: FnOnce() -> C>(self, f: F) -> Result<T> {
+        self.map_err(|e| Error::new(e).context(f()))
+    }
+}
+
+/// Construct an [`Error`] from a format string.
+#[macro_export]
+macro_rules! anyhow {
+    ($($tt:tt)*) => { $crate::Error::msg(::std::format!($($tt)*)) };
+}
+
+/// Return early with a formatted [`Error`].
+#[macro_export]
+macro_rules! bail {
+    ($($tt:tt)*) => { return ::std::result::Result::Err($crate::anyhow!($($tt)*)) };
+}
+
+/// Return early with an error unless the condition holds.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr, $($tt:tt)*) => {
+        if !($cond) {
+            $crate::bail!($($tt)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_chains() {
+        let base: std::result::Result<(), std::io::Error> =
+            Err(std::io::Error::other("disk on fire"));
+        let err = base.context("writing results").unwrap_err();
+        assert!(err.to_string().contains("writing results"));
+        assert!(err.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn source_is_reachable() {
+        let err = Error::new(std::io::Error::other("inner"));
+        assert!(err.source().is_some());
+        assert!(err.downcast_ref::<std::io::Error>().is_some());
+        assert!(Error::msg("no source").source().is_none());
+    }
+
+    #[test]
+    fn bail_macro() {
+        fn f(x: u32) -> Result<u32> {
+            ensure!(x < 10, "x too big: {x}");
+            Ok(x)
+        }
+        assert!(f(3).is_ok());
+        assert!(f(30).is_err());
+    }
+}

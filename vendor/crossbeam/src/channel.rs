@@ -1,0 +1,97 @@
+//! Multi-producer single-consumer channels with crossbeam's API shape.
+
+use std::sync::mpsc;
+
+/// Sending half of a channel; clonable across worker threads.
+pub struct Sender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+/// Error returned when the receiving half has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned when all senders have been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl<T> Sender<T> {
+    /// Send `value`, blocking while the channel is full. Fails only if the
+    /// receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block for the next value; fails when the channel is empty and all
+    /// senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.try_recv().ok()
+    }
+
+    /// Blocking iterator over received values; ends when all senders drop.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// A channel holding at most `cap` in-flight values; senders block when
+/// it is full (back-pressure).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = super::bounded::<u32>(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = super::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for `crossbeam`: bounded channels over
+//! `std::sync::mpsc` and scoped threads over `std::thread::scope`, with
+//! crossbeam's `Result`-returning `scope` signature.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to [`scope`] closures; spawns threads that may borrow
+/// from the enclosing scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle again
+    /// (crossbeam convention) so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before
+/// returning. Returns `Err` with the panic payload if any spawned thread
+/// (or `f` itself) panicked, mirroring `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![1, 2, 3];
+        let out = super::scope(|s| {
+            s.spawn(|_| ());
+            data.push(4);
+            data.len()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let n =
+            super::scope(|s| s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap())
+                .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for `proptest`: deterministic random testing with the
+//! `proptest!` macro surface the workspace's property tests use.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs
+//!   visible in the assertion message instead of a minimized example.
+//! * **Deterministic by default** — every test function derives its RNG
+//!   seed from the test name (FNV-1a) and the optional `PROPTEST_SEED`
+//!   environment variable, so CI runs are reproducible; set
+//!   `PROPTEST_SEED` to explore different streams.
+//! * Strategies are plain values implementing [`Strategy`]; ranges,
+//!   `Just`, tuples, `any::<T>()`, `prop_oneof!`, `prop_map`, and
+//!   `proptest::collection::vec` cover the corpus.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+/// Everything the property-test files import.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// How many draws a single requested case may consume before the test
+/// fails with "too many prop_assume! rejections" (guards against
+/// vacuously green assume-heavy tests).
+pub const MAX_REJECTS_PER_CASE: u32 = 16;
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seed = FNV-1a(test name) ⊕ `PROPTEST_SEED`.
+pub fn test_rng(test_name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    SmallRng::seed_from_u64(h ^ env)
+}
+
+/// Define property tests: each `fn` runs `cases` times with inputs drawn
+/// from the strategies on the right of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each test item of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            // A `prop_assume!` rejection returns `false` from the closure;
+            // rejected draws are replaced (up to a global cap) rather than
+            // silently consuming the case budget.
+            let mut __done: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul($crate::MAX_REJECTS_PER_CASE);
+            while __done < __cfg.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(unused_mut)]
+                let mut __run = || -> bool {
+                    $body
+                    true
+                };
+                if __run() {
+                    __done += 1;
+                }
+            }
+            assert!(
+                __done >= __cfg.cases,
+                "too many prop_assume! rejections: only {__done} of {} cases ran \
+                 in {__attempts} attempts",
+                __cfg.cases,
+            );
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a property test (panics with generated inputs in scope).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case unless `cond` holds; the harness draws a
+/// replacement case (up to [`MAX_REJECTS_PER_CASE`] per requested case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

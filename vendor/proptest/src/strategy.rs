@@ -1,0 +1,299 @@
+//! Value-generation strategies.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erase this strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+macro_rules! impl_strategy_num_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+impl_strategy_num_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(pub Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one option.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty => $gen:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                let f: fn(&mut SmallRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint! {
+    u8 => |r| r.gen::<u64>() as u8,
+    u16 => |r| r.gen::<u64>() as u16,
+    u32 => |r| r.gen::<u32>(),
+    u64 => |r| r.gen::<u64>(),
+    usize => |r| r.gen::<u64>() as usize,
+    i8 => |r| r.gen::<u64>() as i8,
+    i16 => |r| r.gen::<u64>() as i16,
+    i32 => |r| r.gen::<u32>() as i32,
+    i64 => |r| r.gen::<u64>() as i64,
+    isize => |r| r.gen::<u64>() as isize,
+    bool => |r| r.gen::<bool>()
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> f64 {
+        // Wide but finite: magnitudes from subnormal-ish to 1e12, both signs.
+        let mag = 10f64.powf(rng.gen_range(-12.0..12.0));
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mag
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut SmallRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Generate an unconstrained value of `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from pattern literals, e.g. `"[ -~]{0,12}"`.
+///
+/// Supports the tiny regex subset the test corpus uses: one character
+/// class (ranges and literal characters) followed by a `{lo,hi}`, `{n}`,
+/// `*`, `+`, or nothing (single char). Unrecognized patterns fall back to
+/// printable ASCII of length 0–8.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (ranges, lo, hi) = parse_pattern(self).unwrap_or((vec![(' ', '~')], 0, 8));
+        let len = rng.gen_range(lo..=hi);
+        let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+        (0..len)
+            .map(|_| {
+                let mut k = rng.gen_range(0..total);
+                for (a, b) in &ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if k < span {
+                        return char::from_u32(*a as u32 + k).unwrap_or('?');
+                    }
+                    k -= span;
+                }
+                unreachable!("character class exhausted")
+            })
+            .collect()
+    }
+}
+
+type Pattern = (Vec<(char, char)>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Option<Pattern> {
+    let mut chars = pat.chars().peekable();
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    match chars.peek()? {
+        '[' => {
+            chars.next();
+            let mut class: Vec<char> = Vec::new();
+            loop {
+                let c = chars.next()?;
+                if c == ']' {
+                    break;
+                }
+                class.push(c);
+            }
+            let mut i = 0;
+            while i < class.len() {
+                if i + 2 < class.len() && class[i + 1] == '-' {
+                    ranges.push((class[i], class[i + 2]));
+                    i += 3;
+                } else {
+                    ranges.push((class[i], class[i]));
+                    i += 1;
+                }
+            }
+        }
+        _ => {
+            let c = chars.next()?;
+            ranges.push((c, c));
+        }
+    }
+    if ranges.is_empty() {
+        return None;
+    }
+    let (lo, hi) = match chars.next() {
+        None => (1, 1),
+        Some('*') => (0, 8),
+        Some('+') => (1, 8),
+        Some('{') => {
+            let rest: String = chars.collect();
+            let body = rest.strip_suffix('}')?;
+            if let Some((a, b)) = body.split_once(',') {
+                (a.trim().parse().ok()?, b.trim().parse().ok()?)
+            } else {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        }
+        Some(_) => return None,
+    };
+    Some((ranges, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = test_rng("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (2u32..=2).generate(&mut rng);
+            assert_eq!(w, 2);
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_class_chars() {
+        let mut rng = test_rng("string_pattern");
+        for _ in 0..200 {
+            let s = "[ -~]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = test_rng("oneof_map");
+        let strat = crate::prop_oneof![Just(1u32), Just(2u32)].prop_map(|x| x * 10);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn fixed_count_pattern() {
+        let mut rng = test_rng("fixed_count");
+        let s = "[a-c]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}

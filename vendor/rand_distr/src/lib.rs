@@ -1,0 +1,102 @@
+//! Offline stand-in for `rand_distr`: the distributions the workloads use.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can sample values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Pareto distribution with scale `x_m` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_alpha: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution; errors if parameters are non-positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale <= 0.0 || shape <= 0.0 {
+            return Err(ParamError);
+        }
+        Ok(Pareto { scale, inv_alpha: 1.0 / shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF; 1 - u in (0, 1] avoids a zero denominator.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * u.powf(-self.inv_alpha)
+    }
+}
+
+/// Standard exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Create an exponential distribution; errors unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda <= 0.0 {
+            return Err(ParamError);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError;
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_at_least_scale() {
+        let d = Pareto::new(2.0, 1.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn exp_nonnegative() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for `rayon`: data-parallel iterators executed on
+//! scoped `std` threads.
+//!
+//! The subset implemented is what the trial harness and the random-walk
+//! estimators use: `into_par_iter()` on ranges and vectors, followed by
+//! `map`, then one of `collect`, `sum`, `for_each`, or `for_each_with`.
+//! Items are processed in contiguous chunks, one chunk per available
+//! core, and ordered combinators (`collect`, `sum`) reassemble chunk
+//! outputs in input order, so results are identical to the sequential
+//! evaluation — which is exactly the reproducibility contract the
+//! experiment harness tests assert.
+
+#![forbid(unsafe_code)]
+
+/// The traits user code imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use for `len` items.
+fn thread_count(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len)
+        .max(1)
+}
+
+/// Split `items` into at most `parts` contiguous chunks, preserving order.
+fn chunked<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let chunk_size = items.len().div_ceil(parts.max(1)).max(1);
+    let mut chunks = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Apply `f` to every item on the thread pool, preserving input order.
+fn par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = chunked(items, threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `map` adapter over a parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+/// Parallel iterator combinators. Terminal operations fan the work out
+/// over scoped threads.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Materialize all items (runs any pending mapped stages in parallel).
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Lazily apply `f` to every item.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collect the items in input order.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    /// Sum the items in input order.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Run `f` on every item (no ordering guarantee in real rayon; here
+    /// chunks run concurrently).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.for_each_with((), move |(), item| f(item));
+    }
+
+    /// Run `f` on every item with a per-worker clone of `init` as mutable
+    /// state (rayon's `for_each_with`).
+    fn for_each_with<S, F>(self, init: S, f: F)
+    where
+        S: Clone + Send,
+        F: Fn(&mut S, Self::Item) + Sync + Send,
+    {
+        let items = self.run();
+        let threads = thread_count(items.len());
+        let f = &f;
+        if threads <= 1 {
+            let mut state = init;
+            for item in items {
+                f(&mut state, item);
+            }
+            return;
+        }
+        let chunks = chunked(items, threads);
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                let mut state = init.clone();
+                s.spawn(move || {
+                    for item in chunk {
+                        f(&mut state, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        par_map(self.base.run(), &self.f)
+    }
+}
+
+/// Collections constructible from ordered parallel output.
+pub trait FromParallel<T> {
+    /// Build the collection from items in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (0u64..10_000).into_par_iter().map(|x| x % 7).sum();
+        assert_eq!(s, (0u64..10_000).map(|x| x % 7).sum::<u64>());
+    }
+
+    #[test]
+    fn for_each_with_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0usize..257).into_par_iter().for_each_with((), |(), _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! The owned value tree shared by the `serde` and `serde_json` shims.
+
+/// A JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in its widest lossless representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative (or any signed) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object's key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::I(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::F(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n),
+            Value::Number(Number::U(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (integers convert; may round above 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F(f)) => Some(*f),
+            Value::Number(Number::U(n)) => Some(*n as f64),
+            Value::Number(Number::I(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` implemented with hand-rolled token parsing
+//! (no `syn`/`quote` available offline).
+//!
+//! Supports non-generic named-field structs, tuple structs, and enums
+//! with unit, tuple, and struct variants — the shapes the workspace
+//! actually derives. The generated code targets the `serde` shim's
+//! `to_value`/`from_value` traits with serde's externally-tagged enum
+//! representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attribute groups and visibility modifiers. Errors on
+/// `#[serde(...)]`: the shim ignores attributes, and silently dropping a
+/// rename/default/skip directive would produce wrong serialization with
+/// no diagnostic.
+fn skip_attrs_and_vis(iter: &mut Iter) -> Result<(), String> {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(id)) = inner.next() {
+                        if id.to_string() == "serde" {
+                            return Err(format!(
+                                "serde shim derive cannot honor #[{}]; extend \
+                                 vendor/serde_derive or drop the attribute",
+                                g.stream()
+                            ));
+                        }
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (angle-bracket aware); consumes the
+/// comma. Returns false when the stream ended instead.
+fn skip_to_comma(iter: &mut Iter) -> bool {
+    let mut angle: i32 = 0;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Count comma-separated segments at the top level of a token stream
+/// (tuple-struct / tuple-variant field count).
+fn count_fields(ts: TokenStream) -> usize {
+    let mut iter: Iter = ts.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut count = 0;
+    loop {
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !skip_to_comma(&mut iter) {
+            break;
+        }
+    }
+    count
+}
+
+/// Extract field names from a named-field brace group.
+fn parse_named(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: Iter = ts.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter)?;
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected ':' after field, got {other:?}")),
+                }
+                if !skip_to_comma(&mut iter) {
+                    break;
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: Iter = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter)?;
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Shape::Tuple(count_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Shape::Named(parse_named(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if !skip_to_comma(&mut iter) {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(ts: TokenStream) -> Result<Input, String> {
+    let mut iter: Iter = ts.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter)?;
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive: generics unsupported on {name}"));
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("expected struct or enum, got `{other}`")),
+    };
+    Ok(Input { name, kind })
+}
+
+const V: &str = "::serde::value::Value";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let _ = writeln!(body, "let mut __pairs = ::std::vec::Vec::new();");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "__pairs.push(({f:?}.to_string(), \
+                     ::serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            let _ = writeln!(body, "{V}::Object(__pairs)");
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            let _ = writeln!(body, "::serde::Serialize::to_value(&self.0)");
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let _ = writeln!(body, "{V}::Array(vec![{}])", items.join(", "));
+        }
+        Kind::Struct(Shape::Unit) => {
+            let _ = writeln!(body, "{V}::Null");
+        }
+        Kind::Enum(variants) => {
+            let _ = writeln!(body, "match self {{");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(body, "{name}::{vn} => {V}::String({vn:?}.to_string()),");
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}(__f0) => {V}::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}({}) => {V}::Object(vec![({vn:?}.to_string(), \
+                             {V}::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} {{ {pat} }} => {V}::Object(vec![({vn:?}.to_string(), \
+                             {V}::Object(vec![{}]))]),",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(body, "}}");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {V} {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_named_ctor(path: &str, fields: &[String], pairs_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field({pairs_var}, {f:?})?)?")
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let _ = writeln!(
+                body,
+                "let __pairs = __v.as_object().ok_or_else(|| \
+                 ::std::format!(\"expected object for {name}, found {{}}\", __v.kind()))?;"
+            );
+            let _ = writeln!(body, "Ok({})", gen_named_ctor(name, fields, "__pairs"));
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            let _ = writeln!(body, "Ok({name}(::serde::Deserialize::from_value(__v)?))");
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let _ = writeln!(
+                body,
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::std::format!(\"expected array for {name}, found {{}}\", __v.kind()))?;"
+            );
+            let _ = writeln!(
+                body,
+                "if __items.len() != {n} {{ return Err(::std::format!(\
+                 \"expected {n} elements for {name}, found {{}}\", __items.len())); }}"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            let _ = writeln!(body, "Ok({name}({}))", items.join(", "));
+        }
+        Kind::Struct(Shape::Unit) => {
+            let _ = writeln!(body, "let _ = __v; Ok({name})");
+        }
+        Kind::Enum(variants) => {
+            let _ = writeln!(body, "match __v {{");
+            // Unit variants arrive as bare strings.
+            let _ = writeln!(body, "{V}::String(__s) => match __s.as_str() {{");
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    let vn = &v.name;
+                    let _ = writeln!(body, "{vn:?} => Ok({name}::{vn}),");
+                }
+            }
+            let _ = writeln!(
+                body,
+                "__other => Err(::std::format!(\
+                 \"unknown unit variant `{{__other}}` for {name}\")), }},"
+            );
+            // Data variants arrive as single-key objects.
+            let _ = writeln!(
+                body,
+                "{V}::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = &__pairs[0]; match __tag.as_str() {{"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{vn:?} => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{vn:?} => {{ let __items = __inner.as_array().ok_or_else(|| \
+                             ::std::format!(\"expected array for {name}::{vn}\"))?; \
+                             if __items.len() != {n} {{ return Err(::std::format!(\
+                             \"wrong arity for {name}::{vn}\")); }} \
+                             Ok({name}::{vn}({})) }},",
+                            items.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let _ = writeln!(
+                            body,
+                            "{vn:?} => {{ let __f = __inner.as_object().ok_or_else(|| \
+                             ::std::format!(\"expected object for {name}::{vn}\"))?; \
+                             Ok({}) }},",
+                            gen_named_ctor(&format!("{name}::{vn}"), fields, "__f")
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                body,
+                "__other => Err(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\")), }} }},"
+            );
+            let _ = writeln!(
+                body,
+                "__other => Err(::std::format!(\
+                 \"expected string or 1-key object for {name}, found {{}}\", \
+                 __other.kind())), }}"
+            );
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{V}) -> ::std::result::Result<Self, ::std::string::String> \
+         {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Derive the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(e) => err(&e),
+    }
+}
+
+/// Derive the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(e) => err(&e),
+    }
+}

@@ -1,32 +1,27 @@
-//! Rayon speedup of the trial fan-out (DESIGN.md design-choice 4): the
-//! same batch of user-controlled trials run sequentially vs through the
-//! rayon harness. On a many-core machine the parallel group should report
-//! a near-linear fraction of the sequential time.
+//! Worker-pool speedup of the trial fan-out (DESIGN.md design-choice 4):
+//! the same batch of user-controlled trials run sequentially vs through
+//! the harness's persistent pool, on a deliberately *uneven* workload
+//! (per-trial cost varies ~8x with the seed). Chunk self-scheduling keeps
+//! every core busy, so the parallel group should report a near-linear
+//! fraction of the sequential time even though trials differ in cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use tlb_core::placement::Placement;
-use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
-use tlb_core::weights::WeightSpec;
+use tlb_bench::workloads::{run_trials_scoped, uneven_user_trial};
 use tlb_experiments::harness;
-
-fn trial(seed: u64) -> f64 {
-    let spec = WeightSpec::figure2(800, 16.0);
-    let cfg = UserControlledConfig::default();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let tasks = spec.generate(&mut rng);
-    run_user_controlled(150, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
-}
 
 fn bench_harness(c: &mut Criterion) {
     let mut group = c.benchmark_group("harness_scaling");
     group.sample_size(10);
     let trials = 64;
-    group.bench_function("sequential_64_trials", |b| {
-        b.iter(|| harness::run_trials_sequential(trials, 7, trial))
+    group.bench_function("sequential_64_uneven_trials", |b| {
+        b.iter(|| harness::run_trials_sequential(trials, 7, uneven_user_trial))
     });
-    group.bench_function("rayon_64_trials", |b| b.iter(|| harness::run_trials(trials, 7, trial)));
+    group.bench_function("scoped_threads_64_uneven_trials", |b| {
+        b.iter(|| run_trials_scoped(trials, 7, uneven_user_trial))
+    });
+    group.bench_function("pool_64_uneven_trials", |b| {
+        b.iter(|| harness::run_trials(trials, 7, uneven_user_trial))
+    });
     group.finish();
 }
 

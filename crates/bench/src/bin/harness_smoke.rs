@@ -1,0 +1,122 @@
+//! CI smoke bench: measure trial-harness throughput (sequential vs the
+//! persistent worker pool) on the uneven workload and write a
+//! `BENCH_harness.json` snapshot so the perf trajectory accumulates run
+//! over run.
+//!
+//! Usage: `harness_smoke [--trials N] [--batches B] [--reps R] [--out PATH]`
+//!
+//! `--batches B` splits the trials over B successive harness calls, the
+//! shape of a real sweep (one call per parameter point) — it surfaces the
+//! per-call cost the persistent pool removes (the scoped baseline spawns
+//! `threads` fresh threads on every call).
+//!
+//! Exits nonzero (panics) if the parallel results are not bit-identical to
+//! the sequential ones — the reproducibility contract is part of the
+//! smoke check, not just the unit tests.
+
+use std::time::Instant;
+
+use tlb_bench::workloads::{run_trials_scoped, uneven_user_trial};
+use tlb_experiments::harness;
+
+/// Best-of-`reps` wall time of `run` (minimum is the least noisy
+/// wall-clock estimator for short batches); returns it with the last
+/// result vector for the bit-identity check.
+fn time_best<F: FnMut() -> Vec<f64>>(reps: usize, mut run: F) -> (f64, Vec<f64>) {
+    let mut best = f64::INFINITY;
+    let mut last = Vec::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        last = run();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, last)
+}
+
+/// Run `batches` successive harness calls of `per_batch` trials through
+/// `runner`, concatenating the results (the shape of a sweep: one call per
+/// parameter point).
+fn sweep<R>(batches: usize, per_batch: usize, runner: R) -> Vec<f64>
+where
+    R: Fn(usize, u64) -> Vec<f64>,
+{
+    let mut all = Vec::with_capacity(batches * per_batch);
+    for b in 0..batches as u64 {
+        all.extend(runner(per_batch, 7 + b));
+    }
+    all
+}
+
+fn main() {
+    let mut trials = 64usize;
+    let mut batches = 1usize;
+    let mut reps = 5usize;
+    let mut out = String::from("BENCH_harness.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials needs a positive integer");
+            }
+            "--batches" => {
+                batches = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batches needs a positive integer");
+            }
+            "--reps" => {
+                reps =
+                    args.next().and_then(|v| v.parse().ok()).expect("--reps needs a positive integer");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!(
+                "unknown argument {other:?} (expected --trials N / --batches B / --reps R / --out PATH)"
+            ),
+        }
+    }
+    assert!(trials > 0 && batches > 0 && reps > 0, "all counts must be positive");
+    let per_batch = trials.div_ceil(batches);
+
+    // Warm the pool (thread spawn + lazy init) outside the timed region.
+    harness::run_trials(per_batch.min(8), 3, uneven_user_trial);
+
+    let (seq_secs, seq) = time_best(reps, || {
+        sweep(batches, per_batch, |n, s| harness::run_trials_sequential(n, s, uneven_user_trial))
+    });
+    // The pre-pool strategy (fresh scoped threads, one static chunk per
+    // core, spawned again on every call) as the comparison baseline.
+    let (scoped_secs, scoped) = time_best(reps, || {
+        sweep(batches, per_batch, |n, s| run_trials_scoped(n, s, uneven_user_trial))
+    });
+    let (par_secs, par) = time_best(reps, || {
+        sweep(batches, per_batch, |n, s| harness::run_trials(n, s, uneven_user_trial))
+    });
+
+    assert_eq!(seq, par, "parallel results must be bit-identical to sequential");
+    assert_eq!(seq, scoped, "scoped baseline must match sequential too");
+    let trials = per_batch * batches;
+
+    let threads = rayon::current_num_threads();
+    let speedup_vs_seq = seq_secs / par_secs;
+    let speedup_vs_scoped = scoped_secs / par_secs;
+    let json = format!(
+        "{{\n  \"bench\": \"harness_scaling\",\n  \"workload\": \"uneven_user_trial\",\n  \
+         \"trials\": {trials},\n  \"batches\": {batches},\n  \"threads\": {threads},\n  \
+         \"sequential_secs\": {seq_secs:.6},\n  \"scoped_threads_secs\": {scoped_secs:.6},\n  \
+         \"pool_secs\": {par_secs:.6},\n  \
+         \"trials_per_sec_sequential\": {:.3},\n  \"trials_per_sec_pool\": {:.3},\n  \
+         \"speedup_pool_vs_sequential\": {speedup_vs_seq:.3},\n  \
+         \"speedup_pool_vs_scoped\": {speedup_vs_scoped:.3},\n  \"bit_identical\": true\n}}\n",
+        trials as f64 / seq_secs,
+        trials as f64 / par_secs,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{json}");
+    println!(
+        "wrote {out}: {trials} trials on {threads} threads, \
+         {speedup_vs_seq:.2}x vs sequential, {speedup_vs_scoped:.2}x vs scoped-thread baseline"
+    );
+}

@@ -14,7 +14,12 @@
 //! | `tight_threshold`     | A2            |
 //! | `ablations`           | A3/A4 + stack-order & walk-kind ablations |
 //! | `kernels`             | substrate micro-benches |
-//! | `harness_scaling`     | rayon speedup of the trial fan-out |
+//! | `harness_scaling`     | worker-pool speedup of the trial fan-out |
 //!
 //! Criterion measures the wall time of the simulation/measurement kernels;
-//! the `tlb-experiments` binaries produce the full-trial-count *data*.
+//! the `tlb-experiments` binaries produce the full-trial-count *data*. The
+//! `harness_smoke` binary re-runs the `harness_scaling` comparison outside
+//! criterion and writes a `BENCH_harness.json` snapshot for the CI perf
+//! trajectory.
+
+pub mod workloads;

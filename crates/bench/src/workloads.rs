@@ -1,0 +1,55 @@
+//! Trial workloads shared by the `harness_scaling` criterion bench and the
+//! `harness_smoke` CI binary, so both measure the same thing.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::placement::Placement;
+use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::weights::WeightSpec;
+use tlb_experiments::harness::trial_seed;
+
+/// One user-controlled trial whose cost varies roughly 8x with the seed
+/// (200..=1600 tasks): the uneven fan-out the pool's chunk
+/// self-scheduling is built for — a chunk-per-core split would leave the
+/// cores that drew cheap trials idle.
+pub fn uneven_user_trial(seed: u64) -> f64 {
+    let m = 200 + (seed % 8) as usize * 200;
+    let spec = WeightSpec::figure2(m, 16.0);
+    let cfg = UserControlledConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tasks = spec.generate(&mut rng);
+    run_user_controlled(150, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+}
+
+/// The pre-pool execution strategy, kept as a measured baseline: split the
+/// trials into one contiguous chunk per available core and run each chunk
+/// on a freshly spawned scoped thread (what the rayon shim did on every
+/// call before the persistent pool). Static partitioning finishes when the
+/// slowest chunk does, so uneven trials leave cores idle — the gap to
+/// `harness::run_trials` is exactly what the pool's self-scheduling buys.
+pub fn run_trials_scoped<F>(trials: usize, base_seed: u64, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    // Same thread count as the pool (including the RAYON_NUM_THREADS
+    // override) so the comparison isolates scheduling strategy and
+    // per-call spawn cost, not core counts.
+    let threads = rayon::current_num_threads().min(trials);
+    let seeds: Vec<u64> = (0..trials as u64).map(|t| trial_seed(base_seed, t)).collect();
+    if threads <= 1 {
+        return seeds.into_iter().map(f).collect();
+    }
+    let chunk_size = trials.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = seeds
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(move || chunk.iter().map(|&seed| f(seed)).collect::<Vec<f64>>()))
+            .collect();
+        let mut out = Vec::with_capacity(trials);
+        for h in handles {
+            out.extend(h.join().expect("scoped baseline worker panicked"));
+        }
+        out
+    })
+}

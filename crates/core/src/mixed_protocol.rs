@@ -136,6 +136,9 @@ pub fn run_mixed<R: Rng + ?Sized>(
 
     let mut migrations = 0u64;
     let mut pending: Vec<(TaskId, NodeId)> = Vec::new();
+    // Reused across rounds: the stack drains append into this buffer
+    // instead of allocating a fresh vector per overloaded resource.
+    let mut departing: Vec<TaskId> = Vec::new();
     let mut rounds = 0u64;
     let mut completed = is_balanced(&stacks, threshold);
 
@@ -147,15 +150,18 @@ pub fn run_mixed<R: Rng + ?Sized>(
             if !stack.is_overloaded(threshold) {
                 continue;
             }
-            let departing: Vec<TaskId> = match cfg.departure {
-                Departure::AllActive => stack.remove_active(threshold, weights),
+            departing.clear();
+            match cfg.departure {
+                Departure::AllActive => {
+                    stack.remove_active_into(threshold, weights, &mut departing);
+                }
                 Departure::Bernoulli => {
                     let psi = stack.psi(threshold, weights, w_max);
                     let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
-                    stack.drain_bernoulli(p, weights, rng)
+                    stack.drain_bernoulli_into(p, weights, rng, &mut departing);
                 }
-            };
-            for t in departing {
+            }
+            for &t in &departing {
                 pending.push((t, walker.step(r, rng)));
             }
         }

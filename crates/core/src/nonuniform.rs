@@ -174,7 +174,9 @@ pub fn run_user_controlled_nonuniform<R: Rng + ?Sized>(
             }
             let psi = stack.psi(t_r, weights, w_max);
             let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
-            migrants.extend(stack.drain_bernoulli(p, weights, rng));
+            // Appends into the round-reused buffer — no per-resource
+            // allocation in the departure phase.
+            stack.drain_bernoulli_into(p, weights, rng, &mut migrants);
         }
         migrations += migrants.len() as u64;
         for &t in &migrants {

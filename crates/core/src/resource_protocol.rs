@@ -114,6 +114,9 @@ pub fn run_resource_controlled<R: Rng + ?Sized>(
 
     let mut migrations = 0u64;
     let mut pending: Vec<(TaskId, NodeId)> = Vec::new();
+    // Reused across rounds: the stack drain appends into this buffer
+    // instead of allocating a fresh vector per overloaded resource.
+    let mut removed: Vec<TaskId> = Vec::new();
     let mut rounds = 0u64;
     let mut completed = is_balanced(&stacks, threshold);
 
@@ -124,7 +127,9 @@ pub fn run_resource_controlled<R: Rng + ?Sized>(
         // each ejected task samples one walk step from its source.
         for r in 0..n as NodeId {
             if stacks[r as usize].is_overloaded(threshold) {
-                for t in stacks[r as usize].remove_active(threshold, weights) {
+                removed.clear();
+                stacks[r as usize].remove_active_into(threshold, weights, &mut removed);
+                for &t in &removed {
                     let dest = walker.step(r, rng);
                     pending.push((t, dest));
                 }

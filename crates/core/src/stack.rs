@@ -120,6 +120,23 @@ impl ResourceStack {
     /// tasks from the first threshold violation upward, so this is a split
     /// of the stack.
     pub fn remove_active(&mut self, threshold: f64, weights: &[f64]) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.remove_active_into(threshold, weights, &mut out);
+        out
+    }
+
+    /// Allocation-free [`remove_active`](Self::remove_active): appends the
+    /// removed tasks to `out` (bottom-to-top) and returns how many were
+    /// removed. The protocol inner loops call this once per overloaded
+    /// resource per round with a reused buffer, so it must not allocate on
+    /// its own. The cached load is reset to the exact accepted-prefix
+    /// height, which also clears any accumulated f64 drift.
+    pub fn remove_active_into(
+        &mut self,
+        threshold: f64,
+        weights: &[f64],
+        out: &mut Vec<TaskId>,
+    ) -> usize {
         let mut h = 0.0;
         let mut split = self.tasks.len();
         for (pos, &t) in self.tasks.iter().enumerate() {
@@ -130,10 +147,10 @@ impl ResourceStack {
             }
             h += w;
         }
-        let removed: Vec<TaskId> = self.tasks.split_off(split);
-        for &t in &removed {
-            self.load -= weights[t as usize];
-        }
+        let removed = self.tasks.len() - split;
+        out.extend_from_slice(&self.tasks[split..]);
+        self.tasks.truncate(split);
+        self.load = h;
         removed
     }
 
@@ -147,14 +164,30 @@ impl ResourceStack {
         weights: &[f64],
         rng: &mut R,
     ) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.drain_bernoulli_into(p, weights, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free [`drain_bernoulli`](Self::drain_bernoulli): appends
+    /// the migrants to `out` (bottom-to-top) and returns how many were
+    /// drawn. The user-controlled inner loop calls this once per
+    /// overloaded resource per round with its reused migrant buffer.
+    pub fn drain_bernoulli_into<R: Rng + ?Sized>(
+        &mut self,
+        p: f64,
+        weights: &[f64],
+        rng: &mut R,
+        out: &mut Vec<TaskId>,
+    ) -> usize {
         if p <= 0.0 || self.tasks.is_empty() {
-            return Vec::new();
+            return 0;
         }
-        let mut migrants = Vec::new();
+        let before = out.len();
         let mut removed_weight = 0.0;
         self.tasks.retain(|&t| {
             if rng.gen_bool(p.min(1.0)) {
-                migrants.push(t);
+                out.push(t);
                 removed_weight += weights[t as usize];
                 false
             } else {
@@ -162,7 +195,7 @@ impl ResourceStack {
             }
         });
         self.load -= removed_weight;
-        migrants
+        out.len() - before
     }
 
     /// Recompute the cached load from scratch (guards against f64 drift in
@@ -264,6 +297,34 @@ mod tests {
         let (mut s, weights) = stack_of(&[(0, 2.0), (1, 2.0)]);
         assert!(s.remove_active(4.0, &weights).is_empty());
         assert_eq!(s.num_tasks(), 2);
+    }
+
+    #[test]
+    fn remove_active_into_reuses_buffer() {
+        let (mut a, weights) = stack_of(&[(0, 2.0), (1, 3.0), (2, 1.0)]);
+        let mut b = ResourceStack::new();
+        b.push(3, 1.0);
+        b.push(0, 2.0);
+        let mut weights = weights;
+        weights.push(1.0); // id 3
+        let mut out = Vec::new();
+        assert_eq!(a.remove_active_into(4.0, &weights, &mut out), 2);
+        // Appends without clearing: a second resource drains into the same
+        // buffer behind the first one's migrants.
+        assert_eq!(b.remove_active_into(1.0, &weights, &mut out), 1);
+        assert_eq!(out, vec![1, 2, 0]);
+        assert_eq!(a.load(), 2.0);
+        assert_eq!(b.load(), 1.0);
+    }
+
+    #[test]
+    fn drain_bernoulli_into_appends() {
+        let (mut s, weights) = stack_of(&[(0, 2.0), (1, 3.0)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut out = vec![9];
+        assert_eq!(s.drain_bernoulli_into(1.0, &weights, &mut rng, &mut out), 2);
+        assert_eq!(out, vec![9, 0, 1]);
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -135,7 +135,9 @@ pub fn run_user_controlled<R: Rng + ?Sized>(
             let psi = stack.psi(threshold, weights, w_max);
             debug_assert!(psi >= 1, "overloaded resource must have psi >= 1");
             let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
-            migrants.extend(stack.drain_bernoulli(p, weights, rng));
+            // Appends into the round-reused buffer — no per-resource
+            // allocation in the departure phase.
+            stack.drain_bernoulli_into(p, weights, rng, &mut migrants);
         }
         if cfg.shuffle_arrivals {
             migrants.shuffle(rng);

@@ -2,12 +2,22 @@
 //!
 //! Section 7 of the paper averages every data point over 1000 independent
 //! trials. Trials are embarrassingly parallel; the harness fans them out
-//! over the rayon thread pool while keeping results bit-reproducible: trial
-//! `t` of an experiment with base seed `s` always uses the derived seed
-//! `splitmix(s, t)`, independent of thread scheduling.
+//! over the rayon shim's persistent worker pool while keeping results
+//! bit-reproducible: trial `t` of an experiment with base seed `s` always
+//! uses the derived seed `splitmix(s, t)`, independent of thread
+//! scheduling, and every parallel entry point returns exactly what its
+//! sequential evaluation would. The pool self-schedules fixed-size chunks,
+//! so sweeps whose trials have very different costs (slow-mixing graphs
+//! next to fast ones) still keep every core busy.
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bound of the streaming-variant channel: a slow consumer back-pressures
+/// the workers after this many undelivered results (public so tests can
+/// derive deterministic abort bounds from it).
+pub const STREAM_CHANNEL_CAPACITY: usize = 256;
 
 /// Derive the seed of trial `index` from a base seed (splitmix64 over the
 /// pair, so neighbouring trials get decorrelated streams).
@@ -32,7 +42,7 @@ where
 }
 
 /// Sequential variant (used by the harness-scaling ablation to measure the
-/// rayon speedup, and handy under a profiler).
+/// pool speedup, and handy under a profiler).
 pub fn run_trials_sequential<F>(trials: usize, base_seed: u64, f: F) -> Vec<f64>
 where
     F: Fn(u64) -> f64,
@@ -40,24 +50,26 @@ where
     (0..trials as u64).map(|t| f(trial_seed(base_seed, t))).collect()
 }
 
-/// Parallel trials with a progress callback invoked after each completed
-/// trial with the number finished so far. The callback is serialized
-/// through a mutex, so keep it cheap (the drivers print a dot every few
-/// percent).
+/// Parallel trials with a progress callback. Completions are counted with
+/// an atomic (workers never serialize on the count), and only the callback
+/// invocation itself takes a lock — a slow callback delays at most the
+/// workers that have a completion to report, not the whole pool. Each
+/// invocation receives a distinct completion count in `1..=trials`, but
+/// counts can arrive out of order under parallelism; drivers that print
+/// "k% done" should track the maximum seen.
 pub fn run_trials_with_progress<F, P>(trials: usize, base_seed: u64, f: F, progress: P) -> Vec<f64>
 where
     F: Fn(u64) -> f64 + Sync,
     P: FnMut(usize) + Send,
 {
-    let done = Mutex::new((0usize, progress));
+    let done = AtomicUsize::new(0);
+    let progress = Mutex::new(progress);
     (0..trials as u64)
         .into_par_iter()
         .map(|t| {
             let r = f(trial_seed(base_seed, t));
-            let mut guard = done.lock();
-            guard.0 += 1;
-            let count = guard.0;
-            (guard.1)(count);
+            let count = done.fetch_add(1, Ordering::Relaxed) + 1;
+            (progress.lock())(count);
             r
         })
         .collect()
@@ -76,24 +88,24 @@ where
         .collect()
 }
 
-/// Streaming variant: trials run on the rayon pool while a consumer
+/// Streaming variant: trials run on the worker pool while a consumer
 /// receives `(trial_index, result)` pairs over a crossbeam channel *as
 /// they finish* (completion order, not trial order). Useful for live
 /// dashboards and for aborting long sweeps early; the returned vector is
 /// whatever the consumer produced.
 ///
-/// The consumer runs on the calling thread; the channel is bounded so a
-/// slow consumer back-pressures the workers instead of buffering the
-/// whole sweep.
+/// The consumer runs on the calling thread; the channel is bounded at
+/// [`STREAM_CHANNEL_CAPACITY`] so a slow consumer back-pressures the
+/// workers instead of buffering the whole sweep.
 pub fn run_trials_streaming<T, F, C, O>(trials: usize, base_seed: u64, f: F, consumer: C) -> O
 where
     T: Send,
     F: Fn(u64) -> T + Sync + Send,
     C: FnOnce(crossbeam::channel::Receiver<(usize, T)>) -> O,
 {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::AtomicBool;
 
-    let (tx, rx) = crossbeam::channel::bounded::<(usize, T)>(256);
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, T)>(STREAM_CHANNEL_CAPACITY);
     // Flipped when the consumer drops the receiver, so remaining trials
     // are skipped instead of computed into a closed channel.
     let aborted = AtomicBool::new(false);
@@ -120,7 +132,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn seeds_are_distinct_and_deterministic() {
@@ -146,6 +157,51 @@ mod tests {
         assert_eq!(out, expected);
     }
 
+    /// Trial whose cost varies ~100x with the seed — the uneven workload
+    /// the pool's chunk self-scheduling exists for.
+    fn uneven(seed: u64) -> f64 {
+        let mut acc = seed;
+        for _ in 0..(seed % 97) * 37 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        (acc % 100_000) as f64
+    }
+
+    #[test]
+    fn all_entry_points_match_sequential_on_uneven_work() {
+        let trials = 257;
+        let seq = run_trials_sequential(trials, 11, uneven);
+        assert_eq!(run_trials(trials, 11, uneven), seq);
+        assert_eq!(run_trials_map(trials, 11, uneven), seq);
+        assert_eq!(run_trials_with_progress(trials, 11, uneven, |_| {}), seq);
+        let mut streamed =
+            run_trials_streaming(trials, 11, uneven, |rx| rx.iter().collect::<Vec<(usize, f64)>>());
+        streamed.sort_unstable_by_key(|&(i, _)| i);
+        let streamed: Vec<f64> = streamed.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(streamed, seq);
+    }
+
+    #[test]
+    fn pool_is_reused_across_successive_calls() {
+        for round in 0..20 {
+            let seq = run_trials_sequential(64, round, uneven);
+            assert_eq!(run_trials(64, round, uneven), seq, "round {round}");
+        }
+        // The shim's persistent pool spawns its workers exactly once.
+        assert_eq!(rayon::worker_spawn_count(), rayon::current_num_threads().saturating_sub(1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let bad = trial_seed(5, 17);
+        let result = std::panic::catch_unwind(|| {
+            run_trials(64, 5, move |s| if s == bad { panic!("trial exploded") } else { 1.0 })
+        });
+        assert!(result.is_err(), "a panicking trial must panic the caller");
+        // The pool stays usable after the propagated panic.
+        assert_eq!(run_trials(8, 0, |s| s as f64), run_trials_sequential(8, 0, |s| s as f64));
+    }
+
     #[test]
     fn progress_callback_sees_every_trial() {
         let hits = AtomicUsize::new(0);
@@ -159,6 +215,15 @@ mod tests {
         );
         assert_eq!(out.len(), 64);
         assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn progress_reports_each_count_exactly_once() {
+        let counts = Mutex::new(Vec::new());
+        run_trials_with_progress(100, 2, |s| s as f64, |c| counts.lock().push(c));
+        let mut got = counts.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
     }
 
     #[test]
@@ -190,8 +255,9 @@ mod tests {
     #[test]
     fn streaming_abort_skips_remaining_work() {
         let computed = AtomicUsize::new(0);
+        let trials = 100_000;
         let taken = run_trials_streaming(
-            100_000,
+            trials,
             7,
             |s| {
                 computed.fetch_add(1, Ordering::Relaxed);
@@ -200,11 +266,48 @@ mod tests {
             |rx| rx.iter().take(5).count(),
         );
         assert_eq!(taken, 5);
-        // Early abort must save actual computation, not just delivery.
-        // (Bound is loose: in-flight chunks finish their current trial and
-        // the channel buffer may fill before the abort flag propagates.)
+        // Deterministic bound, independent of core count and scheduling:
+        // until the receiver drops, at most `taken` delivered plus
+        // `STREAM_CHANNEL_CAPACITY` buffered results can have been
+        // computed (the bounded channel blocks every further send), plus
+        // one in-flight trial per executor blocked in `send`; after the
+        // drop, each executor computes at most one more trial before its
+        // failed send raises the abort flag and the per-trial check skips
+        // the rest.
+        let executors = rayon::current_num_threads();
+        let bound = taken + STREAM_CHANNEL_CAPACITY + 2 * executors;
         let done = computed.load(Ordering::Relaxed);
-        assert!(done < 100_000 / 2, "abort did not save work: {done} of 100000 trials computed");
+        assert!(done <= bound, "abort did not bound work: {done} computed, bound {bound}");
+        assert!(done < trials, "abort saved no work at all");
+    }
+
+    #[test]
+    fn streaming_consumer_can_make_parallel_calls() {
+        // Deadlock regression: the producer's batch back-pressures on the
+        // bounded channel while the consumer issues its own parallel call
+        // (live-dashboard aggregation). The pool must run the consumer's
+        // call inline instead of queueing behind the in-flight batch —
+        // queueing deadlocks because the batch is waiting on the consumer.
+        let trials = STREAM_CHANNEL_CAPACITY * 4;
+        let total = run_trials_streaming(
+            trials,
+            13,
+            |s| s % 11,
+            |rx| {
+                let mut sum = 0u64;
+                for (i, (_, v)) in rx.iter().enumerate() {
+                    sum += v;
+                    if i == 3 {
+                        // Parallel call while the producer is blocked on us.
+                        let nested = run_trials(32, 99, |s| (s % 7) as f64);
+                        assert_eq!(nested, run_trials_sequential(32, 99, |s| (s % 7) as f64));
+                    }
+                }
+                sum
+            },
+        );
+        let expected: u64 = (0..trials as u64).map(|t| trial_seed(13, t) % 11).sum();
+        assert_eq!(total, expected);
     }
 
     #[test]

@@ -50,27 +50,25 @@ pub fn matthews_lower_bound(hitting: &Matrix) -> f64 {
     h_min * harmonic
 }
 
-/// One sampled cover time: steps until all nodes are visited, starting at
-/// `start`; `None` if `cap` steps were not enough.
-pub fn cover_time_once(
-    g: &Graph,
-    kind: WalkKind,
+/// Cover-walk kernel: run `w` from `start` until every node is visited,
+/// using a caller-provided visited buffer (cleared here), so batch callers
+/// pay no per-walk setup beyond the buffer fill.
+fn cover_walk(
+    w: &Walker<'_>,
     start: NodeId,
     cap: usize,
-    seed: u64,
+    rng: &mut SmallRng,
+    visited: &mut [bool],
 ) -> Option<usize> {
-    let n = g.num_nodes();
-    let w = Walker::new(g, kind);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut visited = vec![false; n];
+    visited.fill(false);
     visited[start as usize] = true;
-    let mut remaining = n - 1;
+    let mut remaining = visited.len() - 1;
     if remaining == 0 {
         return Some(0);
     }
     let mut v = start;
     for t in 1..=cap {
-        v = w.step(v, &mut rng);
+        v = w.step(v, rng);
         if !visited[v as usize] {
             visited[v as usize] = true;
             remaining -= 1;
@@ -80,6 +78,21 @@ pub fn cover_time_once(
         }
     }
     None
+}
+
+/// One sampled cover time: steps until all nodes are visited, starting at
+/// `start`; `None` if `cap` steps were not enough.
+pub fn cover_time_once(
+    g: &Graph,
+    kind: WalkKind,
+    start: NodeId,
+    cap: usize,
+    seed: u64,
+) -> Option<usize> {
+    let w = Walker::new(g, kind);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut visited = vec![false; g.num_nodes()];
+    cover_walk(&w, start, cap, &mut rng, &mut visited)
 }
 
 /// Monte-Carlo mean cover time from `start` over `trials` walks (capped
@@ -92,11 +105,16 @@ pub fn cover_time_mc(
     cap: usize,
     seed: u64,
 ) -> f64 {
+    // One sampler shared by every trial; each trial keeps its own RNG and
+    // visited buffer (the buffer is the only per-trial allocation left).
+    let w = Walker::new(g, kind);
+    let n = g.num_nodes();
     let total: u64 = (0..trials as u64)
         .into_par_iter()
         .map(|t| {
-            cover_time_once(g, kind, start, cap, seed ^ t.wrapping_mul(0x9E3779B97F4A7C15))
-                .unwrap_or(cap) as u64
+            let mut rng = SmallRng::seed_from_u64(seed ^ t.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut visited = vec![false; n];
+            cover_walk(&w, start, cap, &mut rng, &mut visited).unwrap_or(cap) as u64
         })
         .sum();
     total as f64 / trials as f64

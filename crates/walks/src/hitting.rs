@@ -110,12 +110,14 @@ pub fn hitting_time_mc(
     cap: usize,
     seed: u64,
 ) -> f64 {
+    // One sampler shared by every trial (`Walker` is `Copy` over a
+    // borrowed graph) — the per-trial state is just the RNG.
+    let w = Walker::new(g, kind);
     let total: u64 = (0..trials)
         .into_par_iter()
         .map(|t| {
             let mut rng =
                 SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            let w = Walker::new(g, kind);
             w.steps_to_hit(u, v, cap, &mut rng).unwrap_or(cap) as u64
         })
         .sum();

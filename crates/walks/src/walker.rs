@@ -34,30 +34,33 @@ impl<'g> Walker<'g> {
         self.kind
     }
 
+    /// One max-degree step: draw a slot in `0..d`; slots beyond `deg(v)`
+    /// are the self-loop mass `(d − d_v)/d`. Shared by the max-degree and
+    /// lazy kinds so the lazy walk needs no temporary sampler per step.
+    #[inline]
+    fn step_max_degree<R: Rng + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
+        if self.max_degree == 0 {
+            return v;
+        }
+        let slot = rng.gen_range(0..self.max_degree);
+        let nbrs = self.g.neighbors(v);
+        if (slot as usize) < nbrs.len() {
+            nbrs[slot as usize]
+        } else {
+            v
+        }
+    }
+
     /// Sample the next position from `v`.
-    ///
-    /// Max-degree semantics: draw a slot in `0..d`; slots beyond `deg(v)`
-    /// are the self-loop mass `(d − d_v)/d`.
     #[inline]
     pub fn step<R: Rng + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
         match self.kind {
-            WalkKind::MaxDegree => {
-                if self.max_degree == 0 {
-                    return v;
-                }
-                let slot = rng.gen_range(0..self.max_degree);
-                let nbrs = self.g.neighbors(v);
-                if (slot as usize) < nbrs.len() {
-                    nbrs[slot as usize]
-                } else {
-                    v
-                }
-            }
+            WalkKind::MaxDegree => self.step_max_degree(v, rng),
             WalkKind::Lazy => {
                 if rng.gen::<bool>() {
                     v
                 } else {
-                    Walker { kind: WalkKind::MaxDegree, ..*self }.step(v, rng)
+                    self.step_max_degree(v, rng)
                 }
             }
             WalkKind::Simple => {

@@ -1,30 +1,51 @@
-//! Offline stand-in for `rayon`: data-parallel iterators executed on
-//! scoped `std` threads.
+//! Offline stand-in for `rayon`: data-parallel iterators executed on a
+//! persistent worker pool with dynamic self-scheduling.
 //!
 //! The subset implemented is what the trial harness and the random-walk
 //! estimators use: `into_par_iter()` on ranges and vectors, followed by
 //! `map`, then one of `collect`, `sum`, `for_each`, or `for_each_with`.
-//! Items are processed in contiguous chunks, one chunk per available
-//! core, and ordered combinators (`collect`, `sum`) reassemble chunk
-//! outputs in input order, so results are identical to the sequential
-//! evaluation — which is exactly the reproducibility contract the
-//! experiment harness tests assert.
+//! Work is split into several fixed-size chunks per thread and executors
+//! claim chunks off a shared atomic cursor (see [`pool`]), so uneven items
+//! load-balance; ordered combinators (`collect`, `sum`) reassemble chunk
+//! outputs in input order, making results identical to the sequential
+//! evaluation — exactly the reproducibility contract the experiment
+//! harness tests assert. Thread count comes from `RAYON_NUM_THREADS` (a
+//! positive integer) or `available_parallelism`, read once and cached.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+// The pool needs two tightly-scoped unsafe pieces (a lifetime-erased job
+// pointer plus its Send/Sync impls); everything outside this module stays
+// safe code.
+#[allow(unsafe_code)]
+mod pool;
+
+use std::sync::{Mutex, PoisonError};
 
 /// The traits user code imports.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-/// Number of worker threads to use for `len` items.
-fn thread_count(len: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(len)
-        .max(1)
+/// Number of threads the global pool computes with (`RAYON_NUM_THREADS`
+/// override, else `available_parallelism`), cached at first use — real
+/// rayon's `current_num_threads`.
+pub fn current_num_threads() -> usize {
+    pool::global().threads()
 }
+
+/// Diagnostic: pool worker threads spawned since process start. The pool
+/// is created once and reused by every parallel call, so this stays at
+/// `current_num_threads() - 1` forever (asserted by the pool-reuse tests;
+/// not part of real rayon's API).
+pub fn worker_spawn_count() -> usize {
+    pool::worker_spawn_count()
+}
+
+/// Chunks handed to the pool per thread. More chunks than threads is what
+/// lets fast executors claim extra chunks when per-item cost is uneven —
+/// the dynamic self-scheduling that replaces work stealing in this shim.
+const CHUNKS_PER_THREAD: usize = 8;
 
 /// Split `items` into at most `parts` contiguous chunks, preserving order.
 fn chunked<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
@@ -41,29 +62,46 @@ fn chunked<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
     chunks
 }
 
-/// Apply `f` to every item on the thread pool, preserving input order.
+/// Take a chunk's payload out of its slot (poison-safe: slots are only
+/// poisoned if the payload itself panicked mid-take, which cannot happen —
+/// `take` is panic-free).
+fn take_slot<T>(slot: &Mutex<Option<T>>) -> T {
+    slot.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("pool chunk claimed twice")
+}
+
+/// Apply `f` to every item on the persistent pool, preserving input order.
 fn par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = thread_count(items.len());
+    let len = items.len();
+    // Resolve the pool only for calls that could actually use it; nested
+    // or tiny calls run inline.
+    let threads =
+        if len <= 1 || pool::in_parallel_call() { 1 } else { pool::global().threads().min(len) };
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunks = chunked(items, threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        let mut out = Vec::new();
-        for h in handles {
-            out.extend(h.join().expect("rayon shim worker panicked"));
-        }
-        out
-    })
+    let pool = pool::global();
+    let inputs: Vec<Mutex<Option<Vec<T>>>> = chunked(items, (threads * CHUNKS_PER_THREAD).min(len))
+        .into_iter()
+        .map(|c| Mutex::new(Some(c)))
+        .collect();
+    let outputs: Vec<Mutex<Option<Vec<U>>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    pool.run(inputs.len(), &|chunk: usize| {
+        let mapped: Vec<U> = take_slot(&inputs[chunk]).into_iter().map(f).collect();
+        *outputs[chunk].lock().unwrap_or_else(PoisonError::into_inner) = Some(mapped);
+    });
+    let mut out = Vec::with_capacity(len);
+    for slot in outputs {
+        out.extend(take_slot(&slot));
+    }
+    out
 }
 
 /// Conversion into a parallel iterator.
@@ -110,7 +148,7 @@ pub struct Map<I, F> {
 }
 
 /// Parallel iterator combinators. Terminal operations fan the work out
-/// over scoped threads.
+/// over the persistent pool.
 pub trait ParallelIterator: Sized {
     /// Element type.
     type Item: Send;
@@ -146,16 +184,23 @@ pub trait ParallelIterator: Sized {
         self.for_each_with((), move |(), item| f(item));
     }
 
-    /// Run `f` on every item with a per-worker clone of `init` as mutable
-    /// state (rayon's `for_each_with`).
+    /// Run `f` on every item with a per-chunk clone of `init` as mutable
+    /// state (rayon's `for_each_with`; real rayon clones per split, this
+    /// shim per chunk).
     fn for_each_with<S, F>(self, init: S, f: F)
     where
         S: Clone + Send,
         F: Fn(&mut S, Self::Item) + Sync + Send,
     {
         let items = self.run();
-        let threads = thread_count(items.len());
-        let f = &f;
+        let len = items.len();
+        // Resolve the pool only for calls that could actually use it;
+        // nested or tiny calls run inline.
+        let threads = if len <= 1 || pool::in_parallel_call() {
+            1
+        } else {
+            pool::global().threads().min(len)
+        };
         if threads <= 1 {
             let mut state = init;
             for item in items {
@@ -163,15 +208,21 @@ pub trait ParallelIterator: Sized {
             }
             return;
         }
-        let chunks = chunked(items, threads);
-        std::thread::scope(|s| {
-            for chunk in chunks {
-                let mut state = init.clone();
-                s.spawn(move || {
-                    for item in chunk {
-                        f(&mut state, item);
-                    }
-                });
+        let pool = pool::global();
+        // States are cloned up front on this thread: `S` is `Send` but
+        // not necessarily `Sync`, so workers cannot clone from a shared
+        // reference.
+        type ChunkSlot<S, T> = Mutex<Option<(S, Vec<T>)>>;
+        let tasks: Vec<ChunkSlot<S, Self::Item>> =
+            chunked(items, (threads * CHUNKS_PER_THREAD).min(len))
+                .into_iter()
+                .map(|c| Mutex::new(Some((init.clone(), c))))
+                .collect();
+        let f = &f;
+        pool.run(tasks.len(), &|chunk: usize| {
+            let (mut state, items) = take_slot(&tasks[chunk]);
+            for item in items {
+                f(&mut state, item);
             }
         });
     }
@@ -238,5 +289,89 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    /// Busy work whose cost varies ~100x with the input — the uneven
+    /// workload the self-scheduling chunks exist for.
+    fn uneven(x: u64) -> u64 {
+        let mut acc = x;
+        for _ in 0..(x % 64) * 40 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        acc
+    }
+
+    #[test]
+    fn uneven_map_preserves_order() {
+        let out: Vec<u64> = (0u64..512).into_par_iter().map(uneven).collect();
+        assert_eq!(out, (0u64..512).map(uneven).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        for round in 0u64..50 {
+            let out: Vec<u64> = (0u64..300).into_par_iter().map(|x| x + round).collect();
+            assert_eq!(out[299], 299 + round);
+        }
+        // The persistent pool never spawns more than its initial workers.
+        assert_eq!(crate::worker_spawn_count(), crate::current_num_threads().saturating_sub(1));
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0u64..256)
+                .into_par_iter()
+                .map(|x| if x == 137 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool is still usable afterwards.
+        let out: Vec<u64> = (0u64..256).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0u64..256).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|x| (0u64..x).into_par_iter().map(|y| y).sum::<u64>())
+            .collect();
+        let expected: Vec<u64> = (0u64..64).map(|x| x * x.saturating_sub(1) / 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn concurrent_callers_from_independent_threads_complete() {
+        // Two non-worker threads race parallel calls; whichever loses the
+        // pool runs inline. Neither may block on the other (the busy-pool
+        // inline fallback), and both must produce ordered results.
+        let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|k| {
+                    s.spawn(move || {
+                        (0u64..400).into_par_iter().map(move |x| x * (k + 1)).collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (k, out) in results.iter().enumerate() {
+            let expected: Vec<u64> = (0u64..400).map(|x| x * (k as u64 + 1)).collect();
+            assert_eq!(out, &expected, "caller {k}");
+        }
+    }
+
+    #[test]
+    fn for_each_with_clones_state_per_chunk() {
+        // Senders cloned per chunk must all reach the same receiver and
+        // the channel must close once the call returns.
+        let (tx, rx) = std::sync::mpsc::channel::<u64>();
+        (0u64..500).into_par_iter().for_each_with(tx, |tx, x| {
+            tx.send(x).unwrap();
+        });
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0u64..500).collect::<Vec<_>>());
     }
 }

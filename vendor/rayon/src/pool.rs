@@ -1,0 +1,285 @@
+//! Persistent worker pool with dynamic self-scheduling.
+//!
+//! The first parallel call creates one global pool ([`std::sync::OnceLock`])
+//! of `current_num_threads() - 1` detached worker threads; the submitting
+//! thread is the extra executor, so a pool of `N` threads computes with `N`
+//! cores and every later call reuses the same threads instead of spawning a
+//! scope per call.
+//!
+//! A parallel call packages its chunked job as a [`Batch`]. Executors
+//! (workers plus the caller) repeatedly claim the next chunk index off a
+//! shared `AtomicUsize` cursor — dynamic self-scheduling, the
+//! load-balancing equivalent of work stealing for this shim's fan-outs:
+//! when chunks are uneven, fast threads simply claim more of them. The
+//! caller blocks until every claimed chunk is marked done, which is what
+//! makes the lifetime erasure in [`Pool::run`] sound. A panicking chunk
+//! records its payload, poisons the batch (remaining chunks are skipped),
+//! and the payload is re-thrown on the caller via
+//! [`std::panic::resume_unwind`] — the same observable behavior as real
+//! rayon.
+//!
+//! Thread count: a positive integer in `RAYON_NUM_THREADS` overrides
+//! [`std::thread::available_parallelism`]; either way the value is read
+//! once at pool creation and cached for the process lifetime.
+//!
+//! Re-entrant parallel calls (a job using parallel iterators itself, which
+//! real rayon splits onto the same pool) are detected with a thread-local
+//! flag and run inline sequentially: the ordered combinators make that
+//! observationally identical, and it cannot deadlock the single batch slot.
+//! Likewise, a call arriving while another thread's batch is in flight
+//! runs inline instead of queueing — waiting could deadlock when the
+//! in-flight batch needs this caller to make progress (a streaming
+//! consumer doing parallel aggregation is the concrete case).
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock, recovering from poisoning: every critical section in this module
+/// is panic-free (job panics are caught before the bookkeeping locks), so
+/// a poisoned lock still holds consistent data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// True while this thread executes inside a parallel call, as a pool
+    /// worker or as the submitting caller.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already inside a parallel call (nested
+/// calls must run inline instead of re-entering the pool).
+pub(crate) fn in_parallel_call() -> bool {
+    IN_PARALLEL.with(Cell::get)
+}
+
+/// Parse a `RAYON_NUM_THREADS`-style override. `None` for unset, empty,
+/// unparseable, or zero values (zero means "use the default" in real rayon
+/// too).
+pub(crate) fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+fn configured_thread_count() -> usize {
+    parse_thread_override(std::env::var("RAYON_NUM_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Worker threads spawned since process start. The pool is created once,
+/// so this stays at `current_num_threads() - 1` no matter how many
+/// parallel calls run — the reuse diagnostic the tests assert on.
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn worker_spawn_count() -> usize {
+    WORKERS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Lifetime-erased pointer to a borrowed per-chunk job closure.
+///
+/// Safety contract: [`Pool::run`] blocks until every claimed chunk is
+/// marked done, and executors dereference the pointer only while running a
+/// claimed chunk, so the pointee outlives every dereference.
+struct RawJob(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (only ever called through `&`), and the
+// `RawJob` contract above keeps it alive for every dereference.
+unsafe impl Send for RawJob {}
+unsafe impl Sync for RawJob {}
+
+/// One submitted parallel call: a chunked job plus the self-scheduling
+/// cursor and completion/panic bookkeeping.
+struct Batch {
+    job: RawJob,
+    chunks: usize,
+    /// Next unclaimed chunk — the shared self-scheduling cursor.
+    next: AtomicUsize,
+    /// Chunks finished (executed or skipped after a panic).
+    done: Mutex<usize>,
+    all_done: Condvar,
+    /// Payload of the first chunk panic, re-thrown on the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    /// Claim and execute chunks until the cursor runs off the end.
+    fn execute(&self) {
+        loop {
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.chunks {
+                return;
+            }
+            if !self.panicked.load(Ordering::Relaxed) {
+                // SAFETY: `chunk < self.chunks` was claimed exactly once,
+                // and the submitting `run` call keeps the pointee alive
+                // until this chunk is marked done below.
+                let job = unsafe { &*self.job.0 };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(chunk))) {
+                    self.panicked.store(true, Ordering::Relaxed);
+                    let mut slot = lock(&self.panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let mut done = lock(&self.done);
+            *done += 1;
+            if *done == self.chunks {
+                self.all_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Shared pool state the workers block on.
+struct Shared {
+    /// The in-flight batch, if any. A single slot suffices because
+    /// `Pool::submit` serializes batches.
+    slot: Mutex<Option<Arc<Batch>>>,
+    work_ready: Condvar,
+}
+
+/// The persistent pool: a cached thread count plus the worker handles'
+/// shared state.
+pub(crate) struct Pool {
+    threads: usize,
+    shared: Arc<Shared>,
+    /// Held by the submitting caller for the whole batch, so concurrent
+    /// callers (e.g. parallel tests) queue instead of fighting over the
+    /// single batch slot.
+    submit: Mutex<()>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        let threads = configured_thread_count();
+        let shared = Arc::new(Shared { slot: Mutex::new(None), work_ready: Condvar::new() });
+        for i in 0..threads.saturating_sub(1) {
+            let shared = Arc::clone(&shared);
+            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn rayon shim worker");
+        }
+        Pool { threads, shared, submit: Mutex::new(()) }
+    }
+
+    /// Cached thread count (env override or `available_parallelism`).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `job(chunk)` for every chunk in `0..chunks` on the pool,
+    /// returning once all chunks finished; the caller participates as an
+    /// executor. Chunk panics are propagated to this caller.
+    ///
+    /// If another thread's batch is already in flight, the job runs
+    /// inline on the caller instead of waiting: blocking here can
+    /// deadlock when the in-flight batch depends on this caller making
+    /// progress (e.g. a streaming consumer that issues a parallel call
+    /// while the producer's batch back-pressures on it), and the ordered
+    /// combinators make inline execution observationally identical.
+    pub(crate) fn run<'a>(&self, chunks: usize, job: &'a (dyn Fn(usize) + Sync + 'a)) {
+        if chunks == 0 {
+            return;
+        }
+        let submit = match self.submit.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                IN_PARALLEL.with(|f| f.set(true));
+                let inline = catch_unwind(AssertUnwindSafe(|| {
+                    for chunk in 0..chunks {
+                        job(chunk);
+                    }
+                }));
+                IN_PARALLEL.with(|f| f.set(false));
+                if let Err(payload) = inline {
+                    resume_unwind(payload);
+                }
+                return;
+            }
+        };
+        let raw: *const (dyn Fn(usize) + Sync + 'a) = job;
+        // SAFETY (lifetime erasure): this function returns only after
+        // `done == chunks`, and executors never dereference the pointer
+        // after marking their last claimed chunk done, so `job` outlives
+        // every dereference despite the 'static in `RawJob`. The types
+        // differ only in that lifetime bound, so the layout is identical.
+        #[allow(clippy::useless_transmute)]
+        let raw: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(raw) };
+        let batch = Arc::new(Batch {
+            job: RawJob(raw),
+            chunks,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+        });
+        *lock(&self.shared.slot) = Some(Arc::clone(&batch));
+        self.shared.work_ready.notify_all();
+        // Participate: the caller claims chunks alongside the workers.
+        IN_PARALLEL.with(|f| f.set(true));
+        batch.execute();
+        IN_PARALLEL.with(|f| f.set(false));
+        // Wait for chunks claimed by workers to finish.
+        let mut done = lock(&batch.done);
+        while *done < chunks {
+            done = batch.all_done.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(done);
+        *lock(&self.shared.slot) = None;
+        drop(submit);
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Everything a worker ever runs is pool work, so nested parallel
+    // calls from inside a job must always go inline.
+    IN_PARALLEL.with(|f| f.set(true));
+    loop {
+        let batch = {
+            let mut slot = lock(&shared.slot);
+            loop {
+                if let Some(b) = slot.as_ref() {
+                    if b.next.load(Ordering::Relaxed) < b.chunks {
+                        break Arc::clone(b);
+                    }
+                }
+                slot = shared.work_ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        batch.execute();
+    }
+}
+
+/// The lazily-created global pool.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_thread_override;
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("-2")), None);
+        assert_eq!(parse_thread_override(Some("lots")), None);
+        assert_eq!(parse_thread_override(Some("3")), Some(3));
+        assert_eq!(parse_thread_override(Some(" 8 ")), Some(8));
+    }
+}

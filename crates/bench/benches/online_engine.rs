@@ -1,0 +1,58 @@
+//! Epoch throughput of the online simulation engine: the steady-state
+//! arrival/departure loop, the same loop under stochastic resource churn
+//! (snapshot + compaction cost), and the multi-tenant metrics overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_graphs::generators::torus2d;
+use tlb_sim::{ArrivalProcess, ChurnProcess, OnlineSim, SimConfig, TenantSpec};
+
+fn base_cfg(name: &str) -> SimConfig {
+    SimConfig {
+        name: name.into(),
+        epochs: 100,
+        seed: 5,
+        arrivals: ArrivalProcess::Poisson { rate: 30.0 },
+        departure_prob: 0.04,
+        rounds_per_epoch: 16,
+        ..Default::default()
+    }
+}
+
+fn bench_online_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_engine");
+    group.sample_size(10);
+
+    group.bench_function("steady_100_epochs_torus8x8", |b| {
+        b.iter(|| OnlineSim::new(torus2d(8, 8), base_cfg("steady")).run())
+    });
+
+    group.bench_function("churn_100_epochs_torus8x8", |b| {
+        b.iter(|| {
+            let mut cfg = base_cfg("churn");
+            cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.2, random_up: 0.3 };
+            OnlineSim::new(torus2d(8, 8), cfg).run()
+        })
+    });
+
+    group.bench_function("four_tenants_100_epochs_torus8x8", |b| {
+        b.iter(|| {
+            let mut cfg = base_cfg("tenants");
+            cfg.tenants = (0..4)
+                .map(|i| {
+                    TenantSpec::new(
+                        format!("t{i}"),
+                        ThresholdPolicy::AboveAverage { epsilon: 0.2 + 0.3 * i as f64 },
+                        1.0,
+                    )
+                })
+                .collect();
+            OnlineSim::new(torus2d(8, 8), cfg).run()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_engine);
+criterion_main!(benches);

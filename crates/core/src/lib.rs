@@ -12,6 +12,10 @@
 //!   every task on an overloaded resource independently migrates to a
 //!   uniformly random resource with probability `α·⌈φ_r/w_max⌉·(1/b_r)`
 //!   ([`user_protocol`]),
+//! * each protocol both as a one-shot `run_*` entry point and as the
+//!   resumable stepper engine underneath it (`new → step → into_outcome`),
+//!   which the online simulation crate (`tlb-sim`) drives round by round
+//!   between streaming arrivals and resource churn,
 //! * the model substrate both share: weighted tasks ([`task`], [`weights`]),
 //!   stack semantics with heights and threshold cutting ([`stack`]),
 //!   threshold policies ([`threshold`]), initial placements ([`placement`]),
@@ -67,11 +71,12 @@ pub mod prelude {
     pub use crate::placement::Placement;
     pub use crate::resource_protocol::{
         run_resource_controlled, ResourceControlledConfig, ResourceControlledOutcome,
+        ResourceControlledStepper,
     };
     pub use crate::task::{TaskId, TaskSet};
     pub use crate::threshold::ThresholdPolicy;
     pub use crate::user_protocol::{
-        run_user_controlled, UserControlledConfig, UserControlledOutcome,
+        run_user_controlled, UserControlledConfig, UserControlledOutcome, UserControlledStepper,
     };
     pub use crate::weights::WeightSpec;
 }

@@ -11,6 +11,9 @@
 //!   random-walk step along the graph (no global view; works on any
 //!   topology, unlike Algorithm 6.1's uniform jump).
 //!
+//! Exposed as the one-shot [`run_mixed`] plus the resumable
+//! [`MixedStepper`] engine it wraps, like the two paper protocols.
+//!
 //! The two paper protocols are recovered at the extremes:
 //!
 //! * with `departure = Departure::AllActive` the decision rule degenerates
@@ -102,6 +105,197 @@ impl MixedOutcome {
     }
 }
 
+/// Resumable engine of the mixed protocol: one [`step`] call is one round
+/// (user-style departure coins, resource-style walk moves). The graph is
+/// passed into each step, so the caller may swap it between rounds — the
+/// online simulation runs this engine over a churned topology.
+///
+/// [`step`]: MixedStepper::step
+#[derive(Debug, Clone)]
+pub struct MixedStepper {
+    cfg: MixedConfig,
+    weights: Vec<f64>,
+    w_max: f64,
+    threshold: f64,
+    stacks: Vec<ResourceStack>,
+    rounds: u64,
+    migrations: u64,
+    potential_series: Vec<f64>,
+    completed: bool,
+    // Round buffers, reused so a step allocates nothing in steady state.
+    pending: Vec<(TaskId, NodeId)>,
+    departing: Vec<TaskId>,
+}
+
+impl MixedStepper {
+    /// Set up a run: materialize the placement (consuming RNG exactly as
+    /// the one-shot entry point always has) and take the initial
+    /// snapshots.
+    ///
+    /// # Panics
+    /// If the graph is empty, `alpha <= 0` with Bernoulli departures, or
+    /// the placement is invalid.
+    pub fn new<R: Rng + ?Sized>(
+        g: &Graph,
+        tasks: &TaskSet,
+        placement: Placement,
+        cfg: &MixedConfig,
+        rng: &mut R,
+    ) -> Self {
+        let n = g.num_nodes();
+        assert!(n > 0, "need at least one resource");
+        let weights = tasks.weights().to_vec();
+        let w_max = tasks.w_max();
+        let threshold = cfg.threshold.value(tasks.total_weight(), n, w_max);
+
+        let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
+        for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
+            stacks[loc as usize].push(i as TaskId, weights[i]);
+        }
+
+        Self::from_parts(stacks, weights, threshold, w_max, cfg.clone())
+    }
+
+    /// Resume from an existing stack configuration (the online-simulation
+    /// entry point; consumes no RNG). `threshold` and `w_max` are taken as
+    /// given so a dynamic caller can compute them over its live population
+    /// only.
+    ///
+    /// # Panics
+    /// If the stack vector is empty, or `alpha <= 0` with Bernoulli
+    /// departures.
+    pub fn from_parts(
+        stacks: Vec<ResourceStack>,
+        weights: Vec<f64>,
+        threshold: f64,
+        w_max: f64,
+        cfg: MixedConfig,
+    ) -> Self {
+        assert!(!stacks.is_empty(), "need at least one resource");
+        if cfg.departure == Departure::Bernoulli {
+            assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
+        }
+        let completed = is_balanced(&stacks, threshold);
+        let mut potential_series = Vec::new();
+        if cfg.track_potential {
+            potential_series.push(total_potential(&stacks, threshold, &weights));
+        }
+        MixedStepper {
+            cfg,
+            weights,
+            w_max,
+            threshold,
+            stacks,
+            rounds: 0,
+            migrations: 0,
+            potential_series,
+            completed,
+            pending: Vec::new(),
+            departing: Vec::new(),
+        }
+    }
+
+    /// Whether every load is at most the threshold.
+    pub fn is_balanced(&self) -> bool {
+        self.completed
+    }
+
+    /// Whether the run is over: balanced, or the round cap was hit.
+    pub fn is_done(&self) -> bool {
+        self.completed || self.rounds >= self.cfg.max_rounds
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The threshold this run balances against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The per-resource stacks (index = resource id).
+    pub fn stacks(&self) -> &[ResourceStack] {
+        &self.stacks
+    }
+
+    /// Execute one round unless the run is already done. Returns
+    /// [`is_done`](Self::is_done) after the round.
+    pub fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        let walker = Walker::new(g, self.cfg.walk);
+        self.rounds += 1;
+        self.pending.clear();
+        for r in 0..self.stacks.len() as NodeId {
+            let stack = &mut self.stacks[r as usize];
+            if !stack.is_overloaded(self.threshold) {
+                continue;
+            }
+            self.departing.clear();
+            match self.cfg.departure {
+                Departure::AllActive => {
+                    stack.remove_active_into(self.threshold, &self.weights, &mut self.departing);
+                }
+                Departure::Bernoulli => {
+                    let psi = stack.psi(self.threshold, &self.weights, self.w_max);
+                    let p = (self.cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
+                    stack.drain_bernoulli_into(p, &self.weights, rng, &mut self.departing);
+                }
+            }
+            for &t in &self.departing {
+                self.pending.push((t, walker.step(r, rng)));
+            }
+        }
+        self.migrations += self.pending.len() as u64;
+        for &(t, dest) in &self.pending {
+            self.stacks[dest as usize].push(t, self.weights[t as usize]);
+        }
+        if self.cfg.track_potential {
+            self.potential_series.push(total_potential(
+                &self.stacks,
+                self.threshold,
+                &self.weights,
+            ));
+        }
+        self.completed = is_balanced(&self.stacks, self.threshold);
+        self.is_done()
+    }
+
+    /// Step until balanced or the round cap.
+    pub fn run<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        while !self.step(g, rng) {}
+    }
+
+    /// Finish: consume the engine into the outcome the one-shot entry
+    /// point reports.
+    pub fn into_outcome(self) -> MixedOutcome {
+        MixedOutcome {
+            rounds: self.rounds,
+            completed: self.completed,
+            migrations: self.migrations,
+            threshold: self.threshold,
+            potential_series: self.potential_series,
+            final_max_load: max_load(&self.stacks),
+            final_loads: self.stacks.iter().map(ResourceStack::load).collect(),
+        }
+    }
+
+    /// Hand the stacks and weight vector back to a dynamic caller (the
+    /// inverse of [`from_parts`](Self::from_parts)). Read the counters
+    /// before calling this.
+    pub fn into_parts(self) -> (Vec<ResourceStack>, Vec<f64>) {
+        (self.stacks, self.weights)
+    }
+}
+
 /// Run the mixed protocol on an arbitrary graph.
 ///
 /// # Panics
@@ -114,76 +308,9 @@ pub fn run_mixed<R: Rng + ?Sized>(
     cfg: &MixedConfig,
     rng: &mut R,
 ) -> MixedOutcome {
-    let n = g.num_nodes();
-    assert!(n > 0, "need at least one resource");
-    if cfg.departure == Departure::Bernoulli {
-        assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
-    }
-    let weights = tasks.weights();
-    let w_max = tasks.w_max();
-    let threshold = cfg.threshold.value(tasks.total_weight(), n, w_max);
-    let walker = Walker::new(g, cfg.walk);
-
-    let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
-    for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
-        stacks[loc as usize].push(i as TaskId, weights[i]);
-    }
-
-    let mut potential_series = Vec::new();
-    if cfg.track_potential {
-        potential_series.push(total_potential(&stacks, threshold, weights));
-    }
-
-    let mut migrations = 0u64;
-    let mut pending: Vec<(TaskId, NodeId)> = Vec::new();
-    // Reused across rounds: the stack drains append into this buffer
-    // instead of allocating a fresh vector per overloaded resource.
-    let mut departing: Vec<TaskId> = Vec::new();
-    let mut rounds = 0u64;
-    let mut completed = is_balanced(&stacks, threshold);
-
-    while !completed && rounds < cfg.max_rounds {
-        rounds += 1;
-        pending.clear();
-        for r in 0..n as NodeId {
-            let stack = &mut stacks[r as usize];
-            if !stack.is_overloaded(threshold) {
-                continue;
-            }
-            departing.clear();
-            match cfg.departure {
-                Departure::AllActive => {
-                    stack.remove_active_into(threshold, weights, &mut departing);
-                }
-                Departure::Bernoulli => {
-                    let psi = stack.psi(threshold, weights, w_max);
-                    let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
-                    stack.drain_bernoulli_into(p, weights, rng, &mut departing);
-                }
-            }
-            for &t in &departing {
-                pending.push((t, walker.step(r, rng)));
-            }
-        }
-        migrations += pending.len() as u64;
-        for &(t, dest) in &pending {
-            stacks[dest as usize].push(t, weights[t as usize]);
-        }
-        if cfg.track_potential {
-            potential_series.push(total_potential(&stacks, threshold, weights));
-        }
-        completed = is_balanced(&stacks, threshold);
-    }
-
-    MixedOutcome {
-        rounds,
-        completed,
-        migrations,
-        threshold,
-        potential_series,
-        final_max_load: max_load(&stacks),
-        final_loads: stacks.iter().map(ResourceStack::load).collect(),
-    }
+    let mut stepper = MixedStepper::new(g, tasks, placement, cfg, rng);
+    stepper.run(g, rng);
+    stepper.into_outcome()
 }
 
 #[cfg(test)]
@@ -276,5 +403,18 @@ mod tests {
         let out = run_mixed(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(4));
         assert!(!out.balanced());
         assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn manual_stepping_matches_one_shot_run() {
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new((0..300).map(|i| 1.0 + (i % 4) as f64).collect::<Vec<_>>());
+        let cfg = MixedConfig { track_potential: true, ..Default::default() };
+        let one_shot = run_mixed(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(55));
+
+        let mut r = rng(55);
+        let mut stepper = MixedStepper::new(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
+        while !stepper.step(&g, &mut r) {}
+        assert_eq!(stepper.into_outcome(), one_shot);
     }
 }

@@ -8,6 +8,16 @@
 //! within `T` is *accepted* and never moves again. The balancing time is
 //! the first round after which every load is at most `T`.
 //!
+//! The protocol is exposed at two levels:
+//!
+//! * [`run_resource_controlled`] — the one-shot entry point: run until
+//!   balanced (or the round cap) and report an outcome, exactly as the
+//!   paper's experiments use it;
+//! * [`ResourceControlledStepper`] — the resumable engine underneath it
+//!   (`new → step → into_outcome`). The online simulation (`tlb-sim`)
+//!   drives it one round at a time between arrival/churn events via
+//!   [`ResourceControlledStepper::from_parts`].
+//!
 //! Analysis reproduced by the experiments:
 //! * Theorem 3 — above-average thresholds: `O(τ(G)·log m)` rounds w.h.p.
 //! * Theorem 7 — tight threshold `W/n + 2w_max`: expected `O(H(G)·ln W)`.
@@ -23,6 +33,7 @@ use crate::potential::{is_balanced, max_load, total_potential};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
+use crate::trace::RoundTrace;
 
 /// Configuration of a resource-controlled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +55,10 @@ pub struct ResourceControlledConfig {
     /// order their source resources were scanned (deterministic), `true`
     /// randomizes — an ablation that should not change the asymptotics.
     pub shuffle_arrivals: bool,
+    /// Record a full [`RoundTrace`] (potential, overload count, max load,
+    /// migrations per round) in the outcome. Costs one stack scan per
+    /// resource per round, like `track_potential`.
+    pub record_trace: bool,
 }
 
 impl Default for ResourceControlledConfig {
@@ -54,6 +69,7 @@ impl Default for ResourceControlledConfig {
             max_rounds: 10_000_000,
             track_potential: false,
             shuffle_arrivals: false,
+            record_trace: false,
         }
     }
 }
@@ -76,12 +92,210 @@ pub struct ResourceControlledOutcome {
     pub final_max_load: f64,
     /// Per-resource loads at termination (index = resource id).
     pub final_loads: Vec<f64>,
+    /// Full per-round trace, if `record_trace` was enabled.
+    pub trace: Option<RoundTrace>,
 }
 
 impl ResourceControlledOutcome {
     /// Whether the run ended balanced.
     pub fn balanced(&self) -> bool {
         self.completed
+    }
+}
+
+/// Resumable engine of the resource-controlled protocol: one [`step`] call
+/// is one round of Algorithm 5.1. The engine owns the per-resource stacks
+/// and its round buffers; the graph is passed into each step, so the
+/// caller may swap it between rounds (the online simulation compacts its
+/// churned overlay back to CSR and keeps stepping).
+///
+/// [`step`]: ResourceControlledStepper::step
+#[derive(Debug, Clone)]
+pub struct ResourceControlledStepper {
+    cfg: ResourceControlledConfig,
+    weights: Vec<f64>,
+    threshold: f64,
+    stacks: Vec<ResourceStack>,
+    rounds: u64,
+    migrations: u64,
+    potential_series: Vec<f64>,
+    trace: Option<RoundTrace>,
+    completed: bool,
+    // Round buffers, reused so a step allocates nothing in steady state.
+    pending: Vec<(TaskId, NodeId)>,
+    removed: Vec<TaskId>,
+}
+
+impl ResourceControlledStepper {
+    /// Set up a run: materialize the placement (consuming RNG exactly as
+    /// the one-shot entry point always has) and take the initial
+    /// snapshots.
+    ///
+    /// # Panics
+    /// If the placement is invalid for `(m, n)` or the graph is empty.
+    pub fn new<R: Rng + ?Sized>(
+        g: &Graph,
+        tasks: &TaskSet,
+        placement: Placement,
+        cfg: &ResourceControlledConfig,
+        rng: &mut R,
+    ) -> Self {
+        let n = g.num_nodes();
+        assert!(n > 0, "need at least one resource");
+        let weights = tasks.weights().to_vec();
+        let threshold = cfg.threshold.value(tasks.total_weight(), n, tasks.w_max());
+
+        let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
+        for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
+            stacks[loc as usize].push(i as TaskId, weights[i]);
+        }
+
+        Self::from_parts(stacks, weights, threshold, cfg.clone())
+    }
+
+    /// Resume from an existing stack configuration — the entry point of
+    /// the online simulation, which mutates the stacks between rebalancing
+    /// passes (arrivals, departures, resource churn) and hands them back.
+    /// Consumes no RNG. The round/migration counters start at zero.
+    ///
+    /// `threshold` is taken as given rather than derived from
+    /// `cfg.threshold`: a dynamic caller computes it from the *live*
+    /// population, which a weight vector with freed slots cannot express.
+    ///
+    /// # Panics
+    /// If the stack vector is empty.
+    pub fn from_parts(
+        stacks: Vec<ResourceStack>,
+        weights: Vec<f64>,
+        threshold: f64,
+        cfg: ResourceControlledConfig,
+    ) -> Self {
+        assert!(!stacks.is_empty(), "need at least one resource");
+        let completed = is_balanced(&stacks, threshold);
+        let mut potential_series = Vec::new();
+        if cfg.track_potential {
+            potential_series.push(total_potential(&stacks, threshold, &weights));
+        }
+        let trace = cfg.record_trace.then(|| RoundTrace::start(&stacks, threshold, &weights));
+        ResourceControlledStepper {
+            cfg,
+            weights,
+            threshold,
+            stacks,
+            rounds: 0,
+            migrations: 0,
+            potential_series,
+            trace,
+            completed,
+            pending: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// Whether every load is at most the threshold.
+    pub fn is_balanced(&self) -> bool {
+        self.completed
+    }
+
+    /// Whether the run is over: balanced, or the round cap was hit.
+    pub fn is_done(&self) -> bool {
+        self.completed || self.rounds >= self.cfg.max_rounds
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The threshold this run balances against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The per-resource stacks (index = resource id).
+    pub fn stacks(&self) -> &[ResourceStack] {
+        &self.stacks
+    }
+
+    /// Execute one round (removal phase, walk steps, arrival phase) unless
+    /// the run is already done. Returns [`is_done`](Self::is_done) after
+    /// the round.
+    pub fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        let walker = Walker::new(g, self.cfg.walk);
+        self.rounds += 1;
+        self.pending.clear();
+        // Removal phase: every overloaded resource ejects I_a ∪ I_c, and
+        // each ejected task samples one walk step from its source.
+        for r in 0..self.stacks.len() as NodeId {
+            if self.stacks[r as usize].is_overloaded(self.threshold) {
+                self.removed.clear();
+                self.stacks[r as usize].remove_active_into(
+                    self.threshold,
+                    &self.weights,
+                    &mut self.removed,
+                );
+                for &t in &self.removed {
+                    let dest = walker.step(r, rng);
+                    self.pending.push((t, dest));
+                }
+            }
+        }
+        if self.cfg.shuffle_arrivals {
+            self.pending.shuffle(rng);
+        }
+        // Arrival phase: stack in (possibly shuffled) order; acceptance is
+        // implicit in the stack heights.
+        self.migrations += self.pending.len() as u64;
+        for &(t, dest) in &self.pending {
+            self.stacks[dest as usize].push(t, self.weights[t as usize]);
+        }
+        if self.cfg.track_potential {
+            self.potential_series.push(total_potential(
+                &self.stacks,
+                self.threshold,
+                &self.weights,
+            ));
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.rounds, &self.stacks, &self.weights, self.pending.len() as u64);
+        }
+        self.completed = is_balanced(&self.stacks, self.threshold);
+        self.is_done()
+    }
+
+    /// Step until balanced or the round cap.
+    pub fn run<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        while !self.step(g, rng) {}
+    }
+
+    /// Finish: consume the engine into the outcome the one-shot entry
+    /// point reports.
+    pub fn into_outcome(self) -> ResourceControlledOutcome {
+        ResourceControlledOutcome {
+            rounds: self.rounds,
+            completed: self.completed,
+            migrations: self.migrations,
+            threshold: self.threshold,
+            potential_series: self.potential_series,
+            final_max_load: max_load(&self.stacks),
+            final_loads: self.stacks.iter().map(ResourceStack::load).collect(),
+            trace: self.trace,
+        }
+    }
+
+    /// Hand the stacks and weight vector back to a dynamic caller (the
+    /// inverse of [`from_parts`](Self::from_parts)). Read the counters
+    /// before calling this.
+    pub fn into_parts(self) -> (Vec<ResourceStack>, Vec<f64>) {
+        (self.stacks, self.weights)
     }
 }
 
@@ -96,69 +310,9 @@ pub fn run_resource_controlled<R: Rng + ?Sized>(
     cfg: &ResourceControlledConfig,
     rng: &mut R,
 ) -> ResourceControlledOutcome {
-    let n = g.num_nodes();
-    assert!(n > 0, "need at least one resource");
-    let weights = tasks.weights();
-    let threshold = cfg.threshold.value(tasks.total_weight(), n, tasks.w_max());
-    let walker = Walker::new(g, cfg.walk);
-
-    let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
-    for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
-        stacks[loc as usize].push(i as TaskId, weights[i]);
-    }
-
-    let mut potential_series = Vec::new();
-    if cfg.track_potential {
-        potential_series.push(total_potential(&stacks, threshold, weights));
-    }
-
-    let mut migrations = 0u64;
-    let mut pending: Vec<(TaskId, NodeId)> = Vec::new();
-    // Reused across rounds: the stack drain appends into this buffer
-    // instead of allocating a fresh vector per overloaded resource.
-    let mut removed: Vec<TaskId> = Vec::new();
-    let mut rounds = 0u64;
-    let mut completed = is_balanced(&stacks, threshold);
-
-    while !completed && rounds < cfg.max_rounds {
-        rounds += 1;
-        pending.clear();
-        // Removal phase: every overloaded resource ejects I_a ∪ I_c, and
-        // each ejected task samples one walk step from its source.
-        for r in 0..n as NodeId {
-            if stacks[r as usize].is_overloaded(threshold) {
-                removed.clear();
-                stacks[r as usize].remove_active_into(threshold, weights, &mut removed);
-                for &t in &removed {
-                    let dest = walker.step(r, rng);
-                    pending.push((t, dest));
-                }
-            }
-        }
-        if cfg.shuffle_arrivals {
-            pending.shuffle(rng);
-        }
-        // Arrival phase: stack in (possibly shuffled) order; acceptance is
-        // implicit in the stack heights.
-        migrations += pending.len() as u64;
-        for &(t, dest) in &pending {
-            stacks[dest as usize].push(t, weights[t as usize]);
-        }
-        if cfg.track_potential {
-            potential_series.push(total_potential(&stacks, threshold, weights));
-        }
-        completed = is_balanced(&stacks, threshold);
-    }
-
-    ResourceControlledOutcome {
-        rounds,
-        completed,
-        migrations,
-        threshold,
-        potential_series,
-        final_max_load: max_load(&stacks),
-        final_loads: stacks.iter().map(ResourceStack::load).collect(),
-    }
+    let mut stepper = ResourceControlledStepper::new(g, tasks, placement, cfg, rng);
+    stepper.run(g, rng);
+    stepper.into_outcome()
 }
 
 #[cfg(test)]
@@ -311,5 +465,101 @@ mod tests {
         );
         assert!(out.balanced());
         assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn manual_stepping_matches_one_shot_run() {
+        // The wrapper is nothing but new → step* → into_outcome, so
+        // driving the stepper by hand must reproduce it bit for bit.
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new((0..200).map(|i| 1.0 + (i % 3) as f64).collect::<Vec<_>>());
+        let cfg = ResourceControlledConfig { track_potential: true, ..Default::default() };
+        let one_shot =
+            run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(77));
+
+        let mut r = rng(77);
+        let mut stepper =
+            ResourceControlledStepper::new(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
+        let mut manual_rounds = 0;
+        while !stepper.step(&g, &mut r) {
+            manual_rounds += 1;
+        }
+        assert_eq!(manual_rounds + 1, one_shot.rounds, "last step returns done");
+        assert_eq!(stepper.into_outcome(), one_shot);
+    }
+
+    #[test]
+    fn stepping_a_done_stepper_is_a_no_op() {
+        let g = complete(4);
+        let tasks = TaskSet::uniform(4);
+        let cfg = ResourceControlledConfig::default();
+        let mut r = rng(1);
+        let mut s = ResourceControlledStepper::new(&g, &tasks, Placement::RoundRobin, &cfg, &mut r);
+        assert!(s.is_done());
+        assert!(s.step(&g, &mut r));
+        assert!(s.step(&g, &mut r));
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.migrations(), 0);
+    }
+
+    #[test]
+    fn from_parts_resumes_mid_run() {
+        // Split one run into two steppers (handing the stacks across) and
+        // check the combined trajectory still balances with the same
+        // total-weight invariant.
+        let g = torus2d(4, 4);
+        let tasks = TaskSet::uniform(160);
+        let cfg = ResourceControlledConfig { max_rounds: 3, ..Default::default() };
+        let mut r = rng(5);
+        let mut first =
+            ResourceControlledStepper::new(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
+        first.run(&g, &mut r);
+        assert!(!first.is_balanced());
+        let threshold = first.threshold();
+        let first_migrations = first.migrations();
+        let (stacks, weights) = first.into_parts();
+
+        let cfg2 = ResourceControlledConfig::default();
+        let mut second = ResourceControlledStepper::from_parts(stacks, weights, threshold, cfg2);
+        second.run(&g, &mut r);
+        assert!(second.is_balanced());
+        assert!(second.migrations() > 0 || first_migrations > 0);
+        let out = second.into_outcome();
+        let total: f64 = out.final_loads.iter().sum();
+        assert!((total - tasks.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_recording_matches_outcome_aggregates() {
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new((0..150).map(|i| 1.0 + (i % 4) as f64).collect::<Vec<_>>());
+        let cfg = ResourceControlledConfig {
+            record_trace: true,
+            track_potential: true,
+            ..Default::default()
+        };
+        let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(21));
+        assert!(out.balanced());
+        let trace = out.trace.as_ref().expect("record_trace must produce a trace");
+        assert_eq!(trace.rounds() as u64, out.rounds);
+        assert_eq!(trace.total_migrations(), out.migrations);
+        assert_eq!(trace.potential_series(), out.potential_series);
+        assert_eq!(trace.threshold, out.threshold);
+        assert_eq!(trace.records.last().unwrap().max_load, out.final_max_load);
+    }
+
+    #[test]
+    fn trace_recording_does_not_change_the_trajectory() {
+        // Trace snapshots consume no randomness, so outcomes must agree.
+        let g = torus2d(4, 4);
+        let tasks = TaskSet::uniform(100);
+        let base = ResourceControlledConfig::default();
+        let traced = ResourceControlledConfig { record_trace: true, ..Default::default() };
+        let a = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &base, &mut rng(3));
+        let b = run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &traced, &mut rng(3));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.final_loads, b.final_loads);
+        assert!(b.trace.is_some() && a.trace.is_none());
     }
 }

@@ -11,6 +11,10 @@
 //! number of tasks on `r`. Tasks need only know `α`, `φ_r`, `w_max` and
 //! `b_r` — a fully decentralized rule.
 //!
+//! Like the resource-controlled module, the protocol is exposed as the
+//! one-shot [`run_user_controlled`] plus the resumable
+//! [`UserControlledStepper`] engine it wraps (`new → step → into_outcome`).
+//!
 //! Analysis reproduced by the experiments:
 //! * Theorem 11 — above-average thresholds with `α = ε/(120(1+ε))`:
 //!   `E[T] = 2(1+ε)/(αε)·(w_max/w_min)·log m`.
@@ -30,6 +34,7 @@ use crate::potential::{is_balanced, max_load, total_potential};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
+use crate::trace::RoundTrace;
 
 /// Configuration of a user-controlled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +52,9 @@ pub struct UserControlledConfig {
     /// Shuffle arrival order each round (the paper allows arbitrary
     /// order; this ablates it).
     pub shuffle_arrivals: bool,
+    /// Record a full [`RoundTrace`] in the outcome (one stack scan per
+    /// resource per round, like `track_potential`).
+    pub record_trace: bool,
 }
 
 impl Default for UserControlledConfig {
@@ -57,6 +65,7 @@ impl Default for UserControlledConfig {
             max_rounds: 10_000_000,
             track_potential: false,
             shuffle_arrivals: false,
+            record_trace: false,
         }
     }
 }
@@ -78,12 +87,205 @@ pub struct UserControlledOutcome {
     pub final_max_load: f64,
     /// Per-resource loads at termination (index = resource id).
     pub final_loads: Vec<f64>,
+    /// Full per-round trace, if `record_trace` was enabled.
+    pub trace: Option<RoundTrace>,
 }
 
 impl UserControlledOutcome {
     /// Whether the run ended balanced.
     pub fn balanced(&self) -> bool {
         self.completed
+    }
+}
+
+/// Resumable engine of the user-controlled protocol: one [`step`] call is
+/// one round of Algorithm 6.1 on the implicit complete graph over `n`
+/// resources.
+///
+/// [`step`]: UserControlledStepper::step
+#[derive(Debug, Clone)]
+pub struct UserControlledStepper {
+    cfg: UserControlledConfig,
+    n: usize,
+    weights: Vec<f64>,
+    w_max: f64,
+    threshold: f64,
+    stacks: Vec<ResourceStack>,
+    rounds: u64,
+    migrations: u64,
+    potential_series: Vec<f64>,
+    trace: Option<RoundTrace>,
+    completed: bool,
+    // Round buffer, reused so a step allocates nothing in steady state.
+    migrants: Vec<TaskId>,
+}
+
+impl UserControlledStepper {
+    /// Set up a run: materialize the placement (consuming RNG exactly as
+    /// the one-shot entry point always has) and take the initial
+    /// snapshots.
+    ///
+    /// # Panics
+    /// If `n == 0`, `alpha <= 0`, or the placement is invalid.
+    pub fn new<R: Rng + ?Sized>(
+        n: usize,
+        tasks: &TaskSet,
+        placement: Placement,
+        cfg: &UserControlledConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "need at least one resource");
+        let weights = tasks.weights().to_vec();
+        let w_max = tasks.w_max();
+        let threshold = cfg.threshold.value(tasks.total_weight(), n, w_max);
+
+        let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
+        for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
+            stacks[loc as usize].push(i as TaskId, weights[i]);
+        }
+
+        Self::from_parts(stacks, weights, threshold, w_max, cfg.clone())
+    }
+
+    /// Resume from an existing stack configuration (the online-simulation
+    /// entry point; consumes no RNG). `threshold` and `w_max` are taken as
+    /// given so a dynamic caller can compute them over its live population
+    /// only.
+    ///
+    /// # Panics
+    /// If the stack vector is empty or `alpha <= 0`.
+    pub fn from_parts(
+        stacks: Vec<ResourceStack>,
+        weights: Vec<f64>,
+        threshold: f64,
+        w_max: f64,
+        cfg: UserControlledConfig,
+    ) -> Self {
+        assert!(!stacks.is_empty(), "need at least one resource");
+        assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
+        let n = stacks.len();
+        let completed = is_balanced(&stacks, threshold);
+        let mut potential_series = Vec::new();
+        if cfg.track_potential {
+            potential_series.push(total_potential(&stacks, threshold, &weights));
+        }
+        let trace = cfg.record_trace.then(|| RoundTrace::start(&stacks, threshold, &weights));
+        UserControlledStepper {
+            cfg,
+            n,
+            weights,
+            w_max,
+            threshold,
+            stacks,
+            rounds: 0,
+            migrations: 0,
+            potential_series,
+            trace,
+            completed,
+            migrants: Vec::new(),
+        }
+    }
+
+    /// Whether every load is at most the threshold.
+    pub fn is_balanced(&self) -> bool {
+        self.completed
+    }
+
+    /// Whether the run is over: balanced, or the round cap was hit.
+    pub fn is_done(&self) -> bool {
+        self.completed || self.rounds >= self.cfg.max_rounds
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The threshold this run balances against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The per-resource stacks (index = resource id).
+    pub fn stacks(&self) -> &[ResourceStack] {
+        &self.stacks
+    }
+
+    /// Execute one round (departure coin flips, uniform re-placement)
+    /// unless the run is already done. Returns
+    /// [`is_done`](Self::is_done) after the round.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        self.rounds += 1;
+        self.migrants.clear();
+        // Departure phase: every task on an overloaded resource flips an
+        // independent coin with the resource's migration probability.
+        for stack in self.stacks.iter_mut() {
+            if !stack.is_overloaded(self.threshold) {
+                continue;
+            }
+            let psi = stack.psi(self.threshold, &self.weights, self.w_max);
+            debug_assert!(psi >= 1, "overloaded resource must have psi >= 1");
+            let p = (self.cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
+            // Appends into the round-reused buffer — no per-resource
+            // allocation in the departure phase.
+            stack.drain_bernoulli_into(p, &self.weights, rng, &mut self.migrants);
+        }
+        if self.cfg.shuffle_arrivals {
+            self.migrants.shuffle(rng);
+        }
+        // Arrival phase: uniformly random destination for each migrant.
+        self.migrations += self.migrants.len() as u64;
+        for &t in &self.migrants {
+            let dest = rng.gen_range(0..self.n);
+            self.stacks[dest].push(t, self.weights[t as usize]);
+        }
+        if self.cfg.track_potential {
+            self.potential_series.push(total_potential(
+                &self.stacks,
+                self.threshold,
+                &self.weights,
+            ));
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.rounds, &self.stacks, &self.weights, self.migrants.len() as u64);
+        }
+        self.completed = is_balanced(&self.stacks, self.threshold);
+        self.is_done()
+    }
+
+    /// Step until balanced or the round cap.
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        while !self.step(rng) {}
+    }
+
+    /// Finish: consume the engine into the outcome the one-shot entry
+    /// point reports.
+    pub fn into_outcome(self) -> UserControlledOutcome {
+        UserControlledOutcome {
+            rounds: self.rounds,
+            completed: self.completed,
+            migrations: self.migrations,
+            threshold: self.threshold,
+            potential_series: self.potential_series,
+            final_max_load: max_load(&self.stacks),
+            final_loads: self.stacks.iter().map(ResourceStack::load).collect(),
+            trace: self.trace,
+        }
+    }
+
+    /// Hand the stacks and weight vector back to a dynamic caller (the
+    /// inverse of [`from_parts`](Self::from_parts)). Read the counters
+    /// before calling this.
+    pub fn into_parts(self) -> (Vec<ResourceStack>, Vec<f64>) {
+        (self.stacks, self.weights)
     }
 }
 
@@ -102,67 +304,9 @@ pub fn run_user_controlled<R: Rng + ?Sized>(
     cfg: &UserControlledConfig,
     rng: &mut R,
 ) -> UserControlledOutcome {
-    assert!(n > 0, "need at least one resource");
-    assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
-    let weights = tasks.weights();
-    let w_max = tasks.w_max();
-    let threshold = cfg.threshold.value(tasks.total_weight(), n, w_max);
-
-    let mut stacks: Vec<ResourceStack> = vec![ResourceStack::new(); n];
-    for (i, &loc) in placement.materialize(tasks.len(), n, rng).iter().enumerate() {
-        stacks[loc as usize].push(i as TaskId, weights[i]);
-    }
-
-    let mut potential_series = Vec::new();
-    if cfg.track_potential {
-        potential_series.push(total_potential(&stacks, threshold, weights));
-    }
-
-    let mut migrations = 0u64;
-    let mut migrants: Vec<TaskId> = Vec::new();
-    let mut rounds = 0u64;
-    let mut completed = is_balanced(&stacks, threshold);
-
-    while !completed && rounds < cfg.max_rounds {
-        rounds += 1;
-        migrants.clear();
-        // Departure phase: every task on an overloaded resource flips an
-        // independent coin with the resource's migration probability.
-        for stack in stacks.iter_mut() {
-            if !stack.is_overloaded(threshold) {
-                continue;
-            }
-            let psi = stack.psi(threshold, weights, w_max);
-            debug_assert!(psi >= 1, "overloaded resource must have psi >= 1");
-            let p = (cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
-            // Appends into the round-reused buffer — no per-resource
-            // allocation in the departure phase.
-            stack.drain_bernoulli_into(p, weights, rng, &mut migrants);
-        }
-        if cfg.shuffle_arrivals {
-            migrants.shuffle(rng);
-        }
-        // Arrival phase: uniformly random destination for each migrant.
-        migrations += migrants.len() as u64;
-        for &t in &migrants {
-            let dest = rng.gen_range(0..n);
-            stacks[dest].push(t, weights[t as usize]);
-        }
-        if cfg.track_potential {
-            potential_series.push(total_potential(&stacks, threshold, weights));
-        }
-        completed = is_balanced(&stacks, threshold);
-    }
-
-    UserControlledOutcome {
-        rounds,
-        completed,
-        migrations,
-        threshold,
-        potential_series,
-        final_max_load: max_load(&stacks),
-        final_loads: stacks.iter().map(ResourceStack::load).collect(),
-    }
+    let mut stepper = UserControlledStepper::new(n, tasks, placement, cfg, rng);
+    stepper.run(rng);
+    stepper.into_outcome()
 }
 
 #[cfg(test)]
@@ -360,5 +504,35 @@ mod tests {
             &mut rng(8),
         );
         assert!(out.balanced());
+    }
+
+    #[test]
+    fn manual_stepping_matches_one_shot_run() {
+        let tasks = TaskSet::new((0..120).map(|i| 1.0 + (i % 6) as f64).collect::<Vec<_>>());
+        let cfg = UserControlledConfig { track_potential: true, ..Default::default() };
+        let one_shot = run_user_controlled(30, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(91));
+
+        let mut r = rng(91);
+        let mut stepper =
+            UserControlledStepper::new(30, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
+        while !stepper.step(&mut r) {}
+        assert_eq!(stepper.into_outcome(), one_shot);
+    }
+
+    #[test]
+    fn trace_recording_matches_outcome_aggregates() {
+        let tasks = TaskSet::new((0..150).map(|i| 1.0 + (i % 4) as f64).collect::<Vec<_>>());
+        let cfg = UserControlledConfig {
+            record_trace: true,
+            track_potential: true,
+            ..Default::default()
+        };
+        let out = run_user_controlled(25, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(6));
+        assert!(out.balanced());
+        let trace = out.trace.as_ref().expect("record_trace must produce a trace");
+        assert_eq!(trace.rounds() as u64, out.rounds);
+        assert_eq!(trace.total_migrations(), out.migrations);
+        assert_eq!(trace.potential_series(), out.potential_series);
+        assert_eq!(trace.records.last().unwrap().max_load, out.final_max_load);
     }
 }

@@ -17,6 +17,20 @@ use serde::{Deserialize, Serialize};
 
 use crate::task::TaskSet;
 
+/// Sample one weight from Pareto(1, `alpha`) truncated at `cap` by
+/// inverse CDF: `F(x) = (1 − x^−α) / (1 − cap^−α)`. Shared by
+/// [`WeightSpec::ParetoTruncated`] and the online simulation's arrival
+/// weights, so both draw from the same distribution.
+///
+/// # Panics
+/// If `alpha <= 0` or `cap < 1`.
+pub fn sample_pareto_truncated<R: Rng + ?Sized>(alpha: f64, cap: f64, rng: &mut R) -> f64 {
+    assert!(alpha > 0.0 && cap >= 1.0, "invalid Pareto parameters ({alpha}, {cap})");
+    let tail = 1.0 - cap.powf(-alpha);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    (1.0 - u * tail).powf(-1.0 / alpha).min(cap)
+}
+
 /// A recipe for generating a weighted task set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WeightSpec {
@@ -133,17 +147,7 @@ impl WeightSpec {
             }
             WeightSpec::ParetoTruncated { m, alpha, cap } => {
                 assert!(m >= 1 && alpha > 0.0 && cap >= 1.0, "invalid Pareto parameters");
-                // Inverse-CDF sampling of Pareto(1, alpha) truncated at cap:
-                // F(x) = (1 - x^-a) / (1 - cap^-a).
-                let tail = 1.0 - cap.powf(-alpha);
-                TaskSet::new(
-                    (0..m)
-                        .map(|_| {
-                            let u: f64 = rng.gen_range(0.0..1.0);
-                            (1.0 - u * tail).powf(-1.0 / alpha).min(cap)
-                        })
-                        .collect(),
-                )
+                TaskSet::new((0..m).map(|_| sample_pareto_truncated(alpha, cap, rng)).collect())
             }
         }
     }

@@ -1,0 +1,198 @@
+//! Online-simulation driver: streaming arrivals + resource churn +
+//! multi-tenant thresholds, producing the `BENCH_online.json` epoch-metrics
+//! snapshot CI uploads alongside `BENCH_harness.json`.
+//!
+//! Usage: `online_sim [--quick] [--scenario NAME] [--epochs N] [--seed S]
+//! [--out PATH]`
+//!
+//! Scenarios:
+//!
+//! * `steady`  — Poisson arrivals and departures in equilibrium on a
+//!   complete graph; two tenants (one tight SLO, one relaxed).
+//! * `churn`   — arrivals while resources fail and recover at random and
+//!   a scripted rack drains mid-run; arrivals stop at 2/3 of the run so
+//!   the tail is a pure convergence phase (the default).
+//! * `cdn-day` — bursty flash-crowd traffic with heavy-tailed object
+//!   sizes on a torus fabric.
+//!
+//! The report JSON contains no wall-clock fields, so two runs with the
+//! same seed are byte-identical regardless of machine or thread count —
+//! CI diffs `RAYON_NUM_THREADS=1` against `=4` as a reproducibility gate.
+
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_graphs::generators::{complete, torus2d};
+use tlb_graphs::Graph;
+use tlb_sim::{
+    ArrivalPlacement, ArrivalProcess, ArrivalWeights, ChurnEvent, ChurnProcess, OnlineSim,
+    SimConfig, TenantSpec,
+};
+
+struct Args {
+    quick: bool,
+    scenario: String,
+    epochs: Option<u64>,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        scenario: "churn".into(),
+        epochs: None,
+        seed: 2024,
+        out: "BENCH_online.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--scenario" => args.scenario = it.next().expect("--scenario needs a name"),
+            "--epochs" => {
+                args.epochs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--epochs needs a positive integer"),
+                );
+            }
+            "--seed" => {
+                args.seed =
+                    it.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: online_sim [--quick] [--scenario steady|churn|cdn-day] \
+                     [--epochs N] [--seed S] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn two_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("latency-tier", ThresholdPolicy::Tight, 0.3),
+        TenantSpec::new("batch-tier", ThresholdPolicy::AboveAverage { epsilon: 1.0 }, 0.7),
+    ]
+}
+
+/// Build `(config, base graph)` for a named scenario.
+fn scenario(name: &str, quick: bool, epochs: Option<u64>, seed: u64) -> (SimConfig, Graph) {
+    let scale = if quick { 1 } else { 4 };
+    match name {
+        "steady" => {
+            let cfg = SimConfig {
+                name: "steady".into(),
+                epochs: epochs.unwrap_or(if quick { 120 } else { 600 }),
+                seed,
+                arrivals: ArrivalProcess::Poisson { rate: 10.0 * scale as f64 },
+                departure_prob: 0.05,
+                tenants: two_tenants(),
+                rounds_per_epoch: 16,
+                ..Default::default()
+            };
+            (cfg, complete(16 * scale))
+        }
+        "churn" => {
+            let side = 4 * scale; // torus side
+            let total = epochs.unwrap_or(if quick { 150 } else { 450 });
+            let n = (side * side) as u32;
+            let cfg = SimConfig {
+                name: "churn".into(),
+                epochs: total,
+                seed,
+                arrivals: ArrivalProcess::Poisson { rate: 6.0 * scale as f64 },
+                // The tail third of the run has no arrivals: a pure
+                // convergence phase after the churn storm.
+                arrival_window: Some(total * 2 / 3),
+                departure_prob: 0.02,
+                churn: ChurnProcess {
+                    scripted: vec![
+                        // A rack (one torus row) drains mid-run and
+                        // returns before the arrival window closes.
+                        (total / 3, ChurnEvent::DeactivateRange { from: 0, to: n / 4 }),
+                        (total / 2, ChurnEvent::ActivateRange { from: 0, to: n / 4 }),
+                    ],
+                    random_down: 0.05,
+                    random_up: 0.10,
+                },
+                tenants: two_tenants(),
+                rounds_per_epoch: 24,
+                ..Default::default()
+            };
+            (cfg, torus2d(side, side))
+        }
+        "cdn-day" => {
+            let cfg = SimConfig {
+                name: "cdn-day".into(),
+                epochs: epochs.unwrap_or(if quick { 150 } else { 500 }),
+                seed,
+                arrivals: ArrivalProcess::Bursty {
+                    base: 4.0 * scale as f64,
+                    burst: 40.0 * scale as f64,
+                    period: 50,
+                    burst_len: 6,
+                },
+                arrival_weights: ArrivalWeights::ParetoTruncated { alpha: 1.3, cap: 32.0 },
+                arrival_placement: ArrivalPlacement::Uniform,
+                departure_prob: 0.04,
+                tenants: two_tenants(),
+                rounds_per_epoch: 24,
+                ..Default::default()
+            };
+            (cfg, torus2d(4 * scale, 4 * scale))
+        }
+        other => panic!("unknown scenario {other:?} (expected steady / churn / cdn-day)"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (cfg, base) = scenario(&args.scenario, args.quick, args.epochs, args.seed);
+    let epochs = cfg.epochs;
+    let n = base.num_nodes();
+
+    let started = std::time::Instant::now();
+    let report = OnlineSim::new(base, cfg).run();
+    let secs = started.elapsed().as_secs_f64();
+
+    let json = report.to_json();
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+
+    let last = report.last().expect("at least one epoch");
+    println!(
+        "scenario {} on {n} resources: {epochs} epochs in {secs:.2}s ({:.0} epochs/s)",
+        report.scenario,
+        epochs as f64 / secs
+    );
+    println!(
+        "  arrivals {} / departures {} / protocol migrations {}",
+        report.total_arrivals, report.total_departures, report.total_migrations
+    );
+    println!(
+        "  balanced epochs {:.1}% / peak load {:.1} / final max load {:.1} (threshold {:.1})",
+        report.balanced_fraction * 100.0,
+        report.peak_load,
+        last.max_load,
+        last.threshold
+    );
+    for (name, rate) in report.tenants.iter().zip(&report.tenant_violation_rates) {
+        println!("  tenant {name}: SLO violated in {:.1}% of epochs", rate * 100.0);
+    }
+    println!(
+        "  final epoch: {} live tasks on {} active resources, balanced = {}",
+        last.live_tasks, last.active_resources, last.balanced
+    );
+    println!("wrote {}", args.out);
+
+    // The convergence contract of the churn scenario: after arrivals stop
+    // the system must settle back under the threshold.
+    if report.scenario == "churn" {
+        assert!(last.balanced, "churn scenario must converge after arrivals stop");
+        assert_eq!(last.arrivals, 0, "tail epochs must be arrival-free");
+    }
+}

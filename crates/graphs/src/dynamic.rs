@@ -1,0 +1,399 @@
+//! Mutable churn overlay over an immutable CSR [`Graph`].
+//!
+//! The online simulation needs resources that join and leave and links
+//! that appear and disappear while the protocols keep running. Rebuilding
+//! the CSR on every churn event would dominate the epoch loop, so
+//! [`DynamicGraph`] keeps the last compacted CSR as a *base* plus small
+//! deltas on top of it:
+//!
+//! * an **active mask** — a deactivated node (a drained rack, a failed
+//!   resource) keeps its edges in the base, they are merely hidden; the
+//!   node can be reactivated with its neighbourhood intact,
+//! * per-node **added** adjacency lists for edges not in the base,
+//! * per-node **removed** adjacency lists hiding base edges.
+//!
+//! The *effective* graph at any moment is: base edges, minus removed,
+//! plus added, restricted to edges whose two endpoints are both active.
+//! [`DynamicGraph::snapshot`] materializes exactly that effective graph as
+//! a CSR [`Graph`] (inactive nodes stay in the id space as isolated
+//! nodes, so task locations remain valid) — this is what the walk kernels
+//! consume. [`DynamicGraph::compact`] folds the deltas back into the base
+//! so overlay queries stay `O(deg)` after long churn sequences; it is a
+//! pure representation change and never alters the effective graph.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// A CSR base graph plus churn deltas (active mask, added/removed edges).
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    base: Graph,
+    active: Vec<bool>,
+    /// Sorted per-node adjacency of edges added on top of the base
+    /// (symmetric: an edge appears in both endpoints' lists).
+    added: Vec<Vec<NodeId>>,
+    /// Sorted per-node adjacency of base edges currently removed
+    /// (symmetric).
+    removed: Vec<Vec<NodeId>>,
+    /// Edge add/remove operations since the last compaction.
+    delta_ops: usize,
+}
+
+impl DynamicGraph {
+    /// Wrap a CSR base graph; every node starts active, no deltas.
+    pub fn new(base: Graph) -> Self {
+        let n = base.num_nodes();
+        DynamicGraph {
+            base,
+            active: vec![true; n],
+            added: vec![Vec::new(); n],
+            removed: vec![Vec::new(); n],
+            delta_ops: 0,
+        }
+    }
+
+    /// Number of nodes in the id space (active or not).
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    /// Number of active nodes.
+    pub fn num_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether node `v` is active.
+    ///
+    /// # Panics
+    /// If `v` is out of range.
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active[v as usize]
+    }
+
+    /// Deactivate node `v` (resource leaves). Its incident edges are
+    /// hidden, not deleted: reactivation restores them. Returns `false`
+    /// if `v` was already inactive.
+    pub fn deactivate(&mut self, v: NodeId) -> bool {
+        std::mem::replace(&mut self.active[v as usize], false)
+    }
+
+    /// Reactivate node `v` (resource rejoins with its old neighbourhood).
+    /// Returns `false` if `v` was already active.
+    pub fn activate(&mut self, v: NodeId) -> bool {
+        !std::mem::replace(&mut self.active[v as usize], true)
+    }
+
+    /// Whether the undirected edge `(u, v)` exists in the effective graph
+    /// (both endpoints active and the edge not removed).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if !self.active[u as usize] || !self.active[v as usize] {
+            return false;
+        }
+        self.has_edge_ignoring_activity(u, v)
+    }
+
+    /// Edge existence in the *stored* edge set (base − removed + added),
+    /// ignoring the active mask — the set compaction preserves.
+    fn has_edge_ignoring_activity(&self, u: NodeId, v: NodeId) -> bool {
+        if self.added[u as usize].binary_search(&v).is_ok() {
+            return true;
+        }
+        self.base.has_edge(u, v) && self.removed[u as usize].binary_search(&v).is_err()
+    }
+
+    /// Add the undirected edge `(u, v)`. Restores a removed base edge or
+    /// records a new one. Returns `false` (and changes nothing) if the
+    /// stored edge set already contains it.
+    ///
+    /// Endpoints may be inactive: the edge is stored and becomes visible
+    /// when both endpoints are active.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] if `u == v`, [`GraphError::NodeOutOfRange`]
+    /// if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        if self.base.has_edge(u, v) {
+            let restored = remove_sorted(&mut self.removed[u as usize], v);
+            if restored {
+                remove_sorted(&mut self.removed[v as usize], u);
+                self.delta_ops += 1;
+            }
+            return Ok(restored);
+        }
+        let inserted = insert_sorted(&mut self.added[u as usize], v);
+        if inserted {
+            insert_sorted(&mut self.added[v as usize], u);
+            self.delta_ops += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Remove the undirected edge `(u, v)` from the stored edge set.
+    /// Returns `false` (and changes nothing) if the set does not contain
+    /// it.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] if `u == v`, [`GraphError::NodeOutOfRange`]
+    /// if either endpoint is out of range.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        if remove_sorted(&mut self.added[u as usize], v) {
+            remove_sorted(&mut self.added[v as usize], u);
+            self.delta_ops += 1;
+            return Ok(true);
+        }
+        if self.base.has_edge(u, v) && insert_sorted(&mut self.removed[u as usize], v) {
+            insert_sorted(&mut self.removed[v as usize], u);
+            self.delta_ops += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u as usize));
+        }
+        let n = self.num_nodes();
+        for &e in &[u, v] {
+            if e as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: e as usize, num_nodes: n });
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective degree of `v`: 0 if `v` is inactive, otherwise the number
+    /// of active neighbours over base − removed + added.
+    pub fn degree(&self, v: NodeId) -> usize {
+        if !self.active[v as usize] {
+            return 0;
+        }
+        self.effective_neighbors(v).count()
+    }
+
+    /// Sorted effective neighbours of `v` (empty if `v` is inactive).
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        if !self.active[v as usize] {
+            return Vec::new();
+        }
+        let mut out: Vec<NodeId> = self.effective_neighbors(v).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Neighbours of `v` over base − removed + added, filtered to active
+    /// endpoints (caller guarantees `v` itself is active). Unsorted: base
+    /// neighbours first, then added.
+    fn effective_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let vi = v as usize;
+        self.base
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&u| self.removed[vi].binary_search(&u).is_err())
+            .chain(self.added[vi].iter().copied())
+            .filter(move |&u| self.active[u as usize])
+    }
+
+    /// Total number of edges in the effective graph.
+    pub fn num_effective_edges(&self) -> usize {
+        (0..self.num_nodes() as NodeId).map(|v| self.degree(v)).sum::<usize>() / 2
+    }
+
+    /// Edge add/remove operations recorded since the last compaction —
+    /// the overlay's query cost grows with this, so periodic callers
+    /// compact once it crosses their budget.
+    pub fn delta_ops(&self) -> usize {
+        self.delta_ops
+    }
+
+    /// Materialize the effective graph as a CSR [`Graph`] for the walk
+    /// kernels. Inactive nodes remain in the id space as isolated nodes,
+    /// so resource ids (and task locations) stay valid across churn.
+    pub fn snapshot(&self) -> Graph {
+        let mut b = GraphBuilder::with_edge_capacity(self.num_nodes(), self.base.num_edges());
+        for v in 0..self.num_nodes() as NodeId {
+            if !self.active[v as usize] {
+                continue;
+            }
+            for u in self.effective_neighbors(v) {
+                if v < u {
+                    b.add_edge(v, u).expect("overlay edges are validated on insertion");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Fold the added/removed deltas into a fresh CSR base. The active
+    /// mask is untouched and hidden edges of inactive nodes are preserved,
+    /// so this never changes the effective graph — it only restores
+    /// `O(deg)` overlay queries after a long churn sequence.
+    pub fn compact(&mut self) {
+        let mut b = GraphBuilder::with_edge_capacity(self.num_nodes(), self.base.num_edges());
+        for v in 0..self.num_nodes() as NodeId {
+            let vi = v as usize;
+            for &u in self.base.neighbors(v) {
+                if v < u && self.removed[vi].binary_search(&u).is_err() {
+                    b.add_edge(v, u).expect("base edges are in range");
+                }
+            }
+            for &u in &self.added[vi] {
+                if v < u {
+                    b.add_edge(v, u).expect("added edges are validated on insertion");
+                }
+            }
+        }
+        self.base = b.build();
+        for list in &mut self.added {
+            list.clear();
+        }
+        for list in &mut self.removed {
+            list.clear();
+        }
+        self.delta_ops = 0;
+    }
+
+    /// The current base CSR (for inspection; excludes pending deltas and
+    /// ignores the active mask).
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+}
+
+/// Insert into a sorted vector; returns `false` if already present.
+fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) -> bool {
+    match list.binary_search(&v) {
+        Ok(_) => false,
+        Err(pos) => {
+            list.insert(pos, v);
+            true
+        }
+    }
+}
+
+/// Remove from a sorted vector; returns `false` if absent.
+fn remove_sorted(list: &mut Vec<NodeId>, v: NodeId) -> bool {
+    match list.binary_search(&v) {
+        Ok(pos) => {
+            list.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, torus2d};
+
+    #[test]
+    fn fresh_overlay_matches_base() {
+        let g = torus2d(4, 4);
+        let dg = DynamicGraph::new(g.clone());
+        assert_eq!(dg.num_nodes(), 16);
+        assert_eq!(dg.num_active(), 16);
+        assert_eq!(dg.num_effective_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(dg.degree(v), g.degree(v));
+            assert_eq!(dg.neighbors(v), g.neighbors(v));
+        }
+        assert_eq!(dg.snapshot(), g);
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let g = cycle(5); // 0-1-2-3-4-0
+        let mut dg = DynamicGraph::new(g);
+        assert!(!dg.has_edge(0, 2));
+        assert!(dg.add_edge(0, 2).unwrap());
+        assert!(dg.has_edge(0, 2));
+        assert!(!dg.add_edge(2, 0).unwrap(), "duplicate add is a no-op");
+        assert_eq!(dg.neighbors(0), vec![1, 2, 4]);
+
+        assert!(dg.remove_edge(0, 1).unwrap());
+        assert!(!dg.has_edge(0, 1));
+        assert!(!dg.remove_edge(0, 1).unwrap(), "double remove is a no-op");
+        assert_eq!(dg.neighbors(0), vec![2, 4]);
+
+        // Removing an added edge and restoring a removed base edge.
+        assert!(dg.remove_edge(0, 2).unwrap());
+        assert!(dg.add_edge(1, 0).unwrap());
+        assert_eq!(dg.neighbors(0), vec![1, 4]);
+    }
+
+    #[test]
+    fn deactivation_hides_node_and_incident_edges() {
+        let g = complete(4);
+        let mut dg = DynamicGraph::new(g);
+        assert!(dg.deactivate(2));
+        assert!(!dg.deactivate(2), "double deactivate is a no-op");
+        assert!(!dg.is_active(2));
+        assert_eq!(dg.num_active(), 3);
+        assert_eq!(dg.degree(2), 0);
+        assert!(dg.neighbors(2).is_empty());
+        assert!(!dg.has_edge(0, 2));
+        assert_eq!(dg.neighbors(0), vec![1, 3]);
+        assert_eq!(dg.num_effective_edges(), 3);
+
+        // Reactivation restores the whole neighbourhood.
+        assert!(dg.activate(2));
+        assert_eq!(dg.neighbors(2), vec![0, 1, 3]);
+        assert_eq!(dg.num_effective_edges(), 6);
+    }
+
+    #[test]
+    fn snapshot_isolates_inactive_nodes() {
+        let g = complete(4);
+        let mut dg = DynamicGraph::new(g);
+        dg.deactivate(1);
+        let snap = dg.snapshot();
+        assert_eq!(snap.num_nodes(), 4, "id space is preserved");
+        assert_eq!(snap.degree(1), 0);
+        assert_eq!(snap.neighbors(0), &[2, 3]);
+        assert_eq!(snap.num_edges(), 3);
+    }
+
+    #[test]
+    fn compaction_preserves_effective_graph_and_hidden_edges() {
+        let g = torus2d(3, 3);
+        let mut dg = DynamicGraph::new(g);
+        dg.deactivate(4);
+        dg.add_edge(0, 8).unwrap();
+        dg.remove_edge(0, 1).unwrap();
+        dg.add_edge(4, 8).unwrap(); // incident to an inactive node
+
+        let before = dg.snapshot();
+        assert!(dg.delta_ops() > 0);
+        dg.compact();
+        assert_eq!(dg.delta_ops(), 0);
+        assert_eq!(dg.snapshot(), before);
+
+        // The hidden edge to the inactive node survived compaction.
+        dg.activate(4);
+        assert!(dg.has_edge(4, 8));
+        assert!(dg.has_edge(4, 1), "base edges of the drained node survive too");
+    }
+
+    #[test]
+    fn rejects_self_loops_and_out_of_range() {
+        let mut dg = DynamicGraph::new(cycle(4));
+        assert_eq!(dg.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+        assert!(matches!(dg.add_edge(0, 9), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(dg.remove_edge(9, 0), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn removed_then_readded_base_edge_roundtrips() {
+        let mut dg = DynamicGraph::new(cycle(4));
+        assert!(dg.remove_edge(0, 1).unwrap());
+        assert!(dg.add_edge(0, 1).unwrap());
+        assert!(dg.has_edge(0, 1));
+        dg.compact();
+        assert!(dg.has_edge(0, 1));
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! * a compact immutable [`Graph`] in CSR (compressed sparse row) form,
 //! * a mutable [`GraphBuilder`] for constructing graphs edge by edge,
+//! * a [`DynamicGraph`] churn overlay (node activate/deactivate, edge
+//!   add/remove over a CSR base, with compaction back to CSR) for the
+//!   online simulation's dynamic topologies,
 //! * [`generators`] for every graph family the paper's Table 1 and
 //!   Observation 8 refer to (complete, expander, Erdős–Rényi, hypercube,
 //!   grid, and the lollipop lower-bound family),
@@ -38,11 +41,13 @@
 
 pub mod algo;
 pub mod builder;
+pub mod dynamic;
 pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
 
 pub use builder::GraphBuilder;
+pub use dynamic::DynamicGraph;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};

@@ -1,0 +1,116 @@
+//! Resource churn: scripted and stochastic topology changes.
+//!
+//! Production fleets lose racks to maintenance and gain capacity on a
+//! schedule, while individual machines flap at random. [`ChurnProcess`]
+//! models both: a scripted event list (rack drains, scale-ups — the
+//! operator's calendar) plus per-epoch random deactivate/reactivate
+//! probabilities (failures and recoveries). The engine applies scripted
+//! events first, then the stochastic draws, all with its per-epoch RNG.
+
+use serde::{Deserialize, Serialize};
+use tlb_graphs::NodeId;
+
+/// One scripted topology change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// Resource leaves; its tasks are drained to the surviving resources.
+    Deactivate(
+        /// The leaving resource.
+        NodeId,
+    ),
+    /// Resource rejoins with its old neighbourhood.
+    Activate(
+        /// The rejoining resource.
+        NodeId,
+    ),
+    /// Drain a contiguous id range `[from, to)` — a rack.
+    DeactivateRange {
+        /// First id to drain (inclusive).
+        from: NodeId,
+        /// One past the last id to drain.
+        to: NodeId,
+    },
+    /// Reactivate a contiguous id range `[from, to)`.
+    ActivateRange {
+        /// First id to restore (inclusive).
+        from: NodeId,
+        /// One past the last id to restore.
+        to: NodeId,
+    },
+    /// Add a link.
+    AddEdge(
+        /// One endpoint.
+        NodeId,
+        /// The other endpoint.
+        NodeId,
+    ),
+    /// Remove a link.
+    RemoveEdge(
+        /// One endpoint.
+        NodeId,
+        /// The other endpoint.
+        NodeId,
+    ),
+}
+
+/// The churn configuration of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChurnProcess {
+    /// Scripted `(epoch, event)` pairs; applied in list order on their
+    /// epoch (so a drain and its later recovery can share the list).
+    pub scripted: Vec<(u64, ChurnEvent)>,
+    /// Per-epoch probability of one random failure (deactivate a
+    /// uniformly random active resource). The engine never takes the last
+    /// active resource down.
+    pub random_down: f64,
+    /// Per-epoch probability of one random recovery (reactivate a
+    /// uniformly random inactive resource).
+    pub random_up: f64,
+}
+
+impl ChurnProcess {
+    /// No churn at all.
+    pub fn none() -> Self {
+        ChurnProcess::default()
+    }
+
+    /// Scripted events only.
+    pub fn scripted(events: Vec<(u64, ChurnEvent)>) -> Self {
+        ChurnProcess { scripted: events, ..Default::default() }
+    }
+
+    /// The scripted events landing on `epoch`, in list order.
+    pub fn events_at(&self, epoch: u64) -> impl Iterator<Item = ChurnEvent> + '_ {
+        self.scripted.iter().filter(move |(e, _)| *e == epoch).map(|&(_, ev)| ev)
+    }
+
+    /// Whether any churn (scripted anywhere or stochastic) is configured.
+    pub fn is_active(&self) -> bool {
+        !self.scripted.is_empty() || self.random_down > 0.0 || self.random_up > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_filter_by_epoch_in_order() {
+        let c = ChurnProcess::scripted(vec![
+            (3, ChurnEvent::Deactivate(1)),
+            (5, ChurnEvent::Activate(1)),
+            (3, ChurnEvent::AddEdge(0, 2)),
+        ]);
+        let at3: Vec<ChurnEvent> = c.events_at(3).collect();
+        assert_eq!(at3, vec![ChurnEvent::Deactivate(1), ChurnEvent::AddEdge(0, 2)]);
+        assert_eq!(c.events_at(4).count(), 0);
+        assert_eq!(c.events_at(5).count(), 1);
+    }
+
+    #[test]
+    fn activity_flags() {
+        assert!(!ChurnProcess::none().is_active());
+        assert!(ChurnProcess::scripted(vec![(0, ChurnEvent::Deactivate(0))]).is_active());
+        assert!(ChurnProcess { random_down: 0.01, ..Default::default() }.is_active());
+    }
+}

@@ -1,0 +1,736 @@
+//! The epoch-driven online simulation engine.
+//!
+//! Each epoch the engine: (1) applies resource churn (scripted rack
+//! drains and stochastic failures/recoveries, draining tasks off leaving
+//! resources), (2) departs tasks, (3) admits streaming arrivals, then
+//! (4) runs the configured threshold protocol as an *incremental*
+//! rebalancing pass — up to `rounds_per_epoch` protocol rounds through
+//! the resumable steppers of `tlb-core` — and (5) records an
+//! [`EpochRecord`]. The threshold is recomputed every epoch from the
+//! *live* population (total weight, active resources, live `w_max`), so
+//! the target tracks the traffic.
+//!
+//! ## Determinism
+//!
+//! Every epoch draws all its randomness from a fresh `SmallRng` seeded
+//! with [`epoch_seed`]`(base_seed, epoch)`. The engine is strictly
+//! sequential and never touches the rayon pool, so a run is a pure
+//! function of `(config, base graph)` — bit-identical across thread
+//! counts, and epoch `e`'s draw stream is independent of how much
+//! randomness earlier epochs consumed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tlb_core::mixed_protocol::{Departure, MixedConfig, MixedStepper};
+use tlb_core::potential::{is_balanced, max_load, num_overloaded, total_potential};
+use tlb_core::resource_protocol::{ResourceControlledConfig, ResourceControlledStepper};
+use tlb_core::stack::ResourceStack;
+use tlb_core::task::TaskId;
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_graphs::{DynamicGraph, Graph, NodeId};
+use tlb_walks::WalkKind;
+
+use crate::arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
+use crate::churn::{ChurnEvent, ChurnProcess};
+use crate::metrics::{EpochRecord, SimReport};
+use crate::tenants::{TenantSet, TenantSpec};
+
+/// Derive epoch `e`'s seed from the base seed (splitmix64 over the pair,
+/// the same mix `tlb-experiments::harness::trial_seed` uses for trials,
+/// so neighbouring epochs get decorrelated streams).
+#[inline]
+pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
+    let mut z = base ^ epoch.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Which protocol the per-epoch rebalancing pass runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RebalancePolicy {
+    /// Resource-controlled (Algorithm 5.1): overloaded resources eject
+    /// every cutting/above task, one walk step each.
+    Resource {
+        /// Walk moving ejected tasks.
+        walk: WalkKind,
+    },
+    /// Mixed protocol: user-style Bernoulli departures, resource-style
+    /// walk movement (works on any topology).
+    Mixed {
+        /// Departure rule.
+        departure: Departure,
+        /// Migration damping `α`.
+        alpha: f64,
+        /// Walk moving departing tasks.
+        walk: WalkKind,
+    },
+}
+
+/// Full configuration of an online run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Scenario name (report key).
+    pub name: String,
+    /// Epochs to run.
+    pub epochs: u64,
+    /// Base seed; see [`epoch_seed`].
+    pub seed: u64,
+    /// Arrival count process.
+    pub arrivals: ArrivalProcess,
+    /// If set, arrivals only happen while `epoch < window` (the tail of
+    /// the run is a pure drain/convergence phase).
+    pub arrival_window: Option<u64>,
+    /// Where arrivals land.
+    pub arrival_placement: ArrivalPlacement,
+    /// Arrival weight distribution.
+    pub arrival_weights: ArrivalWeights,
+    /// Per-task per-epoch departure probability (`0 ≤ p < 1`).
+    pub departure_prob: f64,
+    /// Resource churn.
+    pub churn: ChurnProcess,
+    /// Tenant classes (arrival shares and per-tenant SLO policies).
+    pub tenants: Vec<TenantSpec>,
+    /// Global threshold policy the rebalancing pass enforces, recomputed
+    /// each epoch over the live population.
+    pub threshold: ThresholdPolicy,
+    /// Which protocol rebalances.
+    pub rebalance: RebalancePolicy,
+    /// Protocol-round budget per epoch (the pass stops early once
+    /// balanced).
+    pub rounds_per_epoch: u64,
+    /// Compact the churn overlay back to CSR once this many edge deltas
+    /// accumulate.
+    pub compact_after_ops: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            name: "online".into(),
+            epochs: 200,
+            seed: 0,
+            arrivals: ArrivalProcess::Poisson { rate: 20.0 },
+            arrival_window: None,
+            arrival_placement: ArrivalPlacement::Uniform,
+            arrival_weights: ArrivalWeights::Unit,
+            departure_prob: 0.0,
+            churn: ChurnProcess::none(),
+            tenants: vec![TenantSpec::new(
+                "default",
+                ThresholdPolicy::AboveAverage { epsilon: 0.2 },
+                1.0,
+            )],
+            threshold: ThresholdPolicy::AboveAverage { epsilon: 0.2 },
+            rebalance: RebalancePolicy::Resource { walk: WalkKind::MaxDegree },
+            rounds_per_epoch: 16,
+            compact_after_ops: 64,
+        }
+    }
+}
+
+/// The online simulation state.
+#[derive(Debug, Clone)]
+pub struct OnlineSim {
+    cfg: SimConfig,
+    tenants: TenantSet,
+    dg: DynamicGraph,
+    /// CSR snapshot of the effective graph the walk kernels use;
+    /// refreshed whenever churn changes the topology.
+    walk_graph: Graph,
+    stacks: Vec<ResourceStack>,
+    /// Weight slot per task id; slots of departed tasks are recycled via
+    /// `free_ids`, so memory tracks the live population, not the arrival
+    /// total.
+    weights: Vec<f64>,
+    /// Tenant index per task id (parallel to `weights`).
+    tenant_of: Vec<u16>,
+    free_ids: Vec<TaskId>,
+    live: usize,
+    epoch: u64,
+    records: Vec<EpochRecord>,
+    // Reused per-epoch buffer for departure draws.
+    departed: Vec<TaskId>,
+}
+
+impl OnlineSim {
+    /// Create an engine over `base` with no tasks.
+    ///
+    /// # Panics
+    /// If the graph is empty, the tenant list is empty or has
+    /// non-positive shares, `departure_prob` is not in `[0, 1)`, or a
+    /// churn probability is not in `[0, 1]`.
+    pub fn new(base: Graph, cfg: SimConfig) -> Self {
+        let n = base.num_nodes();
+        assert!(n > 0, "need at least one resource");
+        Self::validate(&cfg);
+        let tenants = TenantSet::new(cfg.tenants.clone());
+        let dg = DynamicGraph::new(base);
+        let walk_graph = dg.snapshot();
+        OnlineSim {
+            cfg,
+            tenants,
+            dg,
+            walk_graph,
+            stacks: vec![ResourceStack::new(); n],
+            weights: Vec::new(),
+            tenant_of: Vec::new(),
+            free_ids: Vec::new(),
+            live: 0,
+            epoch: 0,
+            records: Vec::new(),
+            departed: Vec::new(),
+        }
+    }
+
+    /// Parameters come from config literals, so reject bad ones up front
+    /// instead of panicking deep inside a sampler mid-run.
+    fn validate(cfg: &SimConfig) {
+        assert!(
+            (0.0..1.0).contains(&cfg.departure_prob),
+            "departure_prob must be in [0, 1), got {}",
+            cfg.departure_prob
+        );
+        for (name, p) in
+            [("random_down", cfg.churn.random_down), ("random_up", cfg.churn.random_up)]
+        {
+            assert!((0.0..=1.0).contains(&p), "churn {name} must be in [0, 1], got {p}");
+        }
+        cfg.arrivals.validate();
+        cfg.arrival_weights.validate();
+        // Churn can isolate an active node; the max-degree and lazy walks
+        // self-loop there, but the simple walk is undefined on isolated
+        // nodes, so it cannot drive an online run.
+        let walk = match cfg.rebalance {
+            RebalancePolicy::Resource { walk } => walk,
+            RebalancePolicy::Mixed { walk, .. } => walk,
+        };
+        assert!(
+            walk != WalkKind::Simple,
+            "WalkKind::Simple cannot rebalance a churned graph (undefined on isolated nodes)"
+        );
+    }
+
+    /// Swap the configuration between runs (phase-driven scenarios: a new
+    /// arrival process or round budget for the next batch of epochs)
+    /// while keeping all engine state — stacks, churn overlay, epoch
+    /// counter, records. The tenant list must be unchanged, because
+    /// task→tenant assignments are indices into it.
+    pub fn with_config(mut self, cfg: SimConfig) -> Self {
+        assert_eq!(self.cfg.tenants, cfg.tenants, "tenant classes cannot change mid-run");
+        Self::validate(&cfg);
+        self.cfg = cfg;
+        self
+    }
+
+    /// Number of live tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.live
+    }
+
+    /// Epochs executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The churn overlay (for inspection).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.dg
+    }
+
+    /// The per-resource stacks (index = resource id).
+    pub fn stacks(&self) -> &[ResourceStack] {
+        &self.stacks
+    }
+
+    /// Records taken so far.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Capacity of the task-id space (live slots + recycled free slots) —
+    /// the engine's memory footprint per task, for the bounded-memory
+    /// tests.
+    pub fn id_capacity(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Run `cfg.epochs` epochs (on top of any already run) and assemble
+    /// the report.
+    pub fn run(&mut self) -> SimReport {
+        for _ in 0..self.cfg.epochs {
+            self.run_epoch();
+        }
+        SimReport::from_records(
+            self.cfg.name.clone(),
+            self.cfg.seed,
+            self.tenants.names(),
+            self.records.clone(),
+        )
+    }
+
+    /// Execute one epoch: churn → departures → arrivals → rebalance →
+    /// metrics.
+    pub fn run_epoch(&mut self) {
+        let mut rng = SmallRng::seed_from_u64(epoch_seed(self.cfg.seed, self.epoch));
+        let mut drained = 0u64;
+        let mut topology_changed = false;
+
+        // --- 1. churn: scripted events in list order, then stochastic.
+        let events: Vec<ChurnEvent> = self.cfg.churn.events_at(self.epoch).collect();
+        for ev in events {
+            drained += self.apply_event(ev, &mut rng, &mut topology_changed);
+        }
+        if self.cfg.churn.random_down > 0.0 && rng.gen_bool(self.cfg.churn.random_down) {
+            let active = self.active_ids();
+            if active.len() > 1 {
+                let v = active[rng.gen_range(0..active.len())];
+                drained +=
+                    self.apply_event(ChurnEvent::Deactivate(v), &mut rng, &mut topology_changed);
+            }
+        }
+        if self.cfg.churn.random_up > 0.0 && rng.gen_bool(self.cfg.churn.random_up) {
+            let inactive: Vec<NodeId> =
+                (0..self.dg.num_nodes() as NodeId).filter(|&v| !self.dg.is_active(v)).collect();
+            if !inactive.is_empty() {
+                let v = inactive[rng.gen_range(0..inactive.len())];
+                self.apply_event(ChurnEvent::Activate(v), &mut rng, &mut topology_changed);
+            }
+        }
+        if topology_changed {
+            if self.dg.delta_ops() >= self.cfg.compact_after_ops {
+                self.dg.compact();
+            }
+            self.walk_graph = self.dg.snapshot();
+        }
+
+        // --- 2. departures: every live task flips an independent coin.
+        let mut departures = 0u64;
+        if self.cfg.departure_prob > 0.0 && self.live > 0 {
+            self.departed.clear();
+            for stack in self.stacks.iter_mut() {
+                stack.drain_bernoulli_into(
+                    self.cfg.departure_prob,
+                    &self.weights,
+                    &mut rng,
+                    &mut self.departed,
+                );
+            }
+            departures = self.departed.len() as u64;
+            self.live -= self.departed.len();
+            self.free_ids.append(&mut self.departed);
+        }
+
+        // --- 3. arrivals.
+        let mut arrivals = 0u64;
+        let in_window = self.cfg.arrival_window.is_none_or(|w| self.epoch < w);
+        if in_window {
+            let count = self.cfg.arrivals.sample_count(self.epoch, &mut rng);
+            let active = self.active_ids();
+            for _ in 0..count {
+                let tenant = self.tenants.pick(rng.gen::<f64>());
+                let weight = self.cfg.arrival_weights.sample(&mut rng);
+                let dest = self.arrival_destination(&active, &mut rng);
+                let id = match self.free_ids.pop() {
+                    Some(id) => {
+                        self.weights[id as usize] = weight;
+                        self.tenant_of[id as usize] = tenant;
+                        id
+                    }
+                    None => {
+                        self.weights.push(weight);
+                        self.tenant_of.push(tenant);
+                        (self.weights.len() - 1) as TaskId
+                    }
+                };
+                self.stacks[dest as usize].push(id, weight);
+                self.live += 1;
+                arrivals += 1;
+            }
+        }
+
+        // --- 4. recompute the live threshold.
+        let n_active = self.dg.num_active();
+        let total_weight: f64 = self.stacks.iter().map(ResourceStack::load).sum();
+        let w_max = self
+            .stacks
+            .iter()
+            .flat_map(|s| s.tasks().iter())
+            .map(|&t| self.weights[t as usize])
+            .fold(0.0, f64::max);
+        let threshold = if self.live > 0 {
+            self.cfg.threshold.value(total_weight, n_active, w_max)
+        } else {
+            0.0
+        };
+
+        // --- 5. incremental rebalancing pass through the core steppers.
+        let mut rebalance_rounds = 0u64;
+        let mut migrations = 0u64;
+        if self.live > 0 && !is_balanced(&self.stacks, threshold) {
+            let stacks = std::mem::take(&mut self.stacks);
+            let weights = std::mem::take(&mut self.weights);
+            match self.cfg.rebalance {
+                RebalancePolicy::Resource { walk } => {
+                    let rcfg = ResourceControlledConfig {
+                        threshold: self.cfg.threshold,
+                        walk,
+                        max_rounds: self.cfg.rounds_per_epoch,
+                        ..Default::default()
+                    };
+                    let mut stepper =
+                        ResourceControlledStepper::from_parts(stacks, weights, threshold, rcfg);
+                    stepper.run(&self.walk_graph, &mut rng);
+                    rebalance_rounds = stepper.rounds();
+                    migrations = stepper.migrations();
+                    (self.stacks, self.weights) = stepper.into_parts();
+                }
+                RebalancePolicy::Mixed { departure, alpha, walk } => {
+                    let mcfg = MixedConfig {
+                        threshold: self.cfg.threshold,
+                        departure,
+                        alpha,
+                        walk,
+                        max_rounds: self.cfg.rounds_per_epoch,
+                        ..Default::default()
+                    };
+                    let mut stepper =
+                        MixedStepper::from_parts(stacks, weights, threshold, w_max, mcfg);
+                    stepper.run(&self.walk_graph, &mut rng);
+                    rebalance_rounds = stepper.rounds();
+                    migrations = stepper.migrations();
+                    (self.stacks, self.weights) = stepper.into_parts();
+                }
+            }
+        }
+
+        // --- 6. metrics snapshot.
+        let max_load = max_load(&self.stacks);
+        let overloaded = num_overloaded(&self.stacks, threshold);
+        let balanced = overloaded == 0;
+        self.records.push(EpochRecord {
+            epoch: self.epoch,
+            live_tasks: self.live,
+            active_resources: n_active,
+            arrivals,
+            departures,
+            drained,
+            rebalance_rounds,
+            migrations,
+            threshold,
+            max_load,
+            mean_load: if n_active > 0 { total_weight / n_active as f64 } else { 0.0 },
+            overload_fraction: if n_active > 0 { overloaded as f64 / n_active as f64 } else { 0.0 },
+            potential: total_potential(&self.stacks, threshold, &self.weights),
+            balanced,
+            tenant_violations: self.tenants.violations(
+                &self.stacks,
+                &self.weights,
+                &self.tenant_of,
+                n_active,
+            ),
+        });
+        self.epoch += 1;
+    }
+
+    /// Apply one churn event. Deactivating a resource drains its tasks to
+    /// uniformly random surviving resources (the orchestrator's forced
+    /// migration — these do not count as protocol migrations). Returns
+    /// the number of drained tasks. Deactivation of the last active
+    /// resource is skipped: the system never loses all capacity.
+    fn apply_event<R: Rng + ?Sized>(
+        &mut self,
+        ev: ChurnEvent,
+        rng: &mut R,
+        topology_changed: &mut bool,
+    ) -> u64 {
+        match ev {
+            ChurnEvent::Deactivate(v) => self.deactivate_one(v, rng, topology_changed),
+            ChurnEvent::Activate(v) => {
+                if self.dg.activate(v) {
+                    *topology_changed = true;
+                }
+                0
+            }
+            ChurnEvent::DeactivateRange { from, to } => {
+                // Take the whole rack down before re-placing anything, so
+                // no task is drained onto a sibling that leaves in the
+                // same event (and then drained again).
+                let mut orphans: Vec<TaskId> = Vec::new();
+                for v in from..to {
+                    if let Some(stack) = self.deactivate_collect(v, topology_changed) {
+                        orphans.extend_from_slice(stack.tasks());
+                    }
+                }
+                self.place_orphans(&orphans, rng)
+            }
+            ChurnEvent::ActivateRange { from, to } => {
+                for v in from..to {
+                    if self.dg.activate(v) {
+                        *topology_changed = true;
+                    }
+                }
+                0
+            }
+            ChurnEvent::AddEdge(u, v) => {
+                if self.dg.add_edge(u, v).expect("scripted edge must be valid") {
+                    *topology_changed = true;
+                }
+                0
+            }
+            ChurnEvent::RemoveEdge(u, v) => {
+                if self.dg.remove_edge(u, v).expect("scripted edge must be valid") {
+                    *topology_changed = true;
+                }
+                0
+            }
+        }
+    }
+
+    fn deactivate_one<R: Rng + ?Sized>(
+        &mut self,
+        v: NodeId,
+        rng: &mut R,
+        topology_changed: &mut bool,
+    ) -> u64 {
+        match self.deactivate_collect(v, topology_changed) {
+            Some(orphan) => {
+                let tasks = orphan.tasks().to_vec();
+                self.place_orphans(&tasks, rng)
+            }
+            None => 0,
+        }
+    }
+
+    /// Deactivate `v` (unless it is the last active resource) and take
+    /// its stack without re-placing the tasks yet.
+    fn deactivate_collect(
+        &mut self,
+        v: NodeId,
+        topology_changed: &mut bool,
+    ) -> Option<ResourceStack> {
+        if !self.dg.is_active(v) || self.dg.num_active() <= 1 {
+            return None;
+        }
+        self.dg.deactivate(v);
+        *topology_changed = true;
+        Some(std::mem::take(&mut self.stacks[v as usize]))
+    }
+
+    /// Re-place drained tasks on uniformly random surviving resources;
+    /// returns how many were placed.
+    fn place_orphans<R: Rng + ?Sized>(&mut self, orphans: &[TaskId], rng: &mut R) -> u64 {
+        if orphans.is_empty() {
+            return 0;
+        }
+        let survivors = self.active_ids();
+        for &t in orphans {
+            let dest = survivors[rng.gen_range(0..survivors.len())];
+            self.stacks[dest as usize].push(t, self.weights[t as usize]);
+        }
+        orphans.len() as u64
+    }
+
+    fn active_ids(&self) -> Vec<NodeId> {
+        (0..self.dg.num_nodes() as NodeId).filter(|&v| self.dg.is_active(v)).collect()
+    }
+
+    fn arrival_destination<R: Rng + ?Sized>(&self, active: &[NodeId], rng: &mut R) -> NodeId {
+        match self.cfg.arrival_placement {
+            ArrivalPlacement::Uniform => active[rng.gen_range(0..active.len())],
+            ArrivalPlacement::HotSpot(v) => {
+                if self.dg.is_active(v) {
+                    v
+                } else {
+                    active[0]
+                }
+            }
+            ArrivalPlacement::MostLoaded => active
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    self.stacks[a as usize]
+                        .load()
+                        .partial_cmp(&self.stacks[b as usize].load())
+                        .expect("loads are finite")
+                        // Ties go to the lowest id: prefer `a` on equal.
+                        .then(b.cmp(&a))
+                })
+                .expect("at least one active resource"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_graphs::generators::{complete, torus2d};
+
+    fn quick_cfg(name: &str) -> SimConfig {
+        SimConfig {
+            name: name.into(),
+            epochs: 60,
+            seed: 11,
+            arrivals: ArrivalProcess::Poisson { rate: 12.0 },
+            departure_prob: 0.05,
+            rounds_per_epoch: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steady_state_stays_mostly_balanced() {
+        let mut sim = OnlineSim::new(complete(16), quick_cfg("steady"));
+        let report = sim.run();
+        assert_eq!(report.epochs, 60);
+        assert!(report.total_arrivals > 0);
+        assert!(report.total_departures > 0);
+        // On K_16 with a generous round budget the pass should end most
+        // epochs balanced.
+        assert!(report.balanced_fraction > 0.8, "fraction {}", report.balanced_fraction);
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let a = OnlineSim::new(torus2d(4, 4), quick_cfg("det")).run();
+        let b = OnlineSim::new(torus2d(4, 4), quick_cfg("det")).run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn epoch_seeding_decouples_epochs_from_history() {
+        // Changing epoch 0's workload must not change epoch 5's draws:
+        // run two configs that differ only in the arrival window and
+        // compare the *churn* draws indirectly via the seed function.
+        assert_ne!(epoch_seed(1, 0), epoch_seed(1, 1));
+        assert_eq!(epoch_seed(9, 4), epoch_seed(9, 4));
+        assert_ne!(epoch_seed(1, 4), epoch_seed(2, 4));
+    }
+
+    #[test]
+    fn drain_preserves_tasks_and_weight() {
+        let mut cfg = quick_cfg("drain");
+        cfg.departure_prob = 0.0;
+        cfg.arrival_window = Some(10);
+        cfg.epochs = 30;
+        cfg.churn = ChurnProcess::scripted(vec![
+            (12, ChurnEvent::Deactivate(0)),
+            (13, ChurnEvent::Deactivate(1)),
+        ]);
+        let mut sim = OnlineSim::new(complete(8), cfg);
+        let report = sim.run();
+        let live_after_arrivals = report.records[10].live_tasks;
+        assert!(live_after_arrivals > 0);
+        // No departures configured: draining moves tasks, never loses them.
+        let last = report.last().unwrap();
+        assert_eq!(last.live_tasks, live_after_arrivals);
+        assert_eq!(last.active_resources, 6);
+        assert!(report.records[12].drained > 0 || report.records[13].drained > 0);
+        // Drained resources hold nothing.
+        assert!(sim.stacks()[0].is_empty());
+        assert!(sim.stacks()[1].is_empty());
+    }
+
+    #[test]
+    fn last_resource_is_never_deactivated() {
+        let mut cfg = quick_cfg("last");
+        cfg.epochs = 5;
+        cfg.churn =
+            ChurnProcess::scripted(vec![(0, ChurnEvent::DeactivateRange { from: 0, to: 4 })]);
+        let mut sim = OnlineSim::new(complete(4), cfg);
+        let report = sim.run();
+        assert_eq!(report.records[0].active_resources, 1);
+    }
+
+    #[test]
+    fn hotspot_arrivals_pile_onto_target_then_rebalance() {
+        let mut cfg = quick_cfg("hotspot");
+        cfg.arrival_placement = ArrivalPlacement::HotSpot(3);
+        cfg.rounds_per_epoch = 0; // no rebalancing: observe the pile-up
+        cfg.departure_prob = 0.0;
+        cfg.epochs = 5;
+        let mut sim = OnlineSim::new(complete(8), cfg);
+        sim.run();
+        let on_target = sim.stacks()[3].num_tasks();
+        let elsewhere: usize = sim
+            .stacks()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 3)
+            .map(|(_, s)| s.num_tasks())
+            .sum();
+        assert!(on_target > 0);
+        assert_eq!(elsewhere, 0);
+    }
+
+    #[test]
+    fn id_slots_are_recycled() {
+        let mut cfg = quick_cfg("recycle");
+        cfg.epochs = 400;
+        cfg.arrivals = ArrivalProcess::Poisson { rate: 10.0 };
+        cfg.departure_prob = 0.2; // equilibrium population ~ rate/p = 50
+        let mut sim = OnlineSim::new(complete(12), cfg);
+        let report = sim.run();
+        assert!(report.total_arrivals > 2000);
+        // Without slot recycling the id space would match total arrivals;
+        // with it, it tracks the peak live population instead.
+        assert!(
+            sim.id_capacity() < report.total_arrivals as usize / 4,
+            "id capacity {} vs arrivals {}",
+            sim.id_capacity(),
+            report.total_arrivals
+        );
+    }
+
+    #[test]
+    fn multi_tenant_violations_reported_per_tenant() {
+        let mut cfg = quick_cfg("tenants");
+        cfg.tenants = vec![
+            TenantSpec::new("strict", ThresholdPolicy::Tight, 1.0),
+            TenantSpec::new("relaxed", ThresholdPolicy::AboveAverage { epsilon: 2.0 }, 1.0),
+        ];
+        cfg.epochs = 80;
+        let mut sim = OnlineSim::new(complete(10), cfg);
+        let report = sim.run();
+        assert_eq!(report.tenants, vec!["strict".to_string(), "relaxed".to_string()]);
+        assert_eq!(report.tenant_violation_rates.len(), 2);
+        // The tight tenant must violate at least as often as the relaxed
+        // one (its threshold is strictly lower for the same traffic).
+        assert!(
+            report.tenant_violation_rates[0] >= report.tenant_violation_rates[1],
+            "rates {:?}",
+            report.tenant_violation_rates
+        );
+    }
+
+    #[test]
+    fn mixed_policy_also_converges() {
+        let mut cfg = quick_cfg("mixed");
+        cfg.rebalance = RebalancePolicy::Mixed {
+            departure: Departure::Bernoulli,
+            alpha: 1.0,
+            walk: WalkKind::MaxDegree,
+        };
+        cfg.arrival_window = Some(20);
+        cfg.departure_prob = 0.0;
+        cfg.epochs = 120;
+        let report = OnlineSim::new(complete(12), cfg).run();
+        let last = report.last().unwrap();
+        assert!(last.balanced, "mixed pass did not converge: {last:?}");
+        assert_eq!(last.arrivals, 0);
+    }
+
+    #[test]
+    fn empty_system_epochs_are_trivially_balanced() {
+        let mut cfg = quick_cfg("empty");
+        cfg.arrivals = ArrivalProcess::Off;
+        cfg.departure_prob = 0.0;
+        cfg.epochs = 3;
+        let report = OnlineSim::new(complete(4), cfg).run();
+        assert_eq!(report.balanced_fraction, 1.0);
+        assert_eq!(report.last().unwrap().threshold, 0.0);
+        assert_eq!(report.last().unwrap().live_tasks, 0);
+    }
+}

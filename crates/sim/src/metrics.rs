@@ -1,0 +1,192 @@
+//! Per-epoch metrics timeseries and the serialized run report.
+//!
+//! The one-shot outcomes report end-of-run aggregates; an online run is
+//! judged by its *trajectory* — does the system stay under threshold
+//! while traffic streams in, how fast does it re-converge after a drain,
+//! which tenant's SLO degrades first. [`EpochRecord`] is one fixed-shape
+//! sample per epoch; [`SimReport`] carries the series plus run-level
+//! summaries and serializes to JSON for the CI perf-trajectory artifacts
+//! (`BENCH_online.json`).
+
+use serde::{Deserialize, Serialize};
+
+/// One epoch's snapshot, taken after that epoch's rebalancing pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Live tasks after arrivals/departures.
+    pub live_tasks: usize,
+    /// Active resources after churn.
+    pub active_resources: usize,
+    /// Tasks that arrived this epoch.
+    pub arrivals: u64,
+    /// Tasks that departed this epoch.
+    pub departures: u64,
+    /// Tasks forcibly relocated off deactivated resources this epoch.
+    pub drained: u64,
+    /// Protocol rounds the rebalancing pass executed this epoch.
+    pub rebalance_rounds: u64,
+    /// Task migrations the rebalancing pass performed this epoch.
+    pub migrations: u64,
+    /// The global threshold in force this epoch (0 when no tasks live).
+    pub threshold: f64,
+    /// Maximum resource load after rebalancing.
+    pub max_load: f64,
+    /// Mean load over active resources.
+    pub mean_load: f64,
+    /// Fraction of active resources above the threshold after
+    /// rebalancing.
+    pub overload_fraction: f64,
+    /// Potential `Φ` against the global threshold after rebalancing.
+    pub potential: f64,
+    /// Whether every resource ended the epoch at or under the threshold.
+    pub balanced: bool,
+    /// Per-tenant count of resources violating the tenant's own
+    /// threshold (index = tenant, order of the configured tenant list).
+    pub tenant_violations: Vec<u64>,
+}
+
+/// A whole run: configuration echo, per-epoch series, and summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scenario name (report key; used as the JSON artifact stem).
+    pub scenario: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Tenant names, in the order `tenant_violations` indexes.
+    pub tenants: Vec<String>,
+    /// The per-epoch series.
+    pub records: Vec<EpochRecord>,
+    /// Total arrivals over the run.
+    pub total_arrivals: u64,
+    /// Total departures over the run.
+    pub total_departures: u64,
+    /// Total rebalancing migrations over the run.
+    pub total_migrations: u64,
+    /// Fraction of epochs that ended balanced.
+    pub balanced_fraction: f64,
+    /// Per-tenant fraction of epochs with at least one SLO violation.
+    pub tenant_violation_rates: Vec<f64>,
+    /// Maximum load seen in any epoch.
+    pub peak_load: f64,
+}
+
+impl SimReport {
+    /// Assemble a report from a finished series.
+    pub fn from_records(
+        scenario: impl Into<String>,
+        seed: u64,
+        tenants: Vec<String>,
+        records: Vec<EpochRecord>,
+    ) -> Self {
+        let epochs = records.len() as u64;
+        let total_arrivals = records.iter().map(|r| r.arrivals).sum();
+        let total_departures = records.iter().map(|r| r.departures).sum();
+        let total_migrations = records.iter().map(|r| r.migrations).sum();
+        let balanced = records.iter().filter(|r| r.balanced).count();
+        let balanced_fraction = if epochs == 0 { 1.0 } else { balanced as f64 / epochs as f64 };
+        let tenant_violation_rates = (0..tenants.len())
+            .map(|c| {
+                if epochs == 0 {
+                    return 0.0;
+                }
+                let violated = records.iter().filter(|r| r.tenant_violations[c] > 0).count();
+                violated as f64 / epochs as f64
+            })
+            .collect();
+        let peak_load = records.iter().map(|r| r.max_load).fold(0.0, f64::max);
+        SimReport {
+            scenario: scenario.into(),
+            seed,
+            epochs,
+            tenants,
+            records,
+            total_arrivals,
+            total_departures,
+            total_migrations,
+            balanced_fraction,
+            tenant_violation_rates,
+            peak_load,
+        }
+    }
+
+    /// Serialize to pretty JSON (the CI artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// The last epoch's record, if any.
+    pub fn last(&self) -> Option<&EpochRecord> {
+        self.records.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64, balanced: bool, violations: Vec<u64>) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            live_tasks: 10,
+            active_resources: 4,
+            arrivals: 2,
+            departures: 1,
+            drained: 0,
+            rebalance_rounds: 3,
+            migrations: 5,
+            threshold: 4.0,
+            max_load: if balanced { 3.5 } else { 6.0 },
+            mean_load: 2.5,
+            overload_fraction: if balanced { 0.0 } else { 0.25 },
+            potential: if balanced { 0.0 } else { 2.0 },
+            balanced,
+            tenant_violations: violations,
+        }
+    }
+
+    #[test]
+    fn summaries_aggregate_the_series() {
+        let report = SimReport::from_records(
+            "unit",
+            7,
+            vec!["a".into(), "b".into()],
+            vec![
+                record(0, false, vec![1, 0]),
+                record(1, true, vec![0, 0]),
+                record(2, true, vec![2, 1]),
+                record(3, true, vec![0, 0]),
+            ],
+        );
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.total_arrivals, 8);
+        assert_eq!(report.total_departures, 4);
+        assert_eq!(report.total_migrations, 20);
+        assert_eq!(report.balanced_fraction, 0.75);
+        assert_eq!(report.tenant_violation_rates, vec![0.5, 0.25]);
+        assert_eq!(report.peak_load, 6.0);
+        assert_eq!(report.last().unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let report = SimReport::from_records(
+            "roundtrip",
+            1,
+            vec!["only".into()],
+            vec![record(0, true, vec![0])],
+        );
+        let back: SimReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_run_is_vacuously_balanced() {
+        let report = SimReport::from_records("empty", 0, vec![], vec![]);
+        assert_eq!(report.balanced_fraction, 1.0);
+        assert!(report.last().is_none());
+    }
+}

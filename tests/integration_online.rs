@@ -1,0 +1,200 @@
+//! Cross-crate integration of the online simulation stack: the `tlb-sim`
+//! engine driving the `tlb-core` steppers over a churned `tlb-graphs`
+//! overlay, plus the refactor contract — the legacy one-shot entry points
+//! must be bit-identical to their pre-stepper implementations.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::mixed_protocol::{run_mixed, MixedConfig};
+use tlb_core::prelude::*;
+use tlb_core::threshold::ThresholdPolicy;
+use tlb_graphs::generators::{complete, torus2d};
+use tlb_sim::{ArrivalProcess, ChurnEvent, ChurnProcess, OnlineSim, SimConfig, TenantSpec};
+
+/// The tentpole acceptance scenario: tasks stream in *while* resources
+/// leave; once arrivals stop, the protocol must pull the system back
+/// under the threshold and keep it there.
+#[test]
+fn churn_plus_arrivals_converges_after_arrivals_stop() {
+    let total = 240;
+    let cfg = SimConfig {
+        name: "acceptance".into(),
+        epochs: total,
+        seed: 99,
+        arrivals: ArrivalProcess::Poisson { rate: 15.0 },
+        arrival_window: Some(150),
+        departure_prob: 0.01,
+        churn: ChurnProcess {
+            scripted: vec![
+                // Resources leave while arrivals are still streaming.
+                (40, ChurnEvent::DeactivateRange { from: 0, to: 12 }),
+                (90, ChurnEvent::Deactivate(20)),
+                (200, ChurnEvent::ActivateRange { from: 0, to: 12 }),
+            ],
+            random_down: 0.03,
+            random_up: 0.05,
+        },
+        rounds_per_epoch: 32,
+        ..Default::default()
+    };
+    let mut sim = OnlineSim::new(torus2d(7, 7), cfg);
+    let report = sim.run();
+
+    // Arrivals really did overlap the drains: some epoch inside the
+    // arrival window both drained a resource and admitted tasks.
+    let drained_while_arriving =
+        report.records.iter().take(150).any(|r| r.drained > 0 && r.arrivals > 0);
+    assert!(drained_while_arriving, "scenario must drain resources during the arrival window");
+
+    // Convergence: the final stretch (well past the window) is balanced.
+    let tail = &report.records[total as usize - 10..];
+    for r in tail {
+        assert_eq!(r.arrivals, 0, "tail must be arrival-free");
+        assert!(
+            r.balanced,
+            "epoch {} not balanced after arrivals stopped: max {:.2} > threshold {:.2}",
+            r.epoch, r.max_load, r.threshold
+        );
+        assert!(r.max_load <= r.threshold);
+    }
+
+    // Task conservation: live count equals arrivals minus departures.
+    let last = report.last().unwrap();
+    assert_eq!(
+        last.live_tasks as u64,
+        report.total_arrivals - report.total_departures,
+        "tasks must never be lost or duplicated by churn"
+    );
+}
+
+/// Bit-reproducibility: the whole report (and its JSON serialization) is
+/// a pure function of the seed — the engine never touches the thread
+/// pool, so this holds for any `RAYON_NUM_THREADS` (CI diffs the driver
+/// output across 1 and 4 threads as well).
+#[test]
+fn online_runs_are_bit_identical_across_runs() {
+    let cfg = SimConfig {
+        name: "repro".into(),
+        epochs: 100,
+        seed: 31337,
+        arrivals: ArrivalProcess::Bursty { base: 5.0, burst: 60.0, period: 25, burst_len: 4 },
+        departure_prob: 0.05,
+        churn: ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 },
+        tenants: vec![
+            TenantSpec::new("a", ThresholdPolicy::Tight, 0.5),
+            TenantSpec::new("b", ThresholdPolicy::AboveAverage { epsilon: 0.5 }, 0.5),
+        ],
+        ..Default::default()
+    };
+    let a = OnlineSim::new(torus2d(6, 6), cfg.clone()).run();
+    let b = OnlineSim::new(torus2d(6, 6), cfg).run();
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+/// Refactor contract (pinned before the stepper refactor, from commit
+/// 606753b): the one-shot entry points must reproduce these exact values
+/// — rounds, migrations, and bit-exact loads — proving the steppers are a
+/// pure refactor underneath them.
+#[test]
+fn legacy_one_shot_outcomes_are_bit_identical_to_pre_stepper_runs() {
+    let g = torus2d(6, 6);
+    let tasks = TaskSet::new((0..360).map(|i| 1.0 + (i % 5) as f64).collect::<Vec<_>>());
+
+    let cfg = ResourceControlledConfig::default();
+    let mut rng = SmallRng::seed_from_u64(12345);
+    let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(7), &cfg, &mut rng);
+    assert_eq!(out.rounds, 41);
+    assert_eq!(out.migrations, 1664);
+    assert_eq!(out.final_max_load.to_bits(), 4630967054332067840);
+
+    let ucfg = UserControlledConfig::default();
+    let mut rng = SmallRng::seed_from_u64(777);
+    let uout = run_user_controlled(40, &tasks, Placement::AllOnOne(0), &ucfg, &mut rng);
+    assert_eq!(uout.rounds, 13);
+    assert_eq!(uout.migrations, 397);
+    assert_eq!(uout.final_max_load.to_bits(), 4630404104378646528);
+    assert_eq!(uout.final_loads[0].to_bits(), 4630263366890291200);
+    assert_eq!(uout.final_loads[1].to_bits(), 4630404104378646528);
+    assert_eq!(uout.final_loads[2].to_bits(), 4629841154425225216);
+
+    let mcfg = MixedConfig::default();
+    let g2 = complete(30);
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let mout = run_mixed(&g2, &tasks, Placement::AllOnOne(3), &mcfg, &mut rng);
+    assert_eq!(mout.rounds, 9);
+    assert_eq!(mout.migrations, 358);
+    assert_eq!(mout.final_max_load.to_bits(), 4631952216750555136);
+    assert_eq!(mout.final_loads[0].to_bits(), 4630685579355357184);
+    assert_eq!(mout.final_loads[1].to_bits(), 4629981891913580544);
+    assert_eq!(mout.final_loads[2].to_bits(), 4630826316843712512);
+
+    // The shuffle + potential-tracking path exercises every RNG call site.
+    let cfg2 = ResourceControlledConfig {
+        shuffle_arrivals: true,
+        track_potential: true,
+        ..Default::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(999);
+    let out2 = run_resource_controlled(&g, &tasks, Placement::UniformRandom, &cfg2, &mut rng);
+    assert_eq!(out2.rounds, 9);
+    assert_eq!(out2.migrations, 49);
+    assert_eq!(out2.potential_series.len(), 10);
+    assert_eq!(out2.potential_series[1].to_bits(), 4629418941960159232);
+}
+
+/// A paused-and-resumed stepper (the sim's per-epoch drive pattern)
+/// reaches the same fixed point as letting the one-shot entry run free:
+/// balance against the same threshold with conserved total weight.
+#[test]
+fn incremental_stepping_reaches_the_one_shot_fixed_point() {
+    use tlb_core::resource_protocol::ResourceControlledStepper;
+    let g = torus2d(6, 6);
+    let tasks = TaskSet::new((0..300).map(|i| 1.0 + (i % 4) as f64).collect::<Vec<_>>());
+    let cfg = ResourceControlledConfig::default();
+
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut stepper =
+        ResourceControlledStepper::new(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng);
+    // Drive in bursts of 4 rounds with pauses in between, as the online
+    // engine does between event batches.
+    while !stepper.is_done() {
+        for _ in 0..4 {
+            if stepper.step(&g, &mut rng) {
+                break;
+            }
+        }
+    }
+    assert!(stepper.is_balanced());
+    let threshold = stepper.threshold();
+    let (stacks, _) = stepper.into_parts();
+    let total: f64 = stacks.iter().map(|s| s.load()).sum();
+    assert!((total - tasks.total_weight()).abs() < 1e-6);
+    assert!(stacks.iter().all(|s| s.load() <= threshold));
+}
+
+/// The multi-tenant report orders tenants as configured and the tight
+/// tenant degrades at least as often as the relaxed one.
+#[test]
+fn tenant_slo_ordering_is_stable_under_streaming_load() {
+    let cfg = SimConfig {
+        name: "tenant-order".into(),
+        epochs: 150,
+        seed: 5,
+        arrivals: ArrivalProcess::Poisson { rate: 25.0 },
+        departure_prob: 0.06,
+        tenants: vec![
+            TenantSpec::new("gold-tight", ThresholdPolicy::Tight, 0.2),
+            TenantSpec::new("silver", ThresholdPolicy::AboveAverage { epsilon: 0.5 }, 0.3),
+            TenantSpec::new("bronze-loose", ThresholdPolicy::AboveAverage { epsilon: 2.0 }, 0.5),
+        ],
+        ..Default::default()
+    };
+    let report = OnlineSim::new(complete(20), cfg).run();
+    assert_eq!(report.tenants, vec!["gold-tight", "silver", "bronze-loose"]);
+    let rates = &report.tenant_violation_rates;
+    assert!(
+        rates[0] >= rates[1] && rates[1] >= rates[2],
+        "rates must order by strictness: {rates:?}"
+    );
+}

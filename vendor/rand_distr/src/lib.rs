@@ -58,6 +58,63 @@ impl Distribution<f64> for Exp {
     }
 }
 
+/// Poisson distribution with mean `lambda`.
+///
+/// Sampling uses Knuth's multiplication method, which draws `O(lambda)`
+/// uniforms per sample. Large means are split into chunks of at most 500
+/// (a Poisson(a+b) variate is the sum of independent Poisson(a) and
+/// Poisson(b) variates), keeping `exp(-lambda)` far from underflow while
+/// staying exact — the arrival rates the online simulation uses make the
+/// linear cost irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Largest per-chunk mean for Knuth's method (`exp(-500)` is ~7e-218,
+    /// comfortably inside f64 range).
+    const CHUNK: f64 = 500.0;
+
+    /// Create a Poisson distribution; errors unless `lambda` is finite
+    /// and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError);
+        }
+        Ok(Poisson { lambda })
+    }
+
+    fn sample_chunk<R: RngCore + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+        let floor = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut k = 0u64;
+        while product > floor {
+            product *= rng.gen::<f64>();
+            k += 1;
+        }
+        k
+    }
+}
+
+impl Distribution<u64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > Self::CHUNK {
+            total += Self::sample_chunk(Self::CHUNK, rng);
+            remaining -= Self::CHUNK;
+        }
+        total + Self::sample_chunk(remaining, rng)
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        Distribution::<u64>::sample(self, rng) as f64
+    }
+}
+
 /// Invalid distribution parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParamError;
@@ -95,8 +152,47 @@ mod tests {
     }
 
     #[test]
+    fn poisson_mean_and_variance_match() {
+        let d = Poisson::new(6.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 20_000;
+        let samples: Vec<u64> = (0..trials).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / trials as f64;
+        let var = samples.iter().map(|&k| (k as f64 - mean).powi(2)).sum::<f64>() / trials as f64;
+        assert!((mean - 6.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 6.5).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_splits_without_degenerating() {
+        // lambda = 1200 exercises the chunked path (two full chunks + a
+        // remainder); mean must still track lambda.
+        let d = Poisson::new(1200.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let trials = 500;
+        let mean = (0..trials).map(|_| Distribution::<u64>::sample(&d, &mut rng)).sum::<u64>()
+            as f64
+            / trials as f64;
+        assert!((mean - 1200.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_f64_sampling_is_integral() {
+        let d = Poisson::new(2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let x: f64 = d.sample(&mut rng);
+            assert_eq!(x, x.trunc());
+            assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
     fn bad_params_rejected() {
         assert!(Pareto::new(0.0, 1.0).is_err());
         assert!(Exp::new(-1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
     }
 }

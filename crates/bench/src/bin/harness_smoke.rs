@@ -1,30 +1,43 @@
 //! CI smoke bench: measure trial-harness throughput (sequential vs the
 //! persistent worker pool) on the uneven workload and write a
 //! `BENCH_harness.json` snapshot so the perf trajectory accumulates run
-//! over run.
+//! over run. A second snapshot, `BENCH_sweep.json`, covers this PR's two
+//! batching axes: the walk-step kernel (scalar vs batched on an expander)
+//! and sweep scheduling (whole-sweep `run_sweep` vs the per-point loop on
+//! an uneven sweep).
 //!
-//! Usage: `harness_smoke [--trials N] [--batches B] [--reps R] [--out PATH]`
+//! Usage: `harness_smoke [--trials N] [--batches B] [--reps R] [--out PATH]
+//!                       [--sweep-points P] [--sweep-trials T] [--sweep-out PATH]`
 //!
 //! `--batches B` splits the trials over B successive harness calls, the
 //! shape of a real sweep (one call per parameter point) — it surfaces the
 //! per-call cost the persistent pool removes (the scoped baseline spawns
 //! `threads` fresh threads on every call).
 //!
-//! Exits nonzero (panics) if the parallel results are not bit-identical to
-//! the sequential ones — the reproducibility contract is part of the
-//! smoke check, not just the unit tests.
+//! Exits nonzero (panics) if any parallel/batched results are not
+//! bit-identical to their sequential/per-point references — the
+//! reproducibility contract is part of the smoke check, not just the unit
+//! tests.
 
 use std::time::Instant;
 
-use tlb_bench::workloads::{run_trials_scoped, uneven_user_trial};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_bench::workloads::{
+    run_sweep_per_point, run_sweep_whole, run_trials_scoped, sweep_point_seeds, uneven_user_trial,
+};
 use tlb_experiments::harness;
+use tlb_graphs::generators::random_regular;
+use tlb_graphs::NodeId;
+use tlb_walks::batch::step_batch_scalar;
+use tlb_walks::{BatchWalker, WalkKind};
 
 /// Best-of-`reps` wall time of `run` (minimum is the least noisy
 /// wall-clock estimator for short batches); returns it with the last
-/// result vector for the bit-identity check.
-fn time_best<F: FnMut() -> Vec<f64>>(reps: usize, mut run: F) -> (f64, Vec<f64>) {
+/// result for the bit-identity checks.
+fn time_best<T: Default, F: FnMut() -> T>(reps: usize, mut run: F) -> (f64, T) {
     let mut best = f64::INFINITY;
-    let mut last = Vec::new();
+    let mut last = T::default();
     for _ in 0..reps {
         let t = Instant::now();
         last = run();
@@ -47,11 +60,61 @@ where
     all
 }
 
+/// Walk-kernel throughput: scalar vs batched one-step sampling of a
+/// `COHORT`-walker cohort on a degree-16 expander, best of `reps` timed
+/// blocks of `ITERS` steps each. Returns steps/sec (scalar, batched).
+fn kernel_throughput(kind: WalkKind, reps: usize) -> (f64, f64) {
+    const COHORT: usize = 1024;
+    const ITERS: usize = 500;
+    let mut rng = SmallRng::seed_from_u64(0xE1);
+    let g = random_regular(1024, 16, &mut rng).expect("regular graph");
+    let starts: Vec<NodeId> = (0..COHORT as u32).collect();
+    let steps = (COHORT * ITERS) as f64;
+
+    let mut best_scalar = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    for _ in 0..reps {
+        let mut positions = starts.clone();
+        let mut r = SmallRng::seed_from_u64(7);
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            step_batch_scalar(&g, kind, &mut positions, &mut r);
+        }
+        best_scalar = best_scalar.min(t.elapsed().as_secs_f64());
+
+        let mut positions = starts.clone();
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut kernel = BatchWalker::new();
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            kernel.step_batch(&g, kind, &mut positions, &mut r);
+        }
+        best_batched = best_batched.min(t.elapsed().as_secs_f64());
+    }
+    (steps / best_scalar, steps / best_batched)
+}
+
+/// Render one kernel comparison as a JSON object body.
+fn kernel_json(kind: WalkKind, reps: usize) -> String {
+    let (scalar, batched) = kernel_throughput(kind, reps);
+    format!(
+        "{{\n    \"graph\": \"random_regular_n1024_d16\",\n    \"walk\": \"{}\",\n    \
+         \"cohort\": 1024,\n    \"scalar_steps_per_sec\": {scalar:.0},\n    \
+         \"batched_steps_per_sec\": {batched:.0},\n    \
+         \"speedup_batched_vs_scalar\": {:.3}\n  }}",
+        kind.label(),
+        batched / scalar,
+    )
+}
+
 fn main() {
     let mut trials = 64usize;
     let mut batches = 1usize;
     let mut reps = 5usize;
     let mut out = String::from("BENCH_harness.json");
+    let mut sweep_points = 12usize;
+    let mut sweep_trials = 8usize;
+    let mut sweep_out = String::from("BENCH_sweep.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,16 +131,35 @@ fn main() {
                     .expect("--batches needs a positive integer");
             }
             "--reps" => {
-                reps =
-                    args.next().and_then(|v| v.parse().ok()).expect("--reps needs a positive integer");
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a positive integer");
             }
             "--out" => out = args.next().expect("--out needs a path"),
+            "--sweep-points" => {
+                sweep_points = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sweep-points needs a positive integer");
+            }
+            "--sweep-trials" => {
+                sweep_trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sweep-trials needs a positive integer");
+            }
+            "--sweep-out" => sweep_out = args.next().expect("--sweep-out needs a path"),
             other => panic!(
-                "unknown argument {other:?} (expected --trials N / --batches B / --reps R / --out PATH)"
+                "unknown argument {other:?} (expected --trials N / --batches B / --reps R / \
+                 --out PATH / --sweep-points P / --sweep-trials T / --sweep-out PATH)"
             ),
         }
     }
-    assert!(trials > 0 && batches > 0 && reps > 0, "all counts must be positive");
+    assert!(
+        trials > 0 && batches > 0 && reps > 0 && sweep_points > 0 && sweep_trials > 0,
+        "all counts must be positive"
+    );
     let per_batch = trials.div_ceil(batches);
 
     // Warm the pool (thread spawn + lazy init) outside the timed region.
@@ -118,5 +200,36 @@ fn main() {
     println!(
         "wrote {out}: {trials} trials on {threads} threads, \
          {speedup_vs_seq:.2}x vs sequential, {speedup_vs_scoped:.2}x vs scoped-thread baseline"
+    );
+
+    // ---- BENCH_sweep.json: walk kernel + whole-sweep scheduling ----
+
+    let kernel_max_degree = kernel_json(WalkKind::MaxDegree, reps);
+    let kernel_lazy = kernel_json(WalkKind::Lazy, reps);
+
+    let seeds = sweep_point_seeds(sweep_points);
+    let (per_point_secs, per_point) = time_best(reps, || run_sweep_per_point(&seeds, sweep_trials));
+    let (whole_secs, whole) = time_best(reps, || run_sweep_whole(&seeds, sweep_trials));
+    assert_eq!(whole, per_point, "whole-sweep results must be bit-identical to per-point");
+
+    let sweep_json = format!(
+        "{{\n  \"bench\": \"sweep_scheduling\",\n  \"workload\": \"uneven_sweep_trial\",\n  \
+         \"points\": {sweep_points},\n  \"trials_per_point\": {sweep_trials},\n  \
+         \"threads\": {threads},\n  \
+         \"per_point_secs\": {per_point_secs:.6},\n  \"whole_sweep_secs\": {whole_secs:.6},\n  \
+         \"points_per_sec_per_point\": {:.3},\n  \"points_per_sec_whole_sweep\": {:.3},\n  \
+         \"speedup_whole_sweep_vs_per_point\": {:.3},\n  \"bit_identical\": true,\n  \
+         \"kernel_max_degree\": {kernel_max_degree},\n  \"kernel_lazy\": {kernel_lazy}\n}}\n",
+        sweep_points as f64 / per_point_secs,
+        sweep_points as f64 / whole_secs,
+        per_point_secs / whole_secs,
+    );
+    std::fs::write(&sweep_out, &sweep_json)
+        .unwrap_or_else(|e| panic!("cannot write {sweep_out}: {e}"));
+    println!("{sweep_json}");
+    println!(
+        "wrote {sweep_out}: {sweep_points}x{sweep_trials} sweep, \
+         whole-sweep {:.2}x vs per-point",
+        per_point_secs / whole_secs,
     );
 }

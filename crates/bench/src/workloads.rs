@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use tlb_core::placement::Placement;
 use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
 use tlb_core::weights::WeightSpec;
-use tlb_experiments::harness::trial_seed;
+use tlb_experiments::harness::{self, trial_seed};
 
 /// One user-controlled trial whose cost varies roughly 8x with the seed
 /// (200..=1600 tasks): the uneven fan-out the pool's chunk
@@ -19,6 +19,41 @@ pub fn uneven_user_trial(seed: u64) -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed);
     let tasks = spec.generate(&mut rng);
     run_user_controlled(150, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+}
+
+/// One trial of the uneven benchmark *sweep*: point `i` simulates
+/// `300·(i+1)` tasks, so later points cost several times more than early
+/// ones — the straggler shape that makes per-point scheduling leave cores
+/// idle at every point boundary while whole-sweep scheduling keeps them
+/// fed until the sweep runs dry.
+pub fn uneven_sweep_trial(point: usize, seed: u64) -> f64 {
+    let m = 300 * (point + 1);
+    let spec = WeightSpec::figure2(m, 16.0);
+    let cfg = UserControlledConfig::default();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tasks = spec.generate(&mut rng);
+    run_user_controlled(150, &tasks, Placement::AllOnOne(0), &cfg, &mut rng).rounds as f64
+}
+
+/// Per-point seeds of the benchmark sweep (`splitmix` over the index so
+/// neighbouring points get decorrelated streams).
+pub fn sweep_point_seeds(points: usize) -> Vec<u64> {
+    (0..points as u64).map(|p| trial_seed(0x5EED, p)).collect()
+}
+
+/// The scheduling baseline `run_sweep` replaces: one pool batch per sweep
+/// point, with the implicit straggler barrier after each.
+pub fn run_sweep_per_point(point_seeds: &[u64], trials: usize) -> Vec<Vec<f64>> {
+    point_seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| harness::run_trials(trials, seed, |s| uneven_sweep_trial(i, s)))
+        .collect()
+}
+
+/// The whole-sweep scheduling under test: the flattened single batch.
+pub fn run_sweep_whole(point_seeds: &[u64], trials: usize) -> Vec<Vec<f64>> {
+    harness::run_sweep(point_seeds, trials, uneven_sweep_trial)
 }
 
 /// The pre-pool execution strategy, kept as a measured baseline: split the

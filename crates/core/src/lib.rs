@@ -25,6 +25,26 @@
 //!   assignments ([`assignment`], Section 5.2) and the footnote-1 diffusion
 //!   scheme for estimating the average load ([`diffusion`]).
 //!
+//! ## Determinism & RNG stream policy
+//!
+//! Every protocol run is a pure function of its seed. Within one version
+//! of this repository, runs are **bit-identical across
+//! `RAYON_NUM_THREADS` settings and across reruns** — the round loops
+//! draw from a single sequential RNG, and the experiment harness derives
+//! per-trial seeds independent of scheduling. The round loops sample
+//! through the batched kernel (`tlb_walks::BatchWalker` for walk steps,
+//! bulk destination words for the user protocol), which consumes the
+//! *same stream* the scalar reference would for max-degree and simple
+//! walks, and a fused one-word-per-step stream for lazy walks.
+//!
+//! **Not guaranteed:** stream stability across versions. A PR may change
+//! the draw count or order (this is exactly what the batched kernel did
+//! to the lazy walk and to the mixed protocol's coin/walk interleaving);
+//! it must then re-pin the golden outcome values once, justified by the
+//! chi-square distribution-equivalence tests in `tlb_walks::batch`, with
+//! the old values recorded in the test comment. See "Determinism & RNG
+//! stream policy" in `vendor/README.md` for the full contract.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -31,7 +31,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tlb_graphs::{Graph, NodeId};
-use tlb_walks::{WalkKind, Walker};
+use tlb_walks::{BatchWalker, WalkKind};
 
 use crate::placement::Placement;
 use crate::potential::{is_balanced, max_load, total_potential};
@@ -122,9 +122,14 @@ pub struct MixedStepper {
     migrations: u64,
     potential_series: Vec<f64>,
     completed: bool,
-    // Round buffers, reused so a step allocates nothing in steady state.
-    pending: Vec<(TaskId, NodeId)>,
+    // Batched walk kernel, cached for the whole run (topology is re-read
+    // from the graph every step, so graph swaps between rounds are fine).
+    walker: BatchWalker,
+    // Round buffers, reused so a step allocates nothing in steady state:
+    // `departing`/`positions` are the round's parallel (task, source →
+    // destination) cohort, stepped in place.
     departing: Vec<TaskId>,
+    positions: Vec<NodeId>,
 }
 
 impl MixedStepper {
@@ -133,8 +138,10 @@ impl MixedStepper {
     /// snapshots.
     ///
     /// # Panics
-    /// If the graph is empty, `alpha <= 0` with Bernoulli departures, or
-    /// the placement is invalid.
+    /// If the graph is empty, `alpha <= 0` with Bernoulli departures, the
+    /// placement is invalid, or `cfg.walk` is [`WalkKind::Simple`] on a
+    /// graph with an isolated node (undefined there — rejected at
+    /// construction instead of mid-trial).
     pub fn new<R: Rng + ?Sized>(
         g: &Graph,
         tasks: &TaskSet,
@@ -144,6 +151,10 @@ impl MixedStepper {
     ) -> Self {
         let n = g.num_nodes();
         assert!(n > 0, "need at least one resource");
+        assert!(
+            cfg.walk != WalkKind::Simple || g.min_degree() > 0,
+            "WalkKind::Simple is undefined on isolated nodes; this graph has one"
+        );
         let weights = tasks.weights().to_vec();
         let w_max = tasks.w_max();
         let threshold = cfg.threshold.value(tasks.total_weight(), n, w_max);
@@ -190,8 +201,9 @@ impl MixedStepper {
             migrations: 0,
             potential_series,
             completed,
-            pending: Vec::new(),
+            walker: BatchWalker::new(),
             departing: Vec::new(),
+            positions: Vec::new(),
         }
     }
 
@@ -231,15 +243,29 @@ impl MixedStepper {
         if self.is_done() {
             return true;
         }
-        let walker = Walker::new(g, self.cfg.walk);
+        // `new()` already rejects this, but `from_parts` has no graph and
+        // the caller may swap in a churned graph between rounds — re-check
+        // here (O(1): min_degree is cached) so an isolated node fails fast
+        // instead of panicking per-task deep in the batched kernel.
+        assert!(
+            self.cfg.walk != WalkKind::Simple || g.min_degree() > 0,
+            "WalkKind::Simple is undefined on isolated nodes; this graph has one"
+        );
         self.rounds += 1;
-        self.pending.clear();
+        // Departure phase: collect the whole round's cohort first
+        // (`departing[i]` leaves from `positions[i]`), then take one
+        // batched walk step for everyone. Under Bernoulli departures this
+        // draws all departure coins *before* any walk word — a different
+        // RNG interleaving than the old per-resource loop (same per-step
+        // law; see the stream policy in `tlb_core` docs), which is why
+        // the mixed goldens were re-pinned once for this version.
+        self.departing.clear();
+        self.positions.clear();
         for r in 0..self.stacks.len() as NodeId {
             let stack = &mut self.stacks[r as usize];
             if !stack.is_overloaded(self.threshold) {
                 continue;
             }
-            self.departing.clear();
             match self.cfg.departure {
                 Departure::AllActive => {
                     stack.remove_active_into(self.threshold, &self.weights, &mut self.departing);
@@ -250,12 +276,14 @@ impl MixedStepper {
                     stack.drain_bernoulli_into(p, &self.weights, rng, &mut self.departing);
                 }
             }
-            for &t in &self.departing {
-                self.pending.push((t, walker.step(r, rng)));
-            }
+            self.positions.resize(self.departing.len(), r);
         }
-        self.migrations += self.pending.len() as u64;
-        for &(t, dest) in &self.pending {
+        self.walker.step_batch(g, self.cfg.walk, &mut self.positions, rng);
+        // Arrival phase straight off the stepped cohort — the mixed
+        // protocol has no shuffle ablation, so no materialized (task,
+        // dest) list is needed.
+        self.migrations += self.departing.len() as u64;
+        for (&t, &dest) in self.departing.iter().zip(self.positions.iter()) {
             self.stacks[dest as usize].push(t, self.weights[t as usize]);
         }
         if self.cfg.track_potential {
@@ -416,5 +444,15 @@ mod tests {
         let mut stepper = MixedStepper::new(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
         while !stepper.step(&g, &mut r) {}
         assert_eq!(stepper.into_outcome(), one_shot);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined on isolated nodes")]
+    fn simple_walk_on_graph_with_isolated_node_fails_at_construction() {
+        let mut b = tlb_graphs::GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let cfg = MixedConfig { walk: WalkKind::Simple, ..Default::default() };
+        run_mixed(&g, &TaskSet::uniform(9), Placement::AllOnOne(0), &cfg, &mut rng(1));
     }
 }

@@ -26,7 +26,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tlb_graphs::{Graph, NodeId};
-use tlb_walks::{WalkKind, Walker};
+use tlb_walks::{BatchWalker, WalkKind};
 
 use crate::placement::Placement;
 use crate::potential::{is_balanced, max_load, total_potential};
@@ -121,9 +121,16 @@ pub struct ResourceControlledStepper {
     potential_series: Vec<f64>,
     trace: Option<RoundTrace>,
     completed: bool,
-    // Round buffers, reused so a step allocates nothing in steady state.
+    // Batched walk kernel, cached for the whole run (topology is re-read
+    // from the graph every step, so swapping graphs between rounds stays
+    // sound).
+    walker: BatchWalker,
+    // Round buffers, reused so a step allocates nothing in steady state:
+    // `removed`/`positions` are the parallel (task, source) cohort of the
+    // round, stepped in place; `pending` is the zipped arrival list.
     pending: Vec<(TaskId, NodeId)>,
     removed: Vec<TaskId>,
+    positions: Vec<NodeId>,
 }
 
 impl ResourceControlledStepper {
@@ -132,7 +139,10 @@ impl ResourceControlledStepper {
     /// snapshots.
     ///
     /// # Panics
-    /// If the placement is invalid for `(m, n)` or the graph is empty.
+    /// If the placement is invalid for `(m, n)`, the graph is empty, or
+    /// `cfg.walk` is [`WalkKind::Simple`] on a graph with an isolated
+    /// node (the simple walk is undefined there — rejected here, at
+    /// construction, instead of via an `assert!` deep in the round loop).
     pub fn new<R: Rng + ?Sized>(
         g: &Graph,
         tasks: &TaskSet,
@@ -142,6 +152,10 @@ impl ResourceControlledStepper {
     ) -> Self {
         let n = g.num_nodes();
         assert!(n > 0, "need at least one resource");
+        assert!(
+            cfg.walk != WalkKind::Simple || g.min_degree() > 0,
+            "WalkKind::Simple is undefined on isolated nodes; this graph has one"
+        );
         let weights = tasks.weights().to_vec();
         let threshold = cfg.threshold.value(tasks.total_weight(), n, tasks.w_max());
 
@@ -187,8 +201,10 @@ impl ResourceControlledStepper {
             potential_series,
             trace,
             completed,
+            walker: BatchWalker::new(),
             pending: Vec::new(),
             removed: Vec::new(),
+            positions: Vec::new(),
         }
     }
 
@@ -229,25 +245,38 @@ impl ResourceControlledStepper {
         if self.is_done() {
             return true;
         }
-        let walker = Walker::new(g, self.cfg.walk);
+        // `new()` already rejects this, but `from_parts` has no graph and
+        // the caller may swap in a churned graph between rounds — re-check
+        // here (O(1): min_degree is cached) so an isolated node fails fast
+        // instead of panicking per-task deep in the batched kernel.
+        assert!(
+            self.cfg.walk != WalkKind::Simple || g.min_degree() > 0,
+            "WalkKind::Simple is undefined on isolated nodes; this graph has one"
+        );
         self.rounds += 1;
-        self.pending.clear();
-        // Removal phase: every overloaded resource ejects I_a ∪ I_c, and
-        // each ejected task samples one walk step from its source.
+        // Removal phase: every overloaded resource ejects I_a ∪ I_c into
+        // the round cohort (`removed[i]` departs from `positions[i]`).
+        // Removal consumes no RNG, so collecting the whole round before
+        // stepping leaves the draw sequence identical to the old
+        // per-resource interleaving.
+        self.removed.clear();
+        self.positions.clear();
         for r in 0..self.stacks.len() as NodeId {
             if self.stacks[r as usize].is_overloaded(self.threshold) {
-                self.removed.clear();
                 self.stacks[r as usize].remove_active_into(
                     self.threshold,
                     &self.weights,
                     &mut self.removed,
                 );
-                for &t in &self.removed {
-                    let dest = walker.step(r, rng);
-                    self.pending.push((t, dest));
-                }
+                // One source entry per task ejected by this resource.
+                self.positions.resize(self.removed.len(), r);
             }
         }
+        // Walk phase: the whole cohort takes one batched step.
+        self.walker.step_batch(g, self.cfg.walk, &mut self.positions, rng);
+        self.pending.clear();
+        self.pending
+            .extend(self.removed.iter().copied().zip(self.positions.iter().copied()));
         if self.cfg.shuffle_arrivals {
             self.pending.shuffle(rng);
         }
@@ -546,6 +575,60 @@ mod tests {
         assert_eq!(trace.potential_series(), out.potential_series);
         assert_eq!(trace.threshold, out.threshold);
         assert_eq!(trace.records.last().unwrap().max_load, out.final_max_load);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined on isolated nodes")]
+    fn simple_walk_on_graph_with_isolated_node_fails_at_construction() {
+        // Node 3 of this graph has no edges: a simple walk from it is
+        // undefined. The old behavior was an assert deep inside the round
+        // loop, firing only when a task actually reached the node; the
+        // invalid config must fail fast instead (tlb-sim already rejects
+        // WalkKind::Simple the same way).
+        let mut b = tlb_graphs::GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build();
+        let cfg = ResourceControlledConfig { walk: WalkKind::Simple, ..Default::default() };
+        run_resource_controlled(
+            &g,
+            &TaskSet::uniform(12),
+            Placement::AllOnOne(0),
+            &cfg,
+            &mut rng(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined on isolated nodes")]
+    fn simple_walk_via_from_parts_fails_at_first_step() {
+        // from_parts takes no graph, so the construction-time check can't
+        // fire; the per-step check must catch it instead (same protection
+        // for callers that swap in a churned graph mid-run).
+        let mut b = tlb_graphs::GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let mut stacks = vec![crate::stack::ResourceStack::new(); 3];
+        for i in 0..9 {
+            stacks[0].push(i, 1.0);
+        }
+        let cfg = ResourceControlledConfig { walk: WalkKind::Simple, ..Default::default() };
+        let mut s = ResourceControlledStepper::from_parts(stacks, vec![1.0; 9], 4.0, cfg);
+        s.step(&g, &mut rng(1));
+    }
+
+    #[test]
+    fn simple_walk_on_connected_graph_is_accepted() {
+        let g = complete(8);
+        let cfg = ResourceControlledConfig { walk: WalkKind::Simple, ..Default::default() };
+        let out = run_resource_controlled(
+            &g,
+            &TaskSet::uniform(40),
+            Placement::AllOnOne(0),
+            &cfg,
+            &mut rng(2),
+        );
+        assert!(out.balanced());
     }
 
     #[test]

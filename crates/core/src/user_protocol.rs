@@ -26,7 +26,7 @@
 //! harness reproduces exactly that setting.
 
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{lemire_u64, Rng};
 use serde::{Deserialize, Serialize};
 
 use crate::placement::Placement;
@@ -116,8 +116,10 @@ pub struct UserControlledStepper {
     potential_series: Vec<f64>,
     trace: Option<RoundTrace>,
     completed: bool,
-    // Round buffer, reused so a step allocates nothing in steady state.
+    // Round buffers, reused so a step allocates nothing in steady state:
+    // the migrant cohort plus the bulk-generated destination words.
     migrants: Vec<TaskId>,
+    dest_words: Vec<u64>,
 }
 
 impl UserControlledStepper {
@@ -183,6 +185,7 @@ impl UserControlledStepper {
             trace,
             completed,
             migrants: Vec::new(),
+            dest_words: Vec::new(),
         }
     }
 
@@ -242,9 +245,18 @@ impl UserControlledStepper {
             self.migrants.shuffle(rng);
         }
         // Arrival phase: uniformly random destination for each migrant.
+        // Destinations are bulk-generated (one word per migrant, mapped
+        // with the same Lemire multiply `gen_range` uses), so the draw
+        // sequence is bit-identical to the old per-migrant `gen_range`
+        // loop while the RNG virtual-call round-trips collapse into one
+        // register-resident fill.
         self.migrations += self.migrants.len() as u64;
-        for &t in &self.migrants {
-            let dest = rng.gen_range(0..self.n);
+        // Resize only (no clear): the fill overwrites every live slot, so
+        // re-zeroing the buffer each round would be a wasted memset.
+        self.dest_words.resize(self.migrants.len(), 0);
+        rng.fill_u64(&mut self.dest_words);
+        for (&t, &word) in self.migrants.iter().zip(self.dest_words.iter()) {
+            let dest = lemire_u64(word, self.n as u64) as usize;
             self.stacks[dest].push(t, self.weights[t as usize]);
         }
         if self.cfg.track_potential {

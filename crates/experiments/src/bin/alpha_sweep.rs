@@ -5,8 +5,13 @@ use tlb_experiments::figures::alpha_sweep;
 
 fn main() {
     let opts = Options::from_env();
-    let mut cfg =
-        if opts.quick { alpha_sweep::Config::quick() } else { alpha_sweep::Config::default() };
+    let mut cfg = if opts.full {
+        alpha_sweep::Config::full()
+    } else if opts.quick {
+        alpha_sweep::Config::quick()
+    } else {
+        alpha_sweep::Config::default()
+    };
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }

@@ -5,8 +5,13 @@ use tlb_experiments::figures::epsilon_sweep;
 
 fn main() {
     let opts = Options::from_env();
-    let mut cfg =
-        if opts.quick { epsilon_sweep::Config::quick() } else { epsilon_sweep::Config::default() };
+    let mut cfg = if opts.full {
+        epsilon_sweep::Config::full()
+    } else if opts.quick {
+        epsilon_sweep::Config::quick()
+    } else {
+        epsilon_sweep::Config::default()
+    };
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }

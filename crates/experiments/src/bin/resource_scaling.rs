@@ -5,7 +5,9 @@ use tlb_experiments::figures::resource_scaling;
 
 fn main() {
     let opts = Options::from_env();
-    let mut cfg = if opts.quick {
+    let mut cfg = if opts.full {
+        resource_scaling::Config::full()
+    } else if opts.quick {
         resource_scaling::Config::quick()
     } else {
         resource_scaling::Config::default()

@@ -3,8 +3,13 @@
 //! Every driver understands:
 //!
 //! * `--quick` — run the reduced configuration (smoke-test scale),
+//! * `--full` — run the paper-fidelity configuration (Section-7 scale,
+//!   1000 trials per data point) on the sweep drivers that support it;
+//!   drivers without a full configuration treat it as the default,
 //! * `--trials N` — override the trial count,
 //! * `--out DIR` — results directory (default `results/`).
+//!
+//! `--full` and `--quick` are mutually exclusive.
 
 use std::path::PathBuf;
 
@@ -13,6 +18,8 @@ use std::path::PathBuf;
 pub struct Options {
     /// Use the reduced configuration.
     pub quick: bool,
+    /// Use the paper-fidelity (Section-7 scale) configuration.
+    pub full: bool,
     /// Trial-count override.
     pub trials: Option<usize>,
     /// Output directory for CSV/JSON artifacts.
@@ -21,7 +28,7 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { quick: false, trials: None, out_dir: PathBuf::from("results") }
+        Options { quick: false, full: false, trials: None, out_dir: PathBuf::from("results") }
     }
 }
 
@@ -37,6 +44,7 @@ impl Options {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
+                "--full" => opts.full = true,
                 "--trials" => {
                     let v = it.next().expect("--trials needs a value");
                     opts.trials = Some(v.parse().expect("--trials value must be an integer"));
@@ -45,12 +53,13 @@ impl Options {
                     opts.out_dir = PathBuf::from(it.next().expect("--out needs a value"));
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--trials N] [--out DIR]");
+                    eprintln!("usage: [--quick | --full] [--trials N] [--out DIR]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),
             }
         }
+        assert!(!(opts.quick && opts.full), "--quick and --full are mutually exclusive");
         opts
     }
 
@@ -80,8 +89,21 @@ mod tests {
     fn all_flags() {
         let o = parse(&["--quick", "--trials", "42", "--out", "/tmp/x"]);
         assert!(o.quick);
+        assert!(!o.full);
         assert_eq!(o.trials, Some(42));
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn full_flag() {
+        let o = parse(&["--full"]);
+        assert!(o.full && !o.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn quick_and_full_conflict() {
+        parse(&["--quick", "--full"]);
     }
 
     #[test]

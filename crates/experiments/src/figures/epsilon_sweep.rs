@@ -69,10 +69,31 @@ impl Config {
             ..Default::default()
         }
     }
+
+    /// Paper-fidelity configuration: the Section-7 trial count (every
+    /// data point averaged over 1000 independent trials).
+    pub fn full() -> Self {
+        Config { trials: 1000, ..Default::default() }
+    }
+}
+
+/// One sweep point, prepared up front so the trial closure is pure. The
+/// threshold policy lives in `proto.threshold` (not duplicated here).
+struct Point {
+    w_max: f64,
+    eps: f64,
+    proto: UserControlledConfig,
+    spec: WeightSpec,
+    seed: u64,
 }
 
 /// Run the sweep. Columns: w_max, epsilon, threshold_label, rounds_mean,
 /// rounds_ci95.
+///
+/// All `(w_max × epsilon)` points run as **one** pool batch through
+/// [`harness::run_sweep`] — per-point seeds are unchanged from the old
+/// per-point loop, so results are bit-identical to it (and to any run of
+/// this version at any thread count).
 pub fn run(cfg: &Config) -> Table {
     let mut table = Table::new(
         "epsilon_sweep",
@@ -82,6 +103,7 @@ pub fn run(cfg: &Config) -> Table {
         ),
         &["w_max", "epsilon", "threshold", "rounds_mean", "rounds_ci95"],
     );
+    let mut points = Vec::new();
     for &w_max in &cfg.w_maxes {
         let spec = WeightSpec::figure2(cfg.m, w_max);
         for &eps in &cfg.epsilons {
@@ -90,28 +112,36 @@ pub fn run(cfg: &Config) -> Table {
             } else {
                 ThresholdPolicy::AboveAverage { epsilon: eps }
             };
-            let proto =
-                UserControlledConfig { threshold: policy, alpha: cfg.alpha, ..Default::default() };
-            let n = cfg.n;
-            let samples = harness::run_trials(
-                cfg.trials,
-                cfg.seed ^ (eps * 1e6) as u64 ^ ((w_max as u64) << 40),
-                |s| {
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    let tasks = spec.generate(&mut rng);
-                    run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng).rounds
-                        as f64
+            points.push(Point {
+                w_max,
+                eps,
+                proto: UserControlledConfig {
+                    threshold: policy,
+                    alpha: cfg.alpha,
+                    ..Default::default()
                 },
-            );
-            let s = Summary::of(&samples);
-            table.push_row(vec![
-                format!("{w_max:.0}"),
-                format!("{eps}"),
-                policy.label(),
-                format!("{:.2}", s.mean),
-                format!("{:.2}", s.ci95),
-            ]);
+                spec: spec.clone(),
+                seed: cfg.seed ^ (eps * 1e6) as u64 ^ ((w_max as u64) << 40),
+            });
         }
+    }
+    let seeds: Vec<u64> = points.iter().map(|p| p.seed).collect();
+    let n = cfg.n;
+    let results = harness::run_sweep(&seeds, cfg.trials, |i, s| {
+        let p = &points[i];
+        let mut rng = SmallRng::seed_from_u64(s);
+        let tasks = p.spec.generate(&mut rng);
+        run_user_controlled(n, &tasks, Placement::AllOnOne(0), &p.proto, &mut rng).rounds as f64
+    });
+    for (p, samples) in points.iter().zip(&results) {
+        let s = Summary::of(samples);
+        table.push_row(vec![
+            format!("{:.0}", p.w_max),
+            format!("{}", p.eps),
+            p.proto.threshold.label(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.ci95),
+        ]);
     }
     table
 }

@@ -47,6 +47,12 @@ impl Config {
     pub fn quick() -> Self {
         Config { size: 64, trials: 15, ..Default::default() }
     }
+
+    /// Paper-fidelity configuration: the Section-7 trial count (every
+    /// data point averaged over 1000 independent trials).
+    pub fn full() -> Self {
+        Config { trials: 1000, ..Default::default() }
+    }
 }
 
 /// A named workload constructor.
@@ -58,8 +64,25 @@ const WORKLOADS: [(&str, WorkloadCtor); 2] = [
     ("pareto", |m| WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: 32.0 }),
 ];
 
+/// One prepared family: the graph plus the walk-theory quantities the
+/// report column needs (computed once, shared by both workload points).
+struct FamilyPoint {
+    family: Family,
+    g: tlb_graphs::Graph,
+    n: usize,
+    m: usize,
+    tau: f64,
+    proto: ResourceControlledConfig,
+}
+
 /// Run the sweep. Columns: family, n, m, workload, tau, rounds_mean,
 /// rounds_ci95, rounds_over_tau_logm.
+///
+/// All `(family × workload)` points run as **one** pool batch through
+/// [`harness::run_sweep`] — the sweep's per-point costs differ by orders
+/// of magnitude (cycle vs expander mixing times), which is exactly the
+/// straggler shape whole-sweep scheduling wins on. Seeds per point match
+/// the old per-point loop, so results are bit-identical to it.
 pub fn run(cfg: &Config) -> Table {
     let mut table = Table::new(
         "resource_scaling",
@@ -69,39 +92,58 @@ pub fn run(cfg: &Config) -> Table {
         ),
         &["family", "n", "m", "workload", "tau_lemma2", "rounds_mean", "rounds_ci95", "ratio"],
     );
-    for family in Family::ALL {
-        let (g, kind) = build_family(family, cfg.size, cfg.seed);
-        let n = g.num_nodes();
-        let m = n * cfg.tasks_per_node;
-        let p = tlb_walks::TransitionMatrix::build(&g, kind);
-        let gap = tlb_walks::spectral::spectral_gap_power(&p, &g, 1e-10, 100_000);
-        let tau = tlb_walks::mixing::lemma2_mixing_time(n, &gap).unwrap_or(u64::MAX) as f64;
-        for (wname, wf) in WORKLOADS {
-            let spec = wf(m);
+    // Prepare the per-family substrate up front (graph build + spectral
+    // gap are per-family, not per-trial).
+    let families: Vec<FamilyPoint> = Family::ALL
+        .iter()
+        .map(|&family| {
+            let (g, kind) = build_family(family, cfg.size, cfg.seed);
+            let n = g.num_nodes();
+            let m = n * cfg.tasks_per_node;
+            let p = tlb_walks::TransitionMatrix::build(&g, kind);
+            let gap = tlb_walks::spectral::spectral_gap_power(&p, &g, 1e-10, 100_000);
+            let tau = tlb_walks::mixing::lemma2_mixing_time(n, &gap).unwrap_or(u64::MAX) as f64;
             let proto = ResourceControlledConfig {
                 threshold: ThresholdPolicy::AboveAverage { epsilon: cfg.epsilon },
                 walk: kind,
                 ..Default::default()
             };
-            let samples = harness::run_trials(cfg.trials, cfg.seed ^ (family as u64) << 8, |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                let tasks = spec.generate(&mut rng);
-                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &proto, &mut rng).rounds
-                    as f64
-            });
-            let s = Summary::of(&samples);
-            let denom = tau * (m as f64).ln();
-            table.push_row(vec![
-                family.name().to_string(),
-                n.to_string(),
-                m.to_string(),
-                wname.to_string(),
-                format!("{tau:.1}"),
-                format!("{:.2}", s.mean),
-                format!("{:.2}", s.ci95),
-                format!("{:.5}", s.mean / denom),
-            ]);
-        }
+            FamilyPoint { family, g, n, m, tau, proto }
+        })
+        .collect();
+    // Flatten to (family × workload) sweep points. The seed depends on
+    // the family only (as the per-point loop always had it).
+    let points: Vec<(usize, &str, WeightSpec)> = families
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, fp)| WORKLOADS.iter().map(move |&(wname, wf)| (fi, wname, wf(fp.m))))
+        .collect();
+    let seeds: Vec<u64> = points
+        .iter()
+        .map(|&(fi, _, _)| cfg.seed ^ (families[fi].family as u64) << 8)
+        .collect();
+    let results = harness::run_sweep(&seeds, cfg.trials, |i, s| {
+        let (fi, _, ref spec) = points[i];
+        let fp = &families[fi];
+        let mut rng = SmallRng::seed_from_u64(s);
+        let tasks = spec.generate(&mut rng);
+        run_resource_controlled(&fp.g, &tasks, Placement::AllOnOne(0), &fp.proto, &mut rng).rounds
+            as f64
+    });
+    for (&(fi, wname, _), samples) in points.iter().zip(&results) {
+        let fp = &families[fi];
+        let s = Summary::of(samples);
+        let denom = fp.tau * (fp.m as f64).ln();
+        table.push_row(vec![
+            fp.family.name().to_string(),
+            fp.n.to_string(),
+            fp.m.to_string(),
+            wname.to_string(),
+            format!("{:.1}", fp.tau),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.ci95),
+            format!("{:.5}", s.mean / denom),
+        ]);
     }
     table
 }

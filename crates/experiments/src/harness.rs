@@ -9,6 +9,11 @@
 //! sequential evaluation would. The pool self-schedules fixed-size chunks,
 //! so sweeps whose trials have very different costs (slow-mixing graphs
 //! next to fast ones) still keep every core busy.
+//!
+//! Whole sweeps go through [`run_sweep`], which flattens the
+//! `(sweep-point × trial)` grid into one pool batch — no per-point
+//! straggler barrier — while staying bit-identical to the per-point
+//! [`run_trials`] loop.
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -86,6 +91,57 @@ where
         .into_par_iter()
         .map(|t| f(trial_seed(base_seed, t)))
         .collect()
+}
+
+/// Run a whole sweep — `point_seeds.len()` parameter points × `trials`
+/// trials each — as **one** self-scheduled pool batch instead of one
+/// batch per point.
+///
+/// A per-point loop (`for seed in point_seeds { run_trials(trials, seed,
+/// …) }`) puts a barrier after every sweep point: each call waits for its
+/// slowest trial while the other cores idle, and sweeps whose points have
+/// very different costs (slow-mixing graphs next to fast ones, tight
+/// thresholds next to loose ones) pay that straggler tax once per point.
+/// Flattening the `(point, trial)` grid into a single batch lets the
+/// pool's chunk self-scheduling fill every core until the *whole sweep*
+/// runs dry — the only barrier is the final one.
+///
+/// Output contract (proptest-pinned): `run_sweep(seeds, trials, f)[i]` is
+/// bit-identical to `run_trials(trials, seeds[i], |s| f(i, s))`, for any
+/// thread count — trial `t` of point `i` always runs with seed
+/// `trial_seed(point_seeds[i], t)`, regardless of scheduling.
+pub fn run_sweep<F>(point_seeds: &[u64], trials: usize, f: F) -> Vec<Vec<f64>>
+where
+    F: Fn(usize, u64) -> f64 + Sync,
+{
+    run_sweep_map(point_seeds, trials, f)
+}
+
+/// Generic-payload variant of [`run_sweep`] (the `run_trials_map` analog).
+pub fn run_sweep_map<T, F>(point_seeds: &[u64], trials: usize, f: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    if trials == 0 {
+        return point_seeds.iter().map(|_| Vec::new()).collect();
+    }
+    let total = point_seeds.len() * trials;
+    let mut flat: Vec<T> = (0..total as u64)
+        .into_par_iter()
+        .map(|k| {
+            let point = k as usize / trials;
+            let t = (k as usize % trials) as u64;
+            f(point, trial_seed(point_seeds[point], t))
+        })
+        .collect();
+    // Unflatten back-to-front so each split is O(trials).
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(point_seeds.len());
+    for p in (0..point_seeds.len()).rev() {
+        out.push(flat.split_off(p * trials));
+    }
+    out.reverse();
+    out
 }
 
 /// Streaming variant: trials run on the worker pool while a consumer
@@ -308,6 +364,41 @@ mod tests {
         );
         let expected: u64 = (0..trials as u64).map(|t| trial_seed(13, t) % 11).sum();
         assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn run_sweep_matches_per_point_loop_bitwise() {
+        // The whole-sweep batch must reproduce the per-point scheduling
+        // exactly — same seeds, same order — on the uneven workload.
+        let seeds = [3u64, 99, 3, 0xDEAD]; // duplicate seeds are legal
+        let trials = 37;
+        let swept = run_sweep(&seeds, trials, |_, s| uneven(s));
+        assert_eq!(swept.len(), seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            assert_eq!(swept[i], run_trials(trials, seed, uneven), "point {i}");
+        }
+    }
+
+    #[test]
+    fn run_sweep_point_index_reaches_the_closure() {
+        let seeds = [1u64, 2, 3];
+        let swept = run_sweep_map(&seeds, 4, |point, seed| (point, seed));
+        for (i, point_results) in swept.iter().enumerate() {
+            for (t, &(point, seed)) in point_results.iter().enumerate() {
+                assert_eq!(point, i);
+                assert_eq!(seed, trial_seed(seeds[i], t as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn run_sweep_degenerate_shapes() {
+        let empty: Vec<Vec<f64>> = run_sweep(&[], 10, |_, s| s as f64);
+        assert!(empty.is_empty());
+        let zero_trials = run_sweep(&[1, 2], 0, |_, s| s as f64);
+        assert_eq!(zero_trials, vec![Vec::<f64>::new(), Vec::new()]);
+        let single = run_sweep(&[7], 1, |_, s| s as f64);
+        assert_eq!(single, vec![vec![trial_seed(7, 0) as f64]]);
     }
 
     #[test]

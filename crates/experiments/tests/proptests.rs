@@ -17,6 +17,28 @@ proptest! {
         );
     }
 
+    /// Whole-sweep scheduling is observationally pure scheduling: for any
+    /// point-seed list and trial count, `run_sweep` output is
+    /// bit-identical to the per-point `run_trials` loop it replaced.
+    #[test]
+    fn run_sweep_equals_per_point_loop(
+        point_seeds in proptest::collection::vec(any::<u64>(), 0..12),
+        trials in 0usize..60,
+    ) {
+        // Mix point index and seed nonlinearly so scheduling mistakes
+        // (wrong point, wrong trial, wrong order) cannot cancel out.
+        let f = |point: usize, s: u64| {
+            (s ^ (point as u64).wrapping_mul(0x9E3779B97F4A7C15)) as f64
+        };
+        let swept = harness::run_sweep(&point_seeds, trials, f);
+        let per_point: Vec<Vec<f64>> = point_seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| harness::run_trials(trials, seed, |s| f(i, s)))
+            .collect();
+        prop_assert_eq!(swept, per_point);
+    }
+
     /// Derived trial seeds never collide within a sweep and differ across
     /// base seeds.
     #[test]

@@ -26,6 +26,10 @@ pub struct Graph {
     neighbors: Vec<NodeId>,
     /// Cached maximum degree (0 for the empty graph).
     max_degree: u32,
+    /// Cached minimum degree (0 for the empty graph). Cached alongside
+    /// `max_degree` so regularity checks (`min == max`, the batched walk
+    /// kernel's fast-path gate) and isolated-node validation are `O(1)`.
+    min_degree: u32,
 }
 
 impl Graph {
@@ -33,8 +37,13 @@ impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
-        let max_degree = offsets.windows(2).map(|w| (w[1] - w[0]) as u32).max().unwrap_or(0);
-        Graph { offsets, neighbors, max_degree }
+        // One fused pass for both degree extremes.
+        let (min_degree, max_degree) = offsets.windows(2).fold((u32::MAX, 0), |(mn, mx), w| {
+            let d = (w[1] - w[0]) as u32;
+            (mn.min(d), mx.max(d))
+        });
+        let min_degree = if min_degree == u32::MAX { 0 } else { min_degree };
+        Graph { offsets, neighbors, max_degree, min_degree }
     }
 
     /// Number of nodes `n`.
@@ -64,11 +73,9 @@ impl Graph {
     }
 
     /// Minimum degree over all nodes (0 for the empty graph).
+    #[inline]
     pub fn min_degree(&self) -> u32 {
-        (0..self.num_nodes() as NodeId)
-            .map(|v| self.degree(v) as u32)
-            .min()
-            .unwrap_or(0)
+        self.min_degree
     }
 
     /// Sorted neighbour slice of `v`.
@@ -76,6 +83,16 @@ impl Graph {
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let v = v as usize;
         &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The whole concatenated adjacency array (CSR values, length
+    /// `2|E|`). On a `d`-regular graph every row has exactly `d` entries,
+    /// so `offsets[v] = v·d` and node `v`'s neighbours are
+    /// `flat[v·d .. (v+1)·d]` — the batched walk kernel uses this to skip
+    /// the per-node offset loads entirely on regular graphs.
+    #[inline]
+    pub fn neighbors_flat(&self) -> &[NodeId] {
+        &self.neighbors
     }
 
     /// Whether the undirected edge `(u, v)` exists. `O(log deg(u))`.
@@ -101,14 +118,11 @@ impl Graph {
         self.neighbors.len()
     }
 
-    /// `true` if the graph is `d`-regular.
+    /// `true` if the graph is `d`-regular. `O(1)` via the cached degree
+    /// extremes.
+    #[inline]
     pub fn is_regular(&self) -> bool {
-        let n = self.num_nodes();
-        if n == 0 {
-            return true;
-        }
-        let d0 = self.degree(0);
-        (1..n as NodeId).all(|v| self.degree(v) == d0)
+        self.min_degree == self.max_degree
     }
 }
 

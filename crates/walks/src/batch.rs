@@ -1,0 +1,385 @@
+//! Batched walk-step kernel: advance a whole cohort of walkers per call.
+//!
+//! The protocol round loops move every ejected task one walk step per
+//! round — millions of steps per trial — so this kernel is shaped by
+//! profiling rather than by the obvious "pre-generate a word block, then
+//! map it" two-pass structure: with an inlined xoshiro generator the
+//! CPU's out-of-order engine already overlaps the RNG dependency chain
+//! with the CSR lookups, so a **fused single pass** (draw word → map →
+//! store, per walker) strictly beats two passes, which pay the chain
+//! *plus* a full extra sweep through a word buffer. What batching buys
+//! instead:
+//!
+//! * **hoisted dispatch** — walk kind, `max_degree`, and the regularity
+//!   check are resolved once per cohort, not once per step;
+//! * **a regular-graph fast path** — on a `d`-regular graph (`min ==
+//!   max` degree, cached in [`Graph`]) CSR offsets are affine
+//!   (`offsets[v] = v·d`), so the per-step offset loads and the
+//!   self-loop bounds test vanish: one neighbour load per step off
+//!   [`Graph::neighbors_flat`];
+//! * **a fused lazy coin** — the scalar lazy walk spends one word on the
+//!   stay-coin and a second on the slot *and* takes an unpredictable
+//!   branch per step (≈50% mispredict); the batched path folds the coin
+//!   into the top bit of the slot word and selects branchlessly — one
+//!   word instead of up to two, no mispredict stalls.
+//!
+//! Stream contract, relied on by the re-pinned protocol goldens:
+//!
+//! * [`WalkKind::MaxDegree`] and [`WalkKind::Simple`] consume **exactly
+//!   the same RNG stream** as the scalar [`Walker`] stepping the same
+//!   positions in the same order — one word per walker through the
+//!   identical Lemire widening multiply ([`rand::lemire_u64`]) — so
+//!   switching a round loop from scalar to batched does not move those
+//!   trajectories at all.
+//! * [`WalkKind::Lazy`] draws **one fused word** per walker (top bit =
+//!   stay-coin, matching the scalar `gen::<bool>()` convention; the
+//!   remaining 63 bits, re-aligned to the top, drive the slot). Same
+//!   per-step law (chi-square-pinned below), different stream — lazy
+//!   trajectories differ between scalar and batched, each internally
+//!   deterministic.
+//!
+//! The kernel does not borrow the graph: round loops pass it into every
+//! call (the online simulation swaps churned snapshots between rounds)
+//! and all topology facts are re-read per call, so a cached kernel never
+//! holds stale state.
+
+use rand::{lemire_u64, Rng};
+use tlb_graphs::{Graph, NodeId};
+
+use crate::transition::WalkKind;
+use crate::walker::Walker;
+
+/// Reusable batched one-step sampler (see module docs). The fused kernel
+/// carries no per-round state, so the struct is free to cache; the
+/// protocol steppers hold one for the whole run instead of rebuilding a
+/// scalar [`Walker`] every round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchWalker;
+
+impl BatchWalker {
+    /// New kernel handle.
+    pub fn new() -> Self {
+        BatchWalker
+    }
+
+    /// Advance every position in `positions` by one step of `kind` on
+    /// `g`, in place, in cohort order.
+    ///
+    /// # Panics
+    /// For [`WalkKind::Simple`] if any position is an isolated node (the
+    /// simple walk is undefined there; the protocol steppers reject such
+    /// configurations at construction).
+    pub fn step_batch<R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        kind: WalkKind,
+        positions: &mut [NodeId],
+        rng: &mut R,
+    ) {
+        if positions.is_empty() {
+            return;
+        }
+        let d = g.max_degree() as u64;
+        let regular = d > 0 && g.is_regular();
+        match kind {
+            // On a d-regular graph the max-degree walk has no self-loop
+            // mass and the simple walk draws from the same d slots, so
+            // the two kinds coincide — in law AND in stream (both map one
+            // word through lemire(·, d)).
+            WalkKind::MaxDegree | WalkKind::Simple if regular => {
+                let flat = g.neighbors_flat();
+                let du = d as usize;
+                for v in positions.iter_mut() {
+                    let slot = lemire_u64(rng.next_u64(), d) as usize;
+                    *v = flat[*v as usize * du + slot];
+                }
+            }
+            WalkKind::MaxDegree => {
+                if d == 0 {
+                    // Edgeless graph: every step is a self-loop and the
+                    // scalar path draws nothing — neither do we.
+                    return;
+                }
+                for v in positions.iter_mut() {
+                    let slot = lemire_u64(rng.next_u64(), d) as usize;
+                    let nbrs = g.neighbors(*v);
+                    // Slots beyond deg(v) are the self-loop mass (d−d_v)/d.
+                    if slot < nbrs.len() {
+                        *v = nbrs[slot];
+                    }
+                }
+            }
+            WalkKind::Lazy => {
+                if d == 0 {
+                    // The scalar path still spends one coin word per step
+                    // on an edgeless graph; keep the draw count aligned.
+                    for _ in positions.iter() {
+                        rng.next_u64();
+                    }
+                    return;
+                }
+                // Top bit = stay-coin. The select is forced branchless
+                // with mask arithmetic (`mask` = all-ones when staying):
+                // a 50/50 coin branch would mispredict half the time,
+                // which is exactly the stall the fused coin removes.
+                if regular {
+                    let flat = g.neighbors_flat();
+                    let du = d as usize;
+                    for v in positions.iter_mut() {
+                        let word = rng.next_u64();
+                        let slot = lemire_u64(word << 1, d) as usize;
+                        let dest = flat[*v as usize * du + slot];
+                        let mask = ((word >> 63) as NodeId).wrapping_neg();
+                        *v = dest ^ ((dest ^ *v) & mask);
+                    }
+                } else {
+                    for v in positions.iter_mut() {
+                        let word = rng.next_u64();
+                        let slot = lemire_u64(word << 1, d) as usize;
+                        let nbrs = g.neighbors(*v);
+                        let dest = if slot < nbrs.len() { nbrs[slot] } else { *v };
+                        let mask = ((word >> 63) as NodeId).wrapping_neg();
+                        *v = dest ^ ((dest ^ *v) & mask);
+                    }
+                }
+            }
+            WalkKind::Simple => {
+                for v in positions.iter_mut() {
+                    let word = rng.next_u64();
+                    let nbrs = g.neighbors(*v);
+                    assert!(!nbrs.is_empty(), "simple walk undefined on isolated node {v}");
+                    *v = nbrs[lemire_u64(word, nbrs.len() as u64) as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Scalar reference evaluation of one batch: the same cohort stepped one
+/// at a time through [`Walker`]. For [`WalkKind::MaxDegree`] and
+/// [`WalkKind::Simple`] this consumes the identical RNG stream as
+/// [`BatchWalker::step_batch`]; tests pin that equivalence.
+pub fn step_batch_scalar<R: Rng + ?Sized>(
+    g: &Graph,
+    kind: WalkKind,
+    positions: &mut [NodeId],
+    rng: &mut R,
+) {
+    let walker = Walker::new(g, kind);
+    for v in positions {
+        *v = walker.step(*v, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::TransitionMatrix;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use tlb_graphs::generators::{complete, cycle, star, torus2d};
+
+    /// Pearson chi-square statistic of observed counts against expected
+    /// probabilities (support restricted to p > 0).
+    fn chi_square(counts: &[u64], probs: &[f64], total: u64) -> (f64, usize) {
+        let mut stat = 0.0;
+        let mut df = 0usize;
+        for (&c, &p) in counts.iter().zip(probs) {
+            if p <= 0.0 {
+                assert_eq!(c, 0, "observed mass on a zero-probability state");
+                continue;
+            }
+            let e = p * total as f64;
+            stat += (c as f64 - e) * (c as f64 - e) / e;
+            df += 1;
+        }
+        (stat, df.saturating_sub(1))
+    }
+
+    /// Empirical one-step distribution from `start` using the batched
+    /// kernel: `reps` batches of `batch` walkers all starting at `start`.
+    fn batched_counts(
+        g: &Graph,
+        kind: WalkKind,
+        start: NodeId,
+        reps: usize,
+        batch: usize,
+    ) -> Vec<u64> {
+        let mut counts = vec![0u64; g.num_nodes()];
+        let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+        let mut kernel = BatchWalker::new();
+        let mut positions = vec![start; batch];
+        for _ in 0..reps {
+            positions.iter_mut().for_each(|v| *v = start);
+            kernel.step_batch(g, kind, &mut positions, &mut rng);
+            for &v in &positions {
+                counts[v as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Empirical one-step distribution from the scalar reference walker.
+    fn scalar_counts(g: &Graph, kind: WalkKind, start: NodeId, total: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; g.num_nodes()];
+        let mut rng = SmallRng::seed_from_u64(0x5CA1A);
+        let w = Walker::new(g, kind);
+        for _ in 0..total {
+            counts[w.step(start, &mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Chi-square critical values at significance 1e-3 for the df this
+    /// test suite produces (conservative upper bounds).
+    fn critical(df: usize) -> f64 {
+        // χ²(df, 0.999) grows ≈ df + 3√(2·df) + 10; generous table.
+        match df {
+            0 => 0.0,
+            1 => 10.83,
+            2 => 13.82,
+            3 => 16.27,
+            4 => 18.47,
+            _ => df as f64 + 4.0 * (2.0 * df as f64).sqrt() + 8.0,
+        }
+    }
+
+    /// Statistical-equivalence pin: for every walk kind and several graph
+    /// shapes (regular and irregular, so both kernel paths are covered),
+    /// BOTH the batched and the scalar kernel match the exact transition
+    /// row — the justification for re-pinning protocol goldens after the
+    /// batched rewiring (the draw *sequence* may differ for Lazy, the
+    /// per-step law may not).
+    #[test]
+    fn batched_and_scalar_match_exact_transition_row() {
+        let graphs: Vec<(&str, tlb_graphs::Graph, NodeId)> = vec![
+            ("star_leaf", star(8), 3),
+            ("star_hub", star(8), 0),
+            ("cycle", cycle(9), 4),
+            ("torus", torus2d(4, 4), 5),
+            ("complete", complete(6), 2),
+        ];
+        let total = 120_000u64;
+        for (name, g, start) in &graphs {
+            for kind in [WalkKind::MaxDegree, WalkKind::Lazy, WalkKind::Simple] {
+                let p = TransitionMatrix::build(g, kind);
+                let probs = p.matrix().row(*start as usize);
+                let batch = 500;
+                let reps = total as usize / batch;
+                let b = batched_counts(g, kind, *start, reps, batch);
+                let s = scalar_counts(g, kind, *start, total as usize);
+                for (label, counts) in [("batched", &b), ("scalar", &s)] {
+                    let (stat, df) = chi_square(counts, probs, total);
+                    // df 0 = deterministic destination (e.g. a simple walk
+                    // from a star leaf): the statistic must be exactly 0.
+                    assert!(
+                        if df == 0 { stat == 0.0 } else { stat < critical(df) },
+                        "{name}/{:?}/{label}: chi2 {stat:.2} >= {:.2} (df {df})",
+                        kind,
+                        critical(df)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stream pin: MaxDegree and Simple batched steps consume exactly the
+    /// per-call stream, so positions come out bit-identical to the scalar
+    /// reference under the same seed — on an irregular graph (general
+    /// path) and a regular one (flat fast path).
+    #[test]
+    fn max_degree_and_simple_are_bit_identical_to_scalar() {
+        let irregular = star(25); // hub degree 24, leaves degree 1
+        let regular = torus2d(5, 5); // 4-regular
+        for g in [&irregular, &regular] {
+            for kind in [WalkKind::MaxDegree, WalkKind::Simple] {
+                let n = g.num_nodes() as u32;
+                let mut a: Vec<NodeId> = (0..200).map(|i| i % n).collect();
+                let mut b = a.clone();
+                let mut rng_a = SmallRng::seed_from_u64(7);
+                let mut rng_b = SmallRng::seed_from_u64(7);
+                let mut kernel = BatchWalker::new();
+                for _ in 0..20 {
+                    kernel.step_batch(g, kind, &mut a, &mut rng_a);
+                    step_batch_scalar(g, kind, &mut b, &mut rng_b);
+                }
+                assert_eq!(a, b, "{kind:?} diverged from the scalar stream");
+                // And the RNGs stay aligned afterwards.
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_uses_one_word_per_walker() {
+        // The fused coin halves the draw count: after a batch of k lazy
+        // steps the RNG has advanced exactly k words. Check both the
+        // regular fast path and the irregular general path.
+        for g in [cycle(8), star(9)] {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut reference = SmallRng::seed_from_u64(3);
+            let k = 137;
+            let mut positions = vec![0 as NodeId; k];
+            BatchWalker::new().step_batch(&g, WalkKind::Lazy, &mut positions, &mut rng);
+            for _ in 0..k {
+                reference.next_u64();
+            }
+            assert_eq!(rng.next_u64(), reference.next_u64());
+        }
+    }
+
+    #[test]
+    fn lazy_regular_and_general_paths_agree_bitwise() {
+        // The flat fast path is pure addressing: on a regular graph it
+        // must produce exactly what the general path produces from the
+        // same words. Compare via a star-vs-complete trick is impossible
+        // (different graphs), so re-run the general path by hand.
+        let g = torus2d(6, 6); // 4-regular
+        assert!(g.is_regular());
+        let d = g.max_degree() as u64;
+        let mut a: Vec<NodeId> = (0..100u32).map(|i| i % 36).collect();
+        let mut b = a.clone();
+        let mut rng = SmallRng::seed_from_u64(11);
+        BatchWalker::new().step_batch(&g, WalkKind::Lazy, &mut a, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for v in b.iter_mut() {
+            let word = rng.next_u64();
+            let slot = lemire_u64(word << 1, d) as usize;
+            let nbrs = g.neighbors(*v);
+            let dest = if slot < nbrs.len() { nbrs[slot] } else { *v };
+            *v = if word >> 63 != 0 { *v } else { dest };
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_and_edgeless_graph_draw_nothing() {
+        let g = complete(1); // max_degree 0
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut kernel = BatchWalker::new();
+        let mut empty: Vec<NodeId> = Vec::new();
+        kernel.step_batch(&g, WalkKind::MaxDegree, &mut empty, &mut rng);
+        let mut positions = vec![0 as NodeId; 5];
+        kernel.step_batch(&g, WalkKind::MaxDegree, &mut positions, &mut rng);
+        assert_eq!(positions, vec![0; 5]);
+        // MaxDegree on an edgeless graph consumes no words (scalar parity).
+        assert_eq!(rng, SmallRng::seed_from_u64(1));
+        // Lazy still burns its coin words (scalar parity again).
+        kernel.step_batch(&g, WalkKind::Lazy, &mut positions, &mut rng);
+        assert_ne!(rng, SmallRng::seed_from_u64(1));
+        assert_eq!(positions, vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn simple_walk_panics_on_isolated_node() {
+        // Node 3 has no edges; the simple walk is undefined there.
+        let mut b = tlb_graphs::GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut positions = vec![3 as NodeId];
+        BatchWalker::new().step_batch(&g, WalkKind::Simple, &mut positions, &mut rng);
+    }
+}

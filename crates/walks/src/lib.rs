@@ -18,6 +18,10 @@
 //!
 //! * [`transition`] — walk kinds (max-degree, lazy, simple) with dense
 //!   matrix materialization and an `O(1)`-space step sampler,
+//! * [`batch`] — the batched walk-step kernel ([`BatchWalker`]): bulk RNG
+//!   generation plus a one-pass Lemire mapping over the CSR arrays, the
+//!   hot path of the protocol round loops (the scalar [`Walker`] is the
+//!   reference implementation),
 //! * [`linalg`] — the dense matrix / LU-solver substrate (no external
 //!   linear-algebra crate is used anywhere in the workspace),
 //! * [`spectral`] — spectral gap via power iteration with deflation,
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cover;
 pub mod hitting;
 pub mod linalg;
@@ -53,5 +58,6 @@ pub mod spectral;
 pub mod transition;
 pub mod walker;
 
+pub use batch::BatchWalker;
 pub use transition::{TransitionMatrix, WalkKind};
 pub use walker::Walker;

@@ -96,6 +96,17 @@ fn online_runs_are_bit_identical_across_runs() {
 /// 606753b): the one-shot entry points must reproduce these exact values
 /// — rounds, migrations, and bit-exact loads — proving the steppers are a
 /// pure refactor underneath them.
+///
+/// Golden re-pin (once, batched-RNG walk kernel PR): the **mixed**
+/// values below moved because the batched kernel draws all of a round's
+/// Bernoulli departure coins before any walk word, where the old loop
+/// interleaved coins and walk steps per resource — same per-step law
+/// (chi-square-pinned in `tlb_walks::batch`), different stream. Old
+/// values: rounds 9, migrations 358, max_load bits 4631952216750555136,
+/// loads[0..3] bits 4630685579355357184 / 4629981891913580544 /
+/// 4630826316843712512. The resource- and user-controlled values are
+/// **unchanged**: their batched paths consume the identical RNG stream
+/// (bulk words + the same Lemire mapping, in the same order).
 #[test]
 fn legacy_one_shot_outcomes_are_bit_identical_to_pre_stepper_runs() {
     let g = torus2d(6, 6);
@@ -122,12 +133,12 @@ fn legacy_one_shot_outcomes_are_bit_identical_to_pre_stepper_runs() {
     let g2 = complete(30);
     let mut rng = SmallRng::seed_from_u64(4242);
     let mout = run_mixed(&g2, &tasks, Placement::AllOnOne(3), &mcfg, &mut rng);
-    assert_eq!(mout.rounds, 9);
-    assert_eq!(mout.migrations, 358);
-    assert_eq!(mout.final_max_load.to_bits(), 4631952216750555136);
-    assert_eq!(mout.final_loads[0].to_bits(), 4630685579355357184);
-    assert_eq!(mout.final_loads[1].to_bits(), 4629981891913580544);
-    assert_eq!(mout.final_loads[2].to_bits(), 4630826316843712512);
+    assert_eq!(mout.rounds, 7);
+    assert_eq!(mout.migrations, 369);
+    assert_eq!(mout.final_max_load.to_bits(), 4631670741773844480);
+    assert_eq!(mout.final_loads[0].to_bits(), 4630967054332067840);
+    assert_eq!(mout.final_loads[1].to_bits(), 4631248529308778496);
+    assert_eq!(mout.final_loads[2].to_bits(), 4630122629401935872);
 
     // The shuffle + potential-tracking path exercises every RNG call site.
     let cfg2 = ResourceControlledConfig {

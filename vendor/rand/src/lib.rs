@@ -21,11 +21,26 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Fill `dest` with uniformly random words — exactly the stream
+    /// `next_u64` would produce, one word per slot, so callers may freely
+    /// switch between per-call and bulk generation without changing the
+    /// stream. Generators with cheap state (xoshiro) override this with a
+    /// register-resident loop; that is the batched-kernel fast path.
+    fn fill_u64(&mut self, dest: &mut [u64]) {
+        for slot in dest {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn fill_u64(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64(dest)
     }
 }
 
@@ -90,11 +105,24 @@ pub trait SampleRange {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
 }
 
-/// Uniform u64 in `[0, n)` by 128-bit widening multiply (bias < 2^-64).
+/// Map one uniform 64-bit word to `[0, n)` by Lemire's 128-bit widening
+/// multiply (`(word * n) >> 64`; bias < n·2⁻⁶⁴, no rejection loop).
+///
+/// This is the *mapping half* of [`Rng::gen_range`] for integer ranges,
+/// exposed so batched kernels can pre-generate a block of words with
+/// [`RngCore::fill_u64`] and map them in a tight loop — feeding the same
+/// word through `lemire_u64` produces exactly the value `gen_range(0..n)`
+/// would have drawn from that position of the stream.
+#[inline]
+pub fn lemire_u64(word: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((word as u128 * n as u128) >> 64) as u64
+}
+
+/// Uniform u64 in `[0, n)`: one stream word through [`lemire_u64`].
 #[inline]
 fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
-    debug_assert!(n > 0);
-    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+    lemire_u64(rng.next_u64(), n)
 }
 
 macro_rules! impl_sample_range_int {
@@ -235,5 +263,53 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_u64_matches_per_call_stream() {
+        // The bulk path must be word-for-word the same stream as repeated
+        // next_u64 — the batched kernels rely on this to keep per-call and
+        // bulk consumers interchangeable mid-stream.
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        let mut buf = [0u64; 257];
+        a.fill_u64(&mut buf);
+        for (i, &w) in buf.iter().enumerate() {
+            assert_eq!(w, b.next_u64(), "word {i} diverged");
+        }
+        // Interleaving bulk and per-call draws stays aligned.
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut tail = [0u64; 31];
+        a.fill_u64(&mut tail);
+        for &w in &tail {
+            assert_eq!(w, b.next_u64());
+        }
+    }
+
+    #[test]
+    fn lemire_matches_gen_range() {
+        // Pre-generated words mapped through lemire_u64 must equal what
+        // gen_range(0..n) draws from the same stream positions.
+        for n in [1u64, 2, 7, 64, 1023, u64::MAX / 3] {
+            let mut a = SmallRng::seed_from_u64(n);
+            let mut b = SmallRng::seed_from_u64(n);
+            let mut words = [0u64; 64];
+            a.fill_u64(&mut words);
+            for &w in &words {
+                assert_eq!(lemire_u64(w, n), b.gen_range(0..n));
+            }
+        }
+    }
+
+    #[test]
+    fn lemire_bounds_and_coverage() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = lemire_u64(rng.next_u64(), 5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable");
     }
 }

@@ -38,6 +38,26 @@ impl RngCore for SmallRng {
         s[3] = s[3].rotate_left(45);
         result
     }
+
+    /// Bulk path: hoist the four state words into locals for the whole
+    /// block so the compiler keeps them in registers instead of spilling
+    /// through `&mut self` on every word. Word-for-word identical to
+    /// repeated [`next_u64`](RngCore::next_u64).
+    fn fill_u64(&mut self, dest: &mut [u64]) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        for slot in dest {
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            *slot = result;
+        }
+        self.s = [s0, s1, s2, s3];
+    }
 }
 
 /// Alias so code written against `rand::rngs::StdRng` keeps compiling;

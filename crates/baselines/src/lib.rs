@@ -25,6 +25,11 @@
 //! All allocators take weighted task sets (unit weights recover the cited
 //! papers' settings exactly) and report the final load vector plus the
 //! *gap* `max load − average load`, the quantity the related work bounds.
+//!
+//! The [`stepper`] module additionally adapts each placement rule into an
+//! iterative rebalancing protocol behind
+//! [`tlb_core::protocol::Protocol`], so the baselines run inside the same
+//! generic harness/simulation paths as the paper protocols.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +38,9 @@ pub mod greedy;
 pub mod one_plus_beta;
 pub mod parallel_threshold;
 pub mod sequential_threshold;
+pub mod stepper;
+
+pub use stepper::{BaselineConfig, BaselineRule, BaselineStepper};
 
 /// Final state every baseline reports.
 #[derive(Debug, Clone, PartialEq)]

@@ -16,6 +16,11 @@
 //!   resumable stepper engine underneath it (`new → step → into_outcome`),
 //!   which the online simulation crate (`tlb-sim`) drives round by round
 //!   between streaming arrivals and resource churn,
+//! * the **protocol abstraction** ([`protocol`]) every stepper plugs
+//!   into: the shared [`protocol::RoundEngine`] round machinery, the
+//!   object-safe [`protocol::Protocol`] stepping trait, and the
+//!   [`protocol::ProtocolKind`]/[`protocol::AnyStepper`] dispatch pair
+//!   (see "Protocol abstraction" below),
 //! * the model substrate both share: weighted tasks ([`task`], [`weights`]),
 //!   stack semantics with heights and threshold cutting ([`stack`]),
 //!   threshold policies ([`threshold`]), initial placements ([`placement`]),
@@ -24,6 +29,37 @@
 //! * the analysis-side substrates the paper references: proper first-fit
 //!   assignments ([`assignment`], Section 5.2) and the footnote-1 diffusion
 //!   scheme for estimating the average load ([`diffusion`]).
+//!
+//! ## Protocol abstraction
+//!
+//! All protocol variants — the two paper protocols, the Section-8 mixed
+//! extension, and the baseline adapters in `tlb-baselines` — implement
+//! one contract, [`protocol::Protocol`]:
+//!
+//! * **object-safe stepping surface** — `step(&Graph, &mut dyn RngCore)
+//!   -> bool` (one round; `true` when done), `is_done`, `is_balanced`,
+//!   `rounds`, `migrations`, `threshold`, `stacks`, `into_parts`,
+//!   `into_outcome`. Every variant takes the graph in `step` (the
+//!   user-controlled protocol ignores it), so a `Box<dyn Protocol>`
+//!   ([`protocol::AnyStepper`]) drives any variant without per-variant
+//!   dispatch;
+//! * **associated `Config`/`Outcome`** — on [`protocol::ProtocolSpec`],
+//!   together with the `new_stepper`/`resume` constructors, for code
+//!   generic over a statically known variant. All in-tree outcomes are
+//!   aliases of the unified [`protocol::ProtocolOutcome`];
+//! * **one round engine** — the shared machinery (cohort collection
+//!   buffers, cached `BatchWalker`, migration/potential/trace
+//!   accounting, completion detection) lives in
+//!   [`protocol::RoundEngine`]; a variant contributes only its departure
+//!   and movement rules between `begin_round` and `finish_round`.
+//!
+//! **RNG-stream guarantee of the trait surface:** dispatching through
+//! `dyn Protocol` (or constructing through
+//! [`protocol::ProtocolKind::new_stepper`]) consumes exactly the word
+//! stream the concrete stepper consumes — same draws, same order — so
+//! trait-driven runs are bit-identical to direct stepper calls. This is
+//! part of the per-version determinism contract below and is pinned by
+//! `tests/integration_protocol_trait.rs` for every variant.
 //!
 //! ## Determinism & RNG stream policy
 //!
@@ -78,6 +114,7 @@ pub mod mixed_protocol;
 pub mod nonuniform;
 pub mod placement;
 pub mod potential;
+pub mod protocol;
 pub mod resource_protocol;
 pub mod stack;
 pub mod task;
@@ -89,6 +126,9 @@ pub mod weights;
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::placement::Placement;
+    pub use crate::protocol::{
+        AnyStepper, Protocol, ProtocolKind, ProtocolOutcome, ProtocolSpec, RoundEngine,
+    };
     pub use crate::resource_protocol::{
         run_resource_controlled, ResourceControlledConfig, ResourceControlledOutcome,
         ResourceControlledStepper,

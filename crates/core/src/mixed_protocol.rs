@@ -31,10 +31,10 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tlb_graphs::{Graph, NodeId};
-use tlb_walks::{BatchWalker, WalkKind};
+use tlb_walks::WalkKind;
 
 use crate::placement::Placement;
-use crate::potential::{is_balanced, max_load, total_potential};
+use crate::protocol::{ProtocolOutcome, RoundEngine};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
@@ -64,6 +64,9 @@ pub struct MixedConfig {
     pub max_rounds: u64,
     /// Record `Φ(t)` after every round.
     pub track_potential: bool,
+    /// Record a full `RoundTrace` in the outcome (one stack scan per
+    /// resource per round, like `track_potential`).
+    pub record_trace: bool,
 }
 
 impl Default for MixedConfig {
@@ -75,35 +78,13 @@ impl Default for MixedConfig {
             walk: WalkKind::MaxDegree,
             max_rounds: 10_000_000,
             track_potential: false,
+            record_trace: false,
         }
     }
 }
 
-/// Result of a mixed run (same shape as the paper protocols' outcomes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MixedOutcome {
-    /// Rounds executed until balance (or the cap).
-    pub rounds: u64,
-    /// Whether balance was reached within `max_rounds`.
-    pub completed: bool,
-    /// Total migrations performed.
-    pub migrations: u64,
-    /// The threshold value used.
-    pub threshold: f64,
-    /// `Φ` after each round if tracked.
-    pub potential_series: Vec<f64>,
-    /// Maximum load at termination.
-    pub final_max_load: f64,
-    /// Per-resource loads at termination.
-    pub final_loads: Vec<f64>,
-}
-
-impl MixedOutcome {
-    /// Whether the run ended balanced.
-    pub fn balanced(&self) -> bool {
-        self.completed
-    }
-}
+/// Result of a mixed run (an alias of the unified [`ProtocolOutcome`]).
+pub type MixedOutcome = ProtocolOutcome;
 
 /// Resumable engine of the mixed protocol: one [`step`] call is one round
 /// (user-style departure coins, resource-style walk moves). The graph is
@@ -114,22 +95,8 @@ impl MixedOutcome {
 #[derive(Debug, Clone)]
 pub struct MixedStepper {
     cfg: MixedConfig,
-    weights: Vec<f64>,
     w_max: f64,
-    threshold: f64,
-    stacks: Vec<ResourceStack>,
-    rounds: u64,
-    migrations: u64,
-    potential_series: Vec<f64>,
-    completed: bool,
-    // Batched walk kernel, cached for the whole run (topology is re-read
-    // from the graph every step, so graph swaps between rounds are fine).
-    walker: BatchWalker,
-    // Round buffers, reused so a step allocates nothing in steady state:
-    // `departing`/`positions` are the round's parallel (task, source →
-    // destination) cohort, stepped in place.
-    departing: Vec<TaskId>,
-    positions: Vec<NodeId>,
+    eng: RoundEngine,
 }
 
 impl MixedStepper {
@@ -182,59 +149,48 @@ impl MixedStepper {
         w_max: f64,
         cfg: MixedConfig,
     ) -> Self {
-        assert!(!stacks.is_empty(), "need at least one resource");
         if cfg.departure == Departure::Bernoulli {
             assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
         }
-        let completed = is_balanced(&stacks, threshold);
-        let mut potential_series = Vec::new();
-        if cfg.track_potential {
-            potential_series.push(total_potential(&stacks, threshold, &weights));
-        }
-        MixedStepper {
-            cfg,
-            weights,
-            w_max,
-            threshold,
+        let eng = RoundEngine::new(
             stacks,
-            rounds: 0,
-            migrations: 0,
-            potential_series,
-            completed,
-            walker: BatchWalker::new(),
-            departing: Vec::new(),
-            positions: Vec::new(),
-        }
+            weights,
+            threshold,
+            cfg.max_rounds,
+            cfg.track_potential,
+            cfg.record_trace,
+        );
+        MixedStepper { cfg, w_max, eng }
     }
 
     /// Whether every load is at most the threshold.
     pub fn is_balanced(&self) -> bool {
-        self.completed
+        self.eng.is_balanced()
     }
 
     /// Whether the run is over: balanced, or the round cap was hit.
     pub fn is_done(&self) -> bool {
-        self.completed || self.rounds >= self.cfg.max_rounds
+        self.eng.is_done()
     }
 
     /// Rounds executed so far.
     pub fn rounds(&self) -> u64 {
-        self.rounds
+        self.eng.rounds()
     }
 
     /// Migrations performed so far.
     pub fn migrations(&self) -> u64 {
-        self.migrations
+        self.eng.migrations()
     }
 
     /// The threshold this run balances against.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.eng.threshold()
     }
 
     /// The per-resource stacks (index = resource id).
     pub fn stacks(&self) -> &[ResourceStack] {
-        &self.stacks
+        &self.eng.stacks
     }
 
     /// Execute one round unless the run is already done. Returns
@@ -251,50 +207,43 @@ impl MixedStepper {
             self.cfg.walk != WalkKind::Simple || g.min_degree() > 0,
             "WalkKind::Simple is undefined on isolated nodes; this graph has one"
         );
-        self.rounds += 1;
+        self.eng.begin_round();
+        let threshold = self.eng.threshold();
+        let (alpha, w_max) = (self.cfg.alpha, self.w_max);
+        let eng = &mut self.eng;
         // Departure phase: collect the whole round's cohort first
-        // (`departing[i]` leaves from `positions[i]`), then take one
+        // (`cohort[i]` leaves from `positions[i]`), then take one
         // batched walk step for everyone. Under Bernoulli departures this
         // draws all departure coins *before* any walk word — a different
         // RNG interleaving than the old per-resource loop (same per-step
         // law; see the stream policy in `tlb_core` docs), which is why
         // the mixed goldens were re-pinned once for this version.
-        self.departing.clear();
-        self.positions.clear();
-        for r in 0..self.stacks.len() as NodeId {
-            let stack = &mut self.stacks[r as usize];
-            if !stack.is_overloaded(self.threshold) {
+        for r in 0..eng.stacks.len() as NodeId {
+            let stack = &mut eng.stacks[r as usize];
+            if !stack.is_overloaded(threshold) {
                 continue;
             }
             match self.cfg.departure {
                 Departure::AllActive => {
-                    stack.remove_active_into(self.threshold, &self.weights, &mut self.departing);
+                    stack.remove_active_into(threshold, &eng.weights, &mut eng.cohort);
                 }
                 Departure::Bernoulli => {
-                    let psi = stack.psi(self.threshold, &self.weights, self.w_max);
-                    let p = (self.cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
-                    stack.drain_bernoulli_into(p, &self.weights, rng, &mut self.departing);
+                    let psi = stack.psi(threshold, &eng.weights, w_max);
+                    let p = (alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
+                    stack.drain_bernoulli_into(p, &eng.weights, rng, &mut eng.cohort);
                 }
             }
-            self.positions.resize(self.departing.len(), r);
+            eng.positions.resize(eng.cohort.len(), r);
         }
-        self.walker.step_batch(g, self.cfg.walk, &mut self.positions, rng);
+        eng.walker.step_batch(g, self.cfg.walk, &mut eng.positions, rng);
         // Arrival phase straight off the stepped cohort — the mixed
         // protocol has no shuffle ablation, so no materialized (task,
         // dest) list is needed.
-        self.migrations += self.departing.len() as u64;
-        for (&t, &dest) in self.departing.iter().zip(self.positions.iter()) {
-            self.stacks[dest as usize].push(t, self.weights[t as usize]);
+        let migrated = eng.cohort.len() as u64;
+        for (&t, &dest) in eng.cohort.iter().zip(eng.positions.iter()) {
+            eng.stacks[dest as usize].push(t, eng.weights[t as usize]);
         }
-        if self.cfg.track_potential {
-            self.potential_series.push(total_potential(
-                &self.stacks,
-                self.threshold,
-                &self.weights,
-            ));
-        }
-        self.completed = is_balanced(&self.stacks, self.threshold);
-        self.is_done()
+        eng.finish_round(migrated)
     }
 
     /// Step until balanced or the round cap.
@@ -305,22 +254,14 @@ impl MixedStepper {
     /// Finish: consume the engine into the outcome the one-shot entry
     /// point reports.
     pub fn into_outcome(self) -> MixedOutcome {
-        MixedOutcome {
-            rounds: self.rounds,
-            completed: self.completed,
-            migrations: self.migrations,
-            threshold: self.threshold,
-            potential_series: self.potential_series,
-            final_max_load: max_load(&self.stacks),
-            final_loads: self.stacks.iter().map(ResourceStack::load).collect(),
-        }
+        self.eng.into_outcome()
     }
 
     /// Hand the stacks and weight vector back to a dynamic caller (the
     /// inverse of [`from_parts`](Self::from_parts)). Read the counters
     /// before calling this.
     pub fn into_parts(self) -> (Vec<ResourceStack>, Vec<f64>) {
-        (self.stacks, self.weights)
+        self.eng.into_parts()
     }
 }
 
@@ -444,6 +385,31 @@ mod tests {
         let mut stepper = MixedStepper::new(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
         while !stepper.step(&g, &mut r) {}
         assert_eq!(stepper.into_outcome(), one_shot);
+    }
+
+    #[test]
+    fn trace_recording_matches_outcome_aggregates() {
+        // The shared round engine gives the mixed protocol the same trace
+        // machinery as its siblings: per-round records in lock-step with
+        // the outcome aggregates.
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new((0..300).map(|i| 1.0 + (i % 4) as f64).collect::<Vec<_>>());
+        let cfg = MixedConfig { record_trace: true, track_potential: true, ..Default::default() };
+        let out = run_mixed(&g, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(17));
+        assert!(out.balanced());
+        let trace = out.trace.as_ref().expect("record_trace must produce a trace");
+        assert_eq!(trace.rounds() as u64, out.rounds);
+        assert_eq!(trace.total_migrations(), out.migrations);
+        assert_eq!(trace.potential_series(), out.potential_series);
+        assert_eq!(trace.threshold, out.threshold);
+        assert_eq!(trace.records.last().unwrap().max_load, out.final_max_load);
+        // Trace snapshots consume no randomness: the traced run's
+        // trajectory matches an untraced one under the same seed.
+        let bare =
+            run_mixed(&g, &tasks, Placement::AllOnOne(0), &MixedConfig::default(), &mut rng(17));
+        assert_eq!(bare.rounds, out.rounds);
+        assert_eq!(bare.final_loads, out.final_loads);
+        assert!(bare.trace.is_none());
     }
 
     #[test]

@@ -26,14 +26,13 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tlb_graphs::{Graph, NodeId};
-use tlb_walks::{BatchWalker, WalkKind};
+use tlb_walks::WalkKind;
 
 use crate::placement::Placement;
-use crate::potential::{is_balanced, max_load, total_potential};
+use crate::protocol::{ProtocolOutcome, RoundEngine};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
-use crate::trace::RoundTrace;
 
 /// Configuration of a resource-controlled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,63 +73,22 @@ impl Default for ResourceControlledConfig {
     }
 }
 
-/// Result of a resource-controlled run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ResourceControlledOutcome {
-    /// Rounds executed until balance (or until the cap).
-    pub rounds: u64,
-    /// Whether balance was reached within `max_rounds`.
-    pub completed: bool,
-    /// Total task migrations (one per task per round moved).
-    pub migrations: u64,
-    /// The threshold value used.
-    pub threshold: f64,
-    /// `Φ` after each round, if tracking was enabled (index 0 is the
-    /// initial potential).
-    pub potential_series: Vec<f64>,
-    /// Maximum load at termination.
-    pub final_max_load: f64,
-    /// Per-resource loads at termination (index = resource id).
-    pub final_loads: Vec<f64>,
-    /// Full per-round trace, if `record_trace` was enabled.
-    pub trace: Option<RoundTrace>,
-}
-
-impl ResourceControlledOutcome {
-    /// Whether the run ended balanced.
-    pub fn balanced(&self) -> bool {
-        self.completed
-    }
-}
+/// Result of a resource-controlled run (an alias of the unified
+/// [`ProtocolOutcome`]).
+pub type ResourceControlledOutcome = ProtocolOutcome;
 
 /// Resumable engine of the resource-controlled protocol: one [`step`] call
-/// is one round of Algorithm 5.1. The engine owns the per-resource stacks
-/// and its round buffers; the graph is passed into each step, so the
-/// caller may swap it between rounds (the online simulation compacts its
-/// churned overlay back to CSR and keeps stepping).
+/// is one round of Algorithm 5.1. The shared [`RoundEngine`] owns the
+/// per-resource stacks and the reused round buffers; the graph is passed
+/// into each step, so the caller may swap it between rounds (the online
+/// simulation compacts its churned overlay back to CSR and keeps
+/// stepping).
 ///
 /// [`step`]: ResourceControlledStepper::step
 #[derive(Debug, Clone)]
 pub struct ResourceControlledStepper {
     cfg: ResourceControlledConfig,
-    weights: Vec<f64>,
-    threshold: f64,
-    stacks: Vec<ResourceStack>,
-    rounds: u64,
-    migrations: u64,
-    potential_series: Vec<f64>,
-    trace: Option<RoundTrace>,
-    completed: bool,
-    // Batched walk kernel, cached for the whole run (topology is re-read
-    // from the graph every step, so swapping graphs between rounds stays
-    // sound).
-    walker: BatchWalker,
-    // Round buffers, reused so a step allocates nothing in steady state:
-    // `removed`/`positions` are the parallel (task, source) cohort of the
-    // round, stepped in place; `pending` is the zipped arrival list.
-    pending: Vec<(TaskId, NodeId)>,
-    removed: Vec<TaskId>,
-    positions: Vec<NodeId>,
+    eng: RoundEngine,
 }
 
 impl ResourceControlledStepper {
@@ -184,58 +142,45 @@ impl ResourceControlledStepper {
         threshold: f64,
         cfg: ResourceControlledConfig,
     ) -> Self {
-        assert!(!stacks.is_empty(), "need at least one resource");
-        let completed = is_balanced(&stacks, threshold);
-        let mut potential_series = Vec::new();
-        if cfg.track_potential {
-            potential_series.push(total_potential(&stacks, threshold, &weights));
-        }
-        let trace = cfg.record_trace.then(|| RoundTrace::start(&stacks, threshold, &weights));
-        ResourceControlledStepper {
-            cfg,
+        let eng = RoundEngine::new(
+            stacks,
             weights,
             threshold,
-            stacks,
-            rounds: 0,
-            migrations: 0,
-            potential_series,
-            trace,
-            completed,
-            walker: BatchWalker::new(),
-            pending: Vec::new(),
-            removed: Vec::new(),
-            positions: Vec::new(),
-        }
+            cfg.max_rounds,
+            cfg.track_potential,
+            cfg.record_trace,
+        );
+        ResourceControlledStepper { cfg, eng }
     }
 
     /// Whether every load is at most the threshold.
     pub fn is_balanced(&self) -> bool {
-        self.completed
+        self.eng.is_balanced()
     }
 
     /// Whether the run is over: balanced, or the round cap was hit.
     pub fn is_done(&self) -> bool {
-        self.completed || self.rounds >= self.cfg.max_rounds
+        self.eng.is_done()
     }
 
     /// Rounds executed so far.
     pub fn rounds(&self) -> u64 {
-        self.rounds
+        self.eng.rounds()
     }
 
     /// Migrations performed so far.
     pub fn migrations(&self) -> u64 {
-        self.migrations
+        self.eng.migrations()
     }
 
     /// The threshold this run balances against.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.eng.threshold()
     }
 
     /// The per-resource stacks (index = resource id).
     pub fn stacks(&self) -> &[ResourceStack] {
-        &self.stacks
+        &self.eng.stacks
     }
 
     /// Execute one round (removal phase, walk steps, arrival phase) unless
@@ -253,51 +198,36 @@ impl ResourceControlledStepper {
             self.cfg.walk != WalkKind::Simple || g.min_degree() > 0,
             "WalkKind::Simple is undefined on isolated nodes; this graph has one"
         );
-        self.rounds += 1;
+        self.eng.begin_round();
+        let threshold = self.eng.threshold();
+        let eng = &mut self.eng;
         // Removal phase: every overloaded resource ejects I_a ∪ I_c into
-        // the round cohort (`removed[i]` departs from `positions[i]`).
+        // the round cohort (`cohort[i]` departs from `positions[i]`).
         // Removal consumes no RNG, so collecting the whole round before
         // stepping leaves the draw sequence identical to the old
         // per-resource interleaving.
-        self.removed.clear();
-        self.positions.clear();
-        for r in 0..self.stacks.len() as NodeId {
-            if self.stacks[r as usize].is_overloaded(self.threshold) {
-                self.stacks[r as usize].remove_active_into(
-                    self.threshold,
-                    &self.weights,
-                    &mut self.removed,
-                );
+        for r in 0..eng.stacks.len() as NodeId {
+            if eng.stacks[r as usize].is_overloaded(threshold) {
+                eng.stacks[r as usize].remove_active_into(threshold, &eng.weights, &mut eng.cohort);
                 // One source entry per task ejected by this resource.
-                self.positions.resize(self.removed.len(), r);
+                eng.positions.resize(eng.cohort.len(), r);
             }
         }
         // Walk phase: the whole cohort takes one batched step.
-        self.walker.step_batch(g, self.cfg.walk, &mut self.positions, rng);
-        self.pending.clear();
-        self.pending
-            .extend(self.removed.iter().copied().zip(self.positions.iter().copied()));
+        eng.walker.step_batch(g, self.cfg.walk, &mut eng.positions, rng);
+        eng.pending.clear();
+        eng.pending
+            .extend(eng.cohort.iter().copied().zip(eng.positions.iter().copied()));
         if self.cfg.shuffle_arrivals {
-            self.pending.shuffle(rng);
+            eng.pending.shuffle(rng);
         }
         // Arrival phase: stack in (possibly shuffled) order; acceptance is
         // implicit in the stack heights.
-        self.migrations += self.pending.len() as u64;
-        for &(t, dest) in &self.pending {
-            self.stacks[dest as usize].push(t, self.weights[t as usize]);
+        let migrated = eng.pending.len() as u64;
+        for &(t, dest) in &eng.pending {
+            eng.stacks[dest as usize].push(t, eng.weights[t as usize]);
         }
-        if self.cfg.track_potential {
-            self.potential_series.push(total_potential(
-                &self.stacks,
-                self.threshold,
-                &self.weights,
-            ));
-        }
-        if let Some(trace) = &mut self.trace {
-            trace.record(self.rounds, &self.stacks, &self.weights, self.pending.len() as u64);
-        }
-        self.completed = is_balanced(&self.stacks, self.threshold);
-        self.is_done()
+        eng.finish_round(migrated)
     }
 
     /// Step until balanced or the round cap.
@@ -308,23 +238,14 @@ impl ResourceControlledStepper {
     /// Finish: consume the engine into the outcome the one-shot entry
     /// point reports.
     pub fn into_outcome(self) -> ResourceControlledOutcome {
-        ResourceControlledOutcome {
-            rounds: self.rounds,
-            completed: self.completed,
-            migrations: self.migrations,
-            threshold: self.threshold,
-            potential_series: self.potential_series,
-            final_max_load: max_load(&self.stacks),
-            final_loads: self.stacks.iter().map(ResourceStack::load).collect(),
-            trace: self.trace,
-        }
+        self.eng.into_outcome()
     }
 
     /// Hand the stacks and weight vector back to a dynamic caller (the
     /// inverse of [`from_parts`](Self::from_parts)). Read the counters
     /// before calling this.
     pub fn into_parts(self) -> (Vec<ResourceStack>, Vec<f64>) {
-        (self.stacks, self.weights)
+        self.eng.into_parts()
     }
 }
 

@@ -28,13 +28,13 @@
 use rand::seq::SliceRandom;
 use rand::{lemire_u64, Rng};
 use serde::{Deserialize, Serialize};
+use tlb_graphs::Graph;
 
 use crate::placement::Placement;
-use crate::potential::{is_balanced, max_load, total_potential};
+use crate::protocol::{ProtocolOutcome, RoundEngine};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
-use crate::trace::RoundTrace;
 
 /// Configuration of a user-controlled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,56 +70,22 @@ impl Default for UserControlledConfig {
     }
 }
 
-/// Result of a user-controlled run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct UserControlledOutcome {
-    /// Rounds executed until balance (or until the cap).
-    pub rounds: u64,
-    /// Whether balance was reached within `max_rounds`.
-    pub completed: bool,
-    /// Total migrations performed.
-    pub migrations: u64,
-    /// The threshold value used.
-    pub threshold: f64,
-    /// `Φ` after each round if tracked (index 0 = initial).
-    pub potential_series: Vec<f64>,
-    /// Maximum load at termination.
-    pub final_max_load: f64,
-    /// Per-resource loads at termination (index = resource id).
-    pub final_loads: Vec<f64>,
-    /// Full per-round trace, if `record_trace` was enabled.
-    pub trace: Option<RoundTrace>,
-}
-
-impl UserControlledOutcome {
-    /// Whether the run ended balanced.
-    pub fn balanced(&self) -> bool {
-        self.completed
-    }
-}
+/// Result of a user-controlled run (an alias of the unified
+/// [`ProtocolOutcome`]).
+pub type UserControlledOutcome = ProtocolOutcome;
 
 /// Resumable engine of the user-controlled protocol: one [`step`] call is
 /// one round of Algorithm 6.1 on the implicit complete graph over `n`
-/// resources.
+/// resources. `step` takes a `&Graph` like its sibling steppers so all
+/// three share one signature, but ignores it — Algorithm 6.1 jumps
+/// uniformly over all resources regardless of topology.
 ///
 /// [`step`]: UserControlledStepper::step
 #[derive(Debug, Clone)]
 pub struct UserControlledStepper {
     cfg: UserControlledConfig,
-    n: usize,
-    weights: Vec<f64>,
     w_max: f64,
-    threshold: f64,
-    stacks: Vec<ResourceStack>,
-    rounds: u64,
-    migrations: u64,
-    potential_series: Vec<f64>,
-    trace: Option<RoundTrace>,
-    completed: bool,
-    // Round buffers, reused so a step allocates nothing in steady state:
-    // the migrant cohort plus the bulk-generated destination words.
-    migrants: Vec<TaskId>,
-    dest_words: Vec<u64>,
+    eng: RoundEngine,
 }
 
 impl UserControlledStepper {
@@ -163,86 +129,73 @@ impl UserControlledStepper {
         w_max: f64,
         cfg: UserControlledConfig,
     ) -> Self {
-        assert!(!stacks.is_empty(), "need at least one resource");
         assert!(cfg.alpha > 0.0, "alpha must be positive, got {}", cfg.alpha);
-        let n = stacks.len();
-        let completed = is_balanced(&stacks, threshold);
-        let mut potential_series = Vec::new();
-        if cfg.track_potential {
-            potential_series.push(total_potential(&stacks, threshold, &weights));
-        }
-        let trace = cfg.record_trace.then(|| RoundTrace::start(&stacks, threshold, &weights));
-        UserControlledStepper {
-            cfg,
-            n,
-            weights,
-            w_max,
-            threshold,
+        let eng = RoundEngine::new(
             stacks,
-            rounds: 0,
-            migrations: 0,
-            potential_series,
-            trace,
-            completed,
-            migrants: Vec::new(),
-            dest_words: Vec::new(),
-        }
+            weights,
+            threshold,
+            cfg.max_rounds,
+            cfg.track_potential,
+            cfg.record_trace,
+        );
+        UserControlledStepper { cfg, w_max, eng }
     }
 
     /// Whether every load is at most the threshold.
     pub fn is_balanced(&self) -> bool {
-        self.completed
+        self.eng.is_balanced()
     }
 
     /// Whether the run is over: balanced, or the round cap was hit.
     pub fn is_done(&self) -> bool {
-        self.completed || self.rounds >= self.cfg.max_rounds
+        self.eng.is_done()
     }
 
     /// Rounds executed so far.
     pub fn rounds(&self) -> u64 {
-        self.rounds
+        self.eng.rounds()
     }
 
     /// Migrations performed so far.
     pub fn migrations(&self) -> u64 {
-        self.migrations
+        self.eng.migrations()
     }
 
     /// The threshold this run balances against.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.eng.threshold()
     }
 
     /// The per-resource stacks (index = resource id).
     pub fn stacks(&self) -> &[ResourceStack] {
-        &self.stacks
+        &self.eng.stacks
     }
 
-    /// Execute one round (departure coin flips, uniform re-placement)
-    /// unless the run is already done. Returns
-    /// [`is_done`](Self::is_done) after the round.
-    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+    /// One round of Algorithm 6.1 — the graph-free body `step` wraps.
+    fn round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         if self.is_done() {
             return true;
         }
-        self.rounds += 1;
-        self.migrants.clear();
+        self.eng.begin_round();
+        let threshold = self.eng.threshold();
+        let (alpha, w_max) = (self.cfg.alpha, self.w_max);
+        let eng = &mut self.eng;
+        let n = eng.stacks.len() as u64;
         // Departure phase: every task on an overloaded resource flips an
         // independent coin with the resource's migration probability.
-        for stack in self.stacks.iter_mut() {
-            if !stack.is_overloaded(self.threshold) {
+        for stack in eng.stacks.iter_mut() {
+            if !stack.is_overloaded(threshold) {
                 continue;
             }
-            let psi = stack.psi(self.threshold, &self.weights, self.w_max);
+            let psi = stack.psi(threshold, &eng.weights, w_max);
             debug_assert!(psi >= 1, "overloaded resource must have psi >= 1");
-            let p = (self.cfg.alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
+            let p = (alpha * psi as f64 / stack.num_tasks() as f64).min(1.0);
             // Appends into the round-reused buffer — no per-resource
             // allocation in the departure phase.
-            stack.drain_bernoulli_into(p, &self.weights, rng, &mut self.migrants);
+            stack.drain_bernoulli_into(p, &eng.weights, rng, &mut eng.cohort);
         }
         if self.cfg.shuffle_arrivals {
-            self.migrants.shuffle(rng);
+            eng.cohort.shuffle(rng);
         }
         // Arrival phase: uniformly random destination for each migrant.
         // Destinations are bulk-generated (one word per migrant, mapped
@@ -250,54 +203,47 @@ impl UserControlledStepper {
         // sequence is bit-identical to the old per-migrant `gen_range`
         // loop while the RNG virtual-call round-trips collapse into one
         // register-resident fill.
-        self.migrations += self.migrants.len() as u64;
+        let migrated = eng.cohort.len() as u64;
         // Resize only (no clear): the fill overwrites every live slot, so
         // re-zeroing the buffer each round would be a wasted memset.
-        self.dest_words.resize(self.migrants.len(), 0);
-        rng.fill_u64(&mut self.dest_words);
-        for (&t, &word) in self.migrants.iter().zip(self.dest_words.iter()) {
-            let dest = lemire_u64(word, self.n as u64) as usize;
-            self.stacks[dest].push(t, self.weights[t as usize]);
+        eng.dest_words.resize(eng.cohort.len(), 0);
+        rng.fill_u64(&mut eng.dest_words);
+        for (&t, &word) in eng.cohort.iter().zip(eng.dest_words.iter()) {
+            let dest = lemire_u64(word, n) as usize;
+            eng.stacks[dest].push(t, eng.weights[t as usize]);
         }
-        if self.cfg.track_potential {
-            self.potential_series.push(total_potential(
-                &self.stacks,
-                self.threshold,
-                &self.weights,
-            ));
-        }
-        if let Some(trace) = &mut self.trace {
-            trace.record(self.rounds, &self.stacks, &self.weights, self.migrants.len() as u64);
-        }
-        self.completed = is_balanced(&self.stacks, self.threshold);
-        self.is_done()
+        eng.finish_round(migrated)
     }
 
-    /// Step until balanced or the round cap.
-    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        while !self.step(rng) {}
+    /// Execute one round (departure coin flips, uniform re-placement)
+    /// unless the run is already done. Returns
+    /// [`is_done`](Self::is_done) after the round.
+    ///
+    /// The graph parameter exists so all three steppers share one `step`
+    /// signature (and one [`Protocol`] trait); Algorithm 6.1 ignores it.
+    ///
+    /// [`Protocol`]: crate::protocol::Protocol
+    pub fn step<R: Rng + ?Sized>(&mut self, _g: &Graph, rng: &mut R) -> bool {
+        self.round(rng)
+    }
+
+    /// Step until balanced or the round cap (the graph is ignored, like
+    /// in [`step`](Self::step)).
+    pub fn run<R: Rng + ?Sized>(&mut self, _g: &Graph, rng: &mut R) {
+        while !self.round(rng) {}
     }
 
     /// Finish: consume the engine into the outcome the one-shot entry
     /// point reports.
     pub fn into_outcome(self) -> UserControlledOutcome {
-        UserControlledOutcome {
-            rounds: self.rounds,
-            completed: self.completed,
-            migrations: self.migrations,
-            threshold: self.threshold,
-            potential_series: self.potential_series,
-            final_max_load: max_load(&self.stacks),
-            final_loads: self.stacks.iter().map(ResourceStack::load).collect(),
-            trace: self.trace,
-        }
+        self.eng.into_outcome()
     }
 
     /// Hand the stacks and weight vector back to a dynamic caller (the
     /// inverse of [`from_parts`](Self::from_parts)). Read the counters
     /// before calling this.
     pub fn into_parts(self) -> (Vec<ResourceStack>, Vec<f64>) {
-        (self.stacks, self.weights)
+        self.eng.into_parts()
     }
 }
 
@@ -317,7 +263,7 @@ pub fn run_user_controlled<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> UserControlledOutcome {
     let mut stepper = UserControlledStepper::new(n, tasks, placement, cfg, rng);
-    stepper.run(rng);
+    while !stepper.round(rng) {}
     stepper.into_outcome()
 }
 
@@ -524,10 +470,13 @@ mod tests {
         let cfg = UserControlledConfig { track_potential: true, ..Default::default() };
         let one_shot = run_user_controlled(30, &tasks, Placement::AllOnOne(0), &cfg, &mut rng(91));
 
+        // `step` ignores the graph (it exists only for signature parity
+        // with the sibling steppers), so any graph drives it.
+        let g = tlb_graphs::generators::complete(1);
         let mut r = rng(91);
         let mut stepper =
             UserControlledStepper::new(30, &tasks, Placement::AllOnOne(0), &cfg, &mut r);
-        while !stepper.step(&mut r) {}
+        while !stepper.step(&g, &mut r) {}
         assert_eq!(stepper.into_outcome(), one_shot);
     }
 

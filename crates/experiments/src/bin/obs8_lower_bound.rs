@@ -5,7 +5,13 @@ use tlb_experiments::figures::obs8;
 
 fn main() {
     let opts = Options::from_env();
-    let mut cfg = if opts.quick { obs8::Config::quick() } else { obs8::Config::default() };
+    let mut cfg = if opts.full {
+        obs8::Config::full()
+    } else if opts.quick {
+        obs8::Config::quick()
+    } else {
+        obs8::Config::default()
+    };
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }

@@ -5,7 +5,9 @@ use tlb_experiments::figures::potential_decay;
 
 fn main() {
     let opts = Options::from_env();
-    let mut cfg = if opts.quick {
+    let mut cfg = if opts.full {
+        potential_decay::Config::full()
+    } else if opts.quick {
         potential_decay::Config::quick()
     } else {
         potential_decay::Config::default()

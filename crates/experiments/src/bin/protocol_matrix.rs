@@ -1,21 +1,22 @@
-//! A7: the Section-8 mixed protocol vs the paper's two protocols.
+//! M1: any protocol × any graph × any arrival scenario through the
+//! generic protocol harness (the `BENCH_matrix` CI artifact).
 
 use tlb_experiments::cli::Options;
-use tlb_experiments::figures::mixed;
+use tlb_experiments::figures::protocol_matrix;
 
 fn main() {
     let opts = Options::from_env();
     let mut cfg = if opts.full {
-        mixed::Config::full()
+        protocol_matrix::Config::full()
     } else if opts.quick {
-        mixed::Config::quick()
+        protocol_matrix::Config::quick()
     } else {
-        mixed::Config::default()
+        protocol_matrix::Config::default()
     };
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }
-    let table = mixed::run(&cfg);
+    let table = protocol_matrix::run(&cfg);
     print!("{}", table.render());
     let path = table.save(&opts.out_dir).expect("write results");
     eprintln!("saved {}", path.display());

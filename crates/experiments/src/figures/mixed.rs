@@ -6,18 +6,24 @@
 //! unavailable (it needs uniform jumps) and the comparison is mixed vs
 //! resource-controlled — the mixed protocol trades slower single-round
 //! drain (Bernoulli departures) for the same walk-limited spreading.
+//!
+//! All `(family × protocol)` cells run as **one** pool batch through the
+//! protocol-generic [`harness::run_protocol_sweep`] — each cell is a
+//! [`ProtocolPoint`] holding its [`ProtocolKind`], so adding a fourth
+//! protocol is one more point, not another hand-rolled closure. Per-cell
+//! seeds match the old per-protocol loops, so results are bit-identical
+//! to them.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use tlb_core::mixed_protocol::{run_mixed, Departure, MixedConfig};
+use tlb_core::mixed_protocol::{Departure, MixedConfig};
 use tlb_core::placement::Placement;
-use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
-use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::protocol::ProtocolKind;
+use tlb_core::resource_protocol::ResourceControlledConfig;
+use tlb_core::user_protocol::UserControlledConfig;
 use tlb_core::weights::WeightSpec;
 use tlb_graphs::generators::Family;
 
 use crate::figures::table1::build_family;
-use crate::harness;
+use crate::harness::{self, MatrixProtocol, ProtocolPoint};
 use crate::output::Table;
 use crate::stats::Summary;
 
@@ -45,6 +51,12 @@ impl Config {
     pub fn quick() -> Self {
         Config { size: 64, trials: 15, ..Default::default() }
     }
+
+    /// Paper-fidelity configuration: the Section-7 trial count (every
+    /// data point averaged over 1000 independent trials).
+    pub fn full() -> Self {
+        Config { trials: 1000, ..Default::default() }
+    }
 }
 
 /// Run the comparison. Columns: family, protocol, rounds_mean,
@@ -58,64 +70,60 @@ pub fn run(cfg: &Config) -> Table {
         ),
         &["family", "protocol", "rounds_mean", "rounds_ci95", "migrations_mean"],
     );
+    // One ProtocolPoint per (family × protocol) cell, in row order. The
+    // seed salts (^1 resource, ^2 mixed, ^3 user) are unchanged from the
+    // per-protocol loops this sweep replaces.
+    let mut points: Vec<(Family, ProtocolPoint)> = Vec::new();
     for family in [Family::Complete, Family::RegularExpander, Family::Grid] {
         let (g, kind) = build_family(family, cfg.size, cfg.seed);
-        let n = g.num_nodes();
-        let m = n * cfg.tasks_per_node;
+        let m = g.num_nodes() * cfg.tasks_per_node;
         let spec = WeightSpec::ParetoTruncated { m, alpha: 1.5, cap: 32.0 };
-
-        // (protocol label, closure seed-salt)
-        let mut push = |label: &str, samples: Vec<(f64, f64)>| {
-            let rounds: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let migs: Vec<f64> = samples.iter().map(|s| s.1).collect();
-            let rs = Summary::of(&rounds);
-            let ms = Summary::of(&migs);
-            table.push_row(vec![
-                family.name().to_string(),
-                label.to_string(),
-                format!("{:.2}", rs.mean),
-                format!("{:.2}", rs.ci95),
-                format!("{:.0}", ms.mean),
-            ]);
+        let mk = |protocol: ProtocolKind, salt: u64| ProtocolPoint {
+            graph: g.clone(),
+            weights: spec.clone(),
+            placement: Placement::AllOnOne(0),
+            protocol: MatrixProtocol::Core(protocol),
+            seed: cfg.seed ^ salt,
         };
-
-        let res_cfg = ResourceControlledConfig { walk: kind, ..Default::default() };
-        push(
-            "resource",
-            harness::run_trials_map(cfg.trials, cfg.seed ^ 1, |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                let tasks = spec.generate(&mut rng);
-                let o =
-                    run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &res_cfg, &mut rng);
-                (o.rounds as f64, o.migrations as f64)
-            }),
-        );
-
-        let mixed_cfg =
-            MixedConfig { departure: Departure::Bernoulli, walk: kind, ..Default::default() };
-        push(
-            "mixed",
-            harness::run_trials_map(cfg.trials, cfg.seed ^ 2, |s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                let tasks = spec.generate(&mut rng);
-                let o = run_mixed(&g, &tasks, Placement::AllOnOne(0), &mixed_cfg, &mut rng);
-                (o.rounds as f64, o.migrations as f64)
-            }),
-        );
-
-        if family == Family::Complete {
-            let user_cfg = UserControlledConfig::default();
-            push(
-                "user",
-                harness::run_trials_map(cfg.trials, cfg.seed ^ 3, |s| {
-                    let mut rng = SmallRng::seed_from_u64(s);
-                    let tasks = spec.generate(&mut rng);
-                    let o =
-                        run_user_controlled(n, &tasks, Placement::AllOnOne(0), &user_cfg, &mut rng);
-                    (o.rounds as f64, o.migrations as f64)
+        points.push((
+            family,
+            mk(
+                ProtocolKind::Resource(ResourceControlledConfig {
+                    walk: kind,
+                    ..Default::default()
                 }),
-            );
+                1,
+            ),
+        ));
+        points.push((
+            family,
+            mk(
+                ProtocolKind::Mixed(MixedConfig {
+                    departure: Departure::Bernoulli,
+                    walk: kind,
+                    ..Default::default()
+                }),
+                2,
+            ),
+        ));
+        if family == Family::Complete {
+            points.push((family, mk(ProtocolKind::User(UserControlledConfig::default()), 3)));
         }
+    }
+    let cells: Vec<ProtocolPoint> = points.iter().map(|(_, p)| p.clone()).collect();
+    let results = harness::run_protocol_sweep(&cells, cfg.trials);
+    for ((family, point), outcomes) in points.iter().zip(&results) {
+        let rounds: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
+        let migs: Vec<f64> = outcomes.iter().map(|o| o.migrations as f64).collect();
+        let rs = Summary::of(&rounds);
+        let ms = Summary::of(&migs);
+        table.push_row(vec![
+            family.name().to_string(),
+            point.protocol.label(),
+            format!("{:.2}", rs.mean),
+            format!("{:.2}", rs.ci95),
+            format!("{:.0}", ms.mean),
+        ]);
     }
     table
 }

@@ -14,6 +14,7 @@
 //! | A6 | [`potential_decay`] | Lemma 10 drift vs measurement |
 //! | A7 | [`mixed`] | Section-8 future work: mixed protocol |
 //! | A8 | [`related_work`] | Section-3 related-work allocators |
+//! | M1 | [`protocol_matrix`] | every protocol × graph × arrival scenario |
 
 pub mod alpha_sweep;
 pub mod diffusion_expt;
@@ -23,6 +24,7 @@ pub mod figure2;
 pub mod mixed;
 pub mod obs8;
 pub mod potential_decay;
+pub mod protocol_matrix;
 pub mod related_work;
 pub mod resource_scaling;
 pub mod table1;

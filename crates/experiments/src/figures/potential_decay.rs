@@ -58,6 +58,12 @@ impl Config {
     pub fn quick() -> Self {
         Config { n: 100, m: 500, w_maxes: vec![1.0, 16.0], trials: 15, ..Default::default() }
     }
+
+    /// Paper-fidelity configuration: the Section-7 trial count (every
+    /// data point averaged over 1000 independent trials).
+    pub fn full() -> Self {
+        Config { trials: 1000, ..Default::default() }
+    }
 }
 
 /// Mean per-round relative potential decay of one run's series.
@@ -77,6 +83,10 @@ pub fn mean_decay(series: &[f64]) -> Option<f64> {
 
 /// Run the sweep. Columns: w_max, measured_decay_mean, measured_decay_ci95,
 /// lemma10_delta_at_alpha (analytic, *at the swept α*), ratio.
+///
+/// All `w_max` points run as **one** pool batch through
+/// [`harness::run_sweep`]; per-point seeds match the old per-point loop,
+/// so results are bit-identical to it at any thread count.
 pub fn run(cfg: &Config) -> Table {
     let mut table = Table::new(
         "potential_decay",
@@ -86,22 +96,25 @@ pub fn run(cfg: &Config) -> Table {
         ),
         &["w_max", "measured_decay", "decay_ci95", "lemma10_delta", "measured_over_delta"],
     );
-    for &w_max in &cfg.w_maxes {
-        let spec = WeightSpec::figure2(cfg.m, w_max);
-        let proto = UserControlledConfig {
-            threshold: ThresholdPolicy::AboveAverage { epsilon: cfg.epsilon },
-            alpha: cfg.alpha,
-            track_potential: true,
-            ..Default::default()
-        };
-        let n = cfg.n;
-        let samples = harness::run_trials(cfg.trials, cfg.seed ^ (w_max as u64) << 24, |s| {
-            let mut rng = SmallRng::seed_from_u64(s);
-            let tasks = spec.generate(&mut rng);
-            let out = run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng);
-            mean_decay(&out.potential_series).unwrap_or(1.0)
-        });
-        let s = Summary::of(&samples);
+    let proto = UserControlledConfig {
+        threshold: ThresholdPolicy::AboveAverage { epsilon: cfg.epsilon },
+        alpha: cfg.alpha,
+        track_potential: true,
+        ..Default::default()
+    };
+    let specs: Vec<WeightSpec> =
+        cfg.w_maxes.iter().map(|&w_max| WeightSpec::figure2(cfg.m, w_max)).collect();
+    let seeds: Vec<u64> =
+        cfg.w_maxes.iter().map(|&w_max| cfg.seed ^ (w_max as u64) << 24).collect();
+    let n = cfg.n;
+    let results = harness::run_sweep(&seeds, cfg.trials, |i, s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        let tasks = specs[i].generate(&mut rng);
+        let out = run_user_controlled(n, &tasks, Placement::AllOnOne(0), &proto, &mut rng);
+        mean_decay(&out.potential_series).unwrap_or(1.0)
+    });
+    for (&w_max, samples) in cfg.w_maxes.iter().zip(&results) {
+        let s = Summary::of(samples);
         let delta = lemma10_delta(cfg.epsilon, cfg.alpha, w_max, 1.0);
         table.push_row(vec![
             format!("{w_max:.0}"),

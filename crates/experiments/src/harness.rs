@@ -14,10 +14,27 @@
 //! `(sweep-point × trial)` grid into one pool batch — no per-point
 //! straggler barrier — while staying bit-identical to the per-point
 //! [`run_trials`] loop.
+//!
+//! The harness is also generic over the protocol abstraction: a
+//! [`ProtocolPoint`] names a `(protocol × graph × workload × placement)`
+//! cell through the unified [`MatrixProtocol`] surface (core
+//! [`ProtocolKind`] variants and `tlb-baselines` adapters alike), and
+//! [`run_protocol_trials`]/[`run_protocol_sweep`] fan its trials out over
+//! the pool, returning full [`ProtocolOutcome`]s. Trait dispatch adds no
+//! RNG draws, so these paths are bit-identical to calling the concrete
+//! `run_*` entry points with the same derived seeds.
 
 use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use tlb_baselines::BaselineConfig;
+use tlb_core::placement::Placement;
+use tlb_core::protocol::{AnyStepper, ProtocolKind, ProtocolOutcome};
+use tlb_core::task::TaskSet;
+use tlb_core::weights::WeightSpec;
+use tlb_graphs::Graph;
 
 /// Bound of the streaming-variant channel: a slow consumer back-pressures
 /// the workers after this many undelivered results (public so tests can
@@ -142,6 +159,86 @@ where
     }
     out.reverse();
     out
+}
+
+/// Which protocol a sweep cell runs: a core variant (through the unified
+/// [`ProtocolKind`] dispatch) or a `tlb-baselines` stepper adapter. This
+/// is the experiment-side closure of the protocol abstraction — the enum
+/// a driver can hold for "any protocol at all".
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixProtocol {
+    /// One of the three core protocols.
+    Core(ProtocolKind),
+    /// A related-work baseline run as a rebalancing protocol.
+    Baseline(BaselineConfig),
+}
+
+impl MatrixProtocol {
+    /// Short stable name (report/CSV key).
+    pub fn label(&self) -> String {
+        match self {
+            MatrixProtocol::Core(kind) => kind.label().to_string(),
+            MatrixProtocol::Baseline(cfg) => cfg.rule.label(),
+        }
+    }
+
+    /// Construct the stepper, consuming RNG exactly as the variant's
+    /// one-shot entry point would.
+    pub fn new_stepper(
+        &self,
+        g: &Graph,
+        tasks: &TaskSet,
+        placement: Placement,
+        rng: &mut dyn RngCore,
+    ) -> AnyStepper {
+        match self {
+            MatrixProtocol::Core(kind) => kind.new_stepper(g, tasks, placement, rng),
+            MatrixProtocol::Baseline(cfg) => cfg.new_stepper(g, tasks, placement, rng),
+        }
+    }
+}
+
+/// One `(protocol × graph × workload × placement)` cell of a protocol
+/// sweep. Each trial regenerates the workload from its derived seed, so
+/// the cell is a pure function of `seed` like every other harness entry
+/// point.
+#[derive(Debug, Clone)]
+pub struct ProtocolPoint {
+    /// Graph the stepper runs on (the user protocol ignores topology but
+    /// still uses `graph.num_nodes()` as its resource count).
+    pub graph: Graph,
+    /// Per-trial workload generator.
+    pub weights: WeightSpec,
+    /// Initial placement.
+    pub placement: Placement,
+    /// Which protocol runs the cell.
+    pub protocol: MatrixProtocol,
+    /// Base seed of the cell (trial `t` runs with `trial_seed(seed, t)`).
+    pub seed: u64,
+}
+
+/// One trial of a protocol point: generate the workload, run the
+/// protocol to completion through the trait surface, report the outcome.
+fn run_protocol_once(p: &ProtocolPoint, seed: u64) -> ProtocolOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tasks = p.weights.generate(&mut rng);
+    let mut stepper = p.protocol.new_stepper(&p.graph, &tasks, p.placement.clone(), &mut rng);
+    stepper.run(&p.graph, &mut rng);
+    stepper.into_outcome()
+}
+
+/// Run `trials` independent trials of one protocol point in parallel;
+/// outcomes are returned in trial order.
+pub fn run_protocol_trials(point: &ProtocolPoint, trials: usize) -> Vec<ProtocolOutcome> {
+    run_trials_map(trials, point.seed, |s| run_protocol_once(point, s))
+}
+
+/// Run a whole protocol sweep — every `(point × trial)` pair as **one**
+/// self-scheduled pool batch, like [`run_sweep`]. `out[i]` is
+/// bit-identical to `run_protocol_trials(&points[i], trials)`.
+pub fn run_protocol_sweep(points: &[ProtocolPoint], trials: usize) -> Vec<Vec<ProtocolOutcome>> {
+    let seeds: Vec<u64> = points.iter().map(|p| p.seed).collect();
+    run_sweep_map(&seeds, trials, |i, s| run_protocol_once(&points[i], s))
 }
 
 /// Streaming variant: trials run on the worker pool while a consumer
@@ -399,6 +496,61 @@ mod tests {
         assert_eq!(zero_trials, vec![Vec::<f64>::new(), Vec::new()]);
         let single = run_sweep(&[7], 1, |_, s| s as f64);
         assert_eq!(single, vec![vec![trial_seed(7, 0) as f64]]);
+    }
+
+    #[test]
+    fn protocol_trials_match_direct_one_shot_calls() {
+        use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+        let g = tlb_graphs::generators::torus2d(4, 4);
+        let spec = WeightSpec::Uniform { m: 120 };
+        let pcfg = ResourceControlledConfig::default();
+        let point = ProtocolPoint {
+            graph: g.clone(),
+            weights: spec.clone(),
+            placement: Placement::AllOnOne(0),
+            protocol: MatrixProtocol::Core(ProtocolKind::Resource(pcfg.clone())),
+            seed: 77,
+        };
+        let outcomes = run_protocol_trials(&point, 6);
+        for (t, out) in outcomes.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(77, t as u64));
+            let tasks = spec.generate(&mut rng);
+            let direct =
+                run_resource_controlled(&g, &tasks, Placement::AllOnOne(0), &pcfg, &mut rng);
+            assert_eq!(*out, direct, "trial {t} diverged from the direct call");
+        }
+    }
+
+    #[test]
+    fn protocol_sweep_matches_per_point_trials() {
+        let g = tlb_graphs::generators::complete(10);
+        let mk = |protocol: MatrixProtocol, seed: u64| ProtocolPoint {
+            graph: g.clone(),
+            weights: WeightSpec::Uniform { m: 80 },
+            placement: Placement::AllOnOne(0),
+            protocol,
+            seed,
+        };
+        let points = vec![
+            mk(MatrixProtocol::Core(ProtocolKind::User(Default::default())), 1),
+            mk(MatrixProtocol::Baseline(BaselineConfig::default()), 2),
+            mk(MatrixProtocol::Core(ProtocolKind::Mixed(Default::default())), 3),
+        ];
+        let swept = run_protocol_sweep(&points, 5);
+        assert_eq!(swept.len(), 3);
+        for (i, point) in points.iter().enumerate() {
+            assert_eq!(swept[i], run_protocol_trials(point, 5), "point {i}");
+            assert!(swept[i].iter().all(|o| o.balanced()));
+        }
+    }
+
+    #[test]
+    fn matrix_protocol_labels() {
+        assert_eq!(
+            MatrixProtocol::Core(ProtocolKind::Resource(Default::default())).label(),
+            "resource"
+        );
+        assert_eq!(MatrixProtocol::Baseline(BaselineConfig::default()).label(), "greedy2");
     }
 
     #[test]

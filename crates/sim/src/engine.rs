@@ -22,9 +22,11 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tlb_core::mixed_protocol::{Departure, MixedConfig, MixedStepper};
+use tlb_baselines::{BaselineConfig, BaselineRule};
+use tlb_core::mixed_protocol::{Departure, MixedConfig};
 use tlb_core::potential::{is_balanced, max_load, num_overloaded, total_potential};
-use tlb_core::resource_protocol::{ResourceControlledConfig, ResourceControlledStepper};
+use tlb_core::protocol::{AnyStepper, ProtocolKind};
+use tlb_core::resource_protocol::ResourceControlledConfig;
 use tlb_core::stack::ResourceStack;
 use tlb_core::task::TaskId;
 use tlb_core::threshold::ThresholdPolicy;
@@ -47,7 +49,10 @@ pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Which protocol the per-epoch rebalancing pass runs.
+/// Which protocol the per-epoch rebalancing pass runs. Every variant
+/// resolves to an [`AnyStepper`] via [`RebalancePolicy::make_stepper`],
+/// so the epoch loop drives one trait object instead of per-protocol
+/// match arms.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RebalancePolicy {
     /// Resource-controlled (Algorithm 5.1): overloaded resources eject
@@ -66,6 +71,56 @@ pub enum RebalancePolicy {
         /// Walk moving departing tasks.
         walk: WalkKind,
     },
+    /// A related-work baseline (`tlb-baselines` stepper adapter):
+    /// Algorithm-5.1 ejection with the baseline's global re-placement
+    /// rule. Safe under churn — the adapters never place tasks on
+    /// isolated (deactivated) resources.
+    Baseline {
+        /// Placement rule moving ejected tasks.
+        rule: BaselineRule,
+    },
+}
+
+impl RebalancePolicy {
+    /// Build the protocol stepper for one epoch's rebalancing pass
+    /// (resumes from the live stacks; consumes no RNG).
+    fn make_stepper(
+        &self,
+        threshold_policy: ThresholdPolicy,
+        rounds_per_epoch: u64,
+        stacks: Vec<ResourceStack>,
+        weights: Vec<f64>,
+        threshold: f64,
+        w_max: f64,
+    ) -> AnyStepper {
+        match *self {
+            RebalancePolicy::Resource { walk } => {
+                ProtocolKind::Resource(ResourceControlledConfig {
+                    threshold: threshold_policy,
+                    walk,
+                    max_rounds: rounds_per_epoch,
+                    ..Default::default()
+                })
+                .stepper_from_parts(stacks, weights, threshold, w_max)
+            }
+            RebalancePolicy::Mixed { departure, alpha, walk } => ProtocolKind::Mixed(MixedConfig {
+                threshold: threshold_policy,
+                departure,
+                alpha,
+                walk,
+                max_rounds: rounds_per_epoch,
+                ..Default::default()
+            })
+            .stepper_from_parts(stacks, weights, threshold, w_max),
+            RebalancePolicy::Baseline { rule } => BaselineConfig {
+                threshold: threshold_policy,
+                rule,
+                max_rounds: rounds_per_epoch,
+                ..Default::default()
+            }
+            .stepper_from_parts(stacks, weights, threshold),
+        }
+    }
 }
 
 /// Full configuration of an online run.
@@ -201,13 +256,15 @@ impl OnlineSim {
         cfg.arrival_weights.validate();
         // Churn can isolate an active node; the max-degree and lazy walks
         // self-loop there, but the simple walk is undefined on isolated
-        // nodes, so it cannot drive an online run.
+        // nodes, so it cannot drive an online run. (Baselines use no walk
+        // and filter isolated destinations themselves.)
         let walk = match cfg.rebalance {
-            RebalancePolicy::Resource { walk } => walk,
-            RebalancePolicy::Mixed { walk, .. } => walk,
+            RebalancePolicy::Resource { walk } => Some(walk),
+            RebalancePolicy::Mixed { walk, .. } => Some(walk),
+            RebalancePolicy::Baseline { .. } => None,
         };
         assert!(
-            walk != WalkKind::Simple,
+            walk != Some(WalkKind::Simple),
             "WalkKind::Simple cannot rebalance a churned graph (undefined on isolated nodes)"
         );
     }
@@ -371,38 +428,21 @@ impl OnlineSim {
         if self.live > 0 && !is_balanced(&self.stacks, threshold) {
             let stacks = std::mem::take(&mut self.stacks);
             let weights = std::mem::take(&mut self.weights);
-            match self.cfg.rebalance {
-                RebalancePolicy::Resource { walk } => {
-                    let rcfg = ResourceControlledConfig {
-                        threshold: self.cfg.threshold,
-                        walk,
-                        max_rounds: self.cfg.rounds_per_epoch,
-                        ..Default::default()
-                    };
-                    let mut stepper =
-                        ResourceControlledStepper::from_parts(stacks, weights, threshold, rcfg);
-                    stepper.run(&self.walk_graph, &mut rng);
-                    rebalance_rounds = stepper.rounds();
-                    migrations = stepper.migrations();
-                    (self.stacks, self.weights) = stepper.into_parts();
-                }
-                RebalancePolicy::Mixed { departure, alpha, walk } => {
-                    let mcfg = MixedConfig {
-                        threshold: self.cfg.threshold,
-                        departure,
-                        alpha,
-                        walk,
-                        max_rounds: self.cfg.rounds_per_epoch,
-                        ..Default::default()
-                    };
-                    let mut stepper =
-                        MixedStepper::from_parts(stacks, weights, threshold, w_max, mcfg);
-                    stepper.run(&self.walk_graph, &mut rng);
-                    rebalance_rounds = stepper.rounds();
-                    migrations = stepper.migrations();
-                    (self.stacks, self.weights) = stepper.into_parts();
-                }
-            }
+            // One trait object covers every policy — paper protocols and
+            // baseline adapters alike (same draws as driving the concrete
+            // stepper directly; see the tlb-core stream policy).
+            let mut stepper = self.cfg.rebalance.make_stepper(
+                self.cfg.threshold,
+                self.cfg.rounds_per_epoch,
+                stacks,
+                weights,
+                threshold,
+                w_max,
+            );
+            stepper.run(&self.walk_graph, &mut rng);
+            rebalance_rounds = stepper.rounds();
+            migrations = stepper.migrations();
+            (self.stacks, self.weights) = stepper.into_parts();
         }
 
         // --- 6. metrics snapshot.
@@ -720,6 +760,36 @@ mod tests {
         let last = report.last().unwrap();
         assert!(last.balanced, "mixed pass did not converge: {last:?}");
         assert_eq!(last.arrivals, 0);
+    }
+
+    #[test]
+    fn baseline_policy_rebalances_online() {
+        // A related-work baseline driving the online engine — the path no
+        // pre-trait layer could express. Greedy[2] ejection/re-placement
+        // must keep a steady stream balanced on K_12.
+        let mut cfg = quick_cfg("baseline");
+        cfg.rebalance = RebalancePolicy::Baseline { rule: BaselineRule::Greedy { d: 2 } };
+        cfg.arrival_window = Some(20);
+        cfg.departure_prob = 0.0;
+        cfg.epochs = 120;
+        let report = OnlineSim::new(complete(12), cfg).run();
+        let last = report.last().unwrap();
+        assert!(last.balanced, "baseline pass did not converge: {last:?}");
+        assert!(report.total_migrations > 0);
+    }
+
+    #[test]
+    fn baseline_policy_survives_churn_without_placing_on_inactive_nodes() {
+        let mut cfg = quick_cfg("baseline-churn");
+        cfg.rebalance =
+            RebalancePolicy::Baseline { rule: BaselineRule::SequentialThreshold { retries: 3 } };
+        cfg.churn = ChurnProcess::scripted(vec![(5, ChurnEvent::Deactivate(2))]);
+        cfg.epochs = 40;
+        let mut sim = OnlineSim::new(complete(8), cfg);
+        sim.run();
+        // Node 2 left at epoch 5 and never returned: the baseline must
+        // not have used it as a destination afterwards.
+        assert!(sim.stacks()[2].is_empty(), "baseline placed tasks on a deactivated resource");
     }
 
     #[test]

@@ -55,3 +55,4 @@ pub use churn::{ChurnEvent, ChurnProcess};
 pub use engine::{epoch_seed, OnlineSim, RebalancePolicy, SimConfig};
 pub use metrics::{EpochRecord, SimReport};
 pub use tenants::{TenantSet, TenantSpec};
+pub use tlb_baselines::BaselineRule;

@@ -98,11 +98,13 @@ fn round_loops_allocate_nothing_in_steady_state() {
     let ucfg = UserControlledConfig { alpha: 0.25, ..Default::default() };
     let mut stepper =
         UserControlledStepper::new(60, &tasks, Placement::AllOnOne(0), &ucfg, &mut rng);
+    // The user stepper ignores its graph parameter (signature parity with
+    // the siblings); reuse the torus so the loop allocates nothing new.
     for _ in 0..36 {
-        stepper.step(&mut rng);
+        stepper.step(&g, &mut rng);
     }
     assert!(!stepper.is_done(), "warm-up must not finish the run (weaken the workload?)");
-    let allocs = count_allocs(|| while !stepper.step(&mut rng) {});
+    let allocs = count_allocs(|| while !stepper.step(&g, &mut rng) {});
     assert!(stepper.is_balanced());
     assert_eq!(allocs, 0, "user-controlled steady-state rounds allocated");
 

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use tlb_bench::rss::{peak_rss_bytes, rss_json};
 use tlb_bench::workloads::{
     run_sweep_per_point, run_sweep_whole, run_trials_scoped, sweep_point_seeds, uneven_user_trial,
 };
@@ -191,9 +192,11 @@ fn main() {
          \"pool_secs\": {par_secs:.6},\n  \
          \"trials_per_sec_sequential\": {:.3},\n  \"trials_per_sec_pool\": {:.3},\n  \
          \"speedup_pool_vs_sequential\": {speedup_vs_seq:.3},\n  \
-         \"speedup_pool_vs_scoped\": {speedup_vs_scoped:.3},\n  \"bit_identical\": true\n}}\n",
+         \"speedup_pool_vs_scoped\": {speedup_vs_scoped:.3},\n  \
+         \"peak_rss_bytes\": {},\n  \"bit_identical\": true\n}}\n",
         trials as f64 / seq_secs,
         trials as f64 / par_secs,
+        rss_json(peak_rss_bytes()),
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("{json}");

@@ -22,4 +22,5 @@
 //! criterion and writes a `BENCH_harness.json` snapshot for the CI perf
 //! trajectory.
 
+pub mod rss;
 pub mod workloads;

@@ -1,0 +1,47 @@
+//! Peak resident-set-size probe shared by the bench binaries.
+//!
+//! Linux exposes the process high-water mark as the `VmHWM` line of
+//! `/proc/self/status` (in kB). Other platforms get [`None`] — callers
+//! must treat the reading as best-effort and keep their output shape
+//! stable (emit `null`, not a fake zero), so snapshots from different
+//! hosts stay comparable.
+
+/// Peak resident set size of this process in bytes, if the platform
+/// exposes it (`VmHWM` in `/proc/self/status` on Linux).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // "VmHWM:      12345 kB"
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Render an `Option<u64>` byte count as a JSON fragment: the number, or
+/// `null` when the platform gave no reading.
+pub fn rss_json(bytes: Option<u64>) -> String {
+    match bytes {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_reports_a_positive_peak() {
+        // Touch some memory so the high-water mark is certainly nonzero.
+        let v = vec![1u8; 1 << 20];
+        assert!(v.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+        assert!(rss > 1 << 20, "peak RSS {rss} should exceed 1 MiB");
+    }
+
+    #[test]
+    fn json_rendering_handles_both_cases() {
+        assert_eq!(rss_json(Some(2048)), "2048");
+        assert_eq!(rss_json(None), "null");
+    }
+}

@@ -21,6 +21,10 @@
 //!   object-safe [`protocol::Protocol`] stepping trait, and the
 //!   [`protocol::ProtocolKind`]/[`protocol::AnyStepper`] dispatch pair
 //!   (see "Protocol abstraction" below),
+//! * the **fragment surface** ([`fragment`]): the stepper state from
+//!   `into_parts()` split into contiguous per-shard
+//!   [`fragment::StackFragment`]s, the unit of parallelism of the
+//!   sharded online engine in `tlb-sim`,
 //! * the model substrate both share: weighted tasks ([`task`], [`weights`]),
 //!   stack semantics with heights and threshold cutting ([`stack`]),
 //!   threshold policies ([`threshold`]), initial placements ([`placement`]),
@@ -110,6 +114,7 @@
 pub mod assignment;
 pub mod diffusion;
 pub mod drift;
+pub mod fragment;
 pub mod mixed_protocol;
 pub mod nonuniform;
 pub mod placement;
@@ -125,6 +130,7 @@ pub mod weights;
 
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
+    pub use crate::fragment::StackFragment;
     pub use crate::placement::Placement;
     pub use crate::protocol::{
         AnyStepper, Protocol, ProtocolKind, ProtocolOutcome, ProtocolSpec, RoundEngine,

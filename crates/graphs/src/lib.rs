@@ -13,6 +13,8 @@
 //! * a [`DynamicGraph`] churn overlay (node activate/deactivate, edge
 //!   add/remove over a CSR base, with compaction back to CSR) for the
 //!   online simulation's dynamic topologies,
+//! * a [`Partition`] view splitting the node id space into contiguous
+//!   shard ranges for the sharded online engine,
 //! * [`generators`] for every graph family the paper's Table 1 and
 //!   Observation 8 refer to (complete, expander, Erdős–Rényi, hypercube,
 //!   grid, and the lollipop lower-bound family),
@@ -46,8 +48,10 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod partition;
 
 pub use builder::GraphBuilder;
 pub use dynamic::DynamicGraph;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
+pub use partition::Partition;

@@ -1,23 +1,36 @@
-//! The epoch-driven online simulation engine.
+//! The epoch-driven online simulation engine — the *scheduler* half of
+//! the state/scheduler split (the state half lives in [`crate::state`]).
 //!
-//! Each epoch the engine: (1) applies resource churn (scripted rack
+//! Each epoch the scheduler: (1) applies resource churn (scripted rack
 //! drains and stochastic failures/recoveries, draining tasks off leaving
 //! resources), (2) departs tasks, (3) admits streaming arrivals, then
 //! (4) runs the configured threshold protocol as an *incremental*
-//! rebalancing pass — up to `rounds_per_epoch` protocol rounds through
-//! the resumable steppers of `tlb-core` — and (5) records an
-//! [`EpochRecord`]. The threshold is recomputed every epoch from the
-//! *live* population (total weight, active resources, live `w_max`), so
-//! the target tracks the traffic.
+//! rebalancing pass — up to `rounds_per_epoch` protocol rounds — and
+//! (5) records an [`EpochRecord`]. The threshold is recomputed every
+//! epoch from the *live* population (total weight, active resources,
+//! live `w_max`), so the target tracks the traffic.
+//!
+//! The rebalancing pass is pluggable per [`RebalancePolicy`]. The
+//! resource-controlled policy (the paper's Algorithm 5.1, the default)
+//! runs through the sharded engine of [`crate::shard`]: the stacks are
+//! split into `SimConfig::shards` contiguous fragments, each stepped as
+//! one task on the persistent rayon pool, with cross-shard walk handoffs
+//! batched at round boundaries. Mixed and baseline policies run through
+//! the sequential `tlb-core` steppers (and reject `shards > 1`).
 //!
 //! ## Determinism
 //!
-//! Every epoch draws all its randomness from a fresh `SmallRng` seeded
-//! with [`epoch_seed`]`(base_seed, epoch)`. The engine is strictly
-//! sequential and never touches the rayon pool, so a run is a pure
-//! function of `(config, base graph)` — bit-identical across thread
-//! counts, and epoch `e`'s draw stream is independent of how much
-//! randomness earlier epochs consumed.
+//! Epoch `e` draws its churn/departure/arrival randomness from a fresh
+//! sequential `SmallRng` seeded with [`epoch_seed`]`(base_seed, e)`, so
+//! epoch `e`'s stream is independent of how much randomness earlier
+//! epochs consumed. The resource-policy rebalancing pass draws nothing
+//! from that RNG: its walk words come from the *counter-based* stream
+//! rooted at [`crate::shard::rebalance_seed`]`(base_seed, e)` — a pure
+//! function of `(seed, epoch, round, node, slot)` — which is what keeps
+//! a run bit-identical across `RAYON_NUM_THREADS` **and** across shard
+//! counts (see `crate::shard` for the law and its chi-square pin).
+//! Mixed/baseline passes consume the epoch RNG sequentially, exactly as
+//! before the split.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,16 +39,17 @@ use tlb_baselines::{BaselineConfig, BaselineRule};
 use tlb_core::mixed_protocol::{Departure, MixedConfig};
 use tlb_core::potential::{is_balanced, max_load, num_overloaded, total_potential};
 use tlb_core::protocol::{AnyStepper, ProtocolKind};
-use tlb_core::resource_protocol::ResourceControlledConfig;
 use tlb_core::stack::ResourceStack;
-use tlb_core::task::TaskId;
 use tlb_core::threshold::ThresholdPolicy;
-use tlb_graphs::{DynamicGraph, Graph, NodeId};
+use tlb_graphs::DynamicGraph;
+use tlb_graphs::Graph;
 use tlb_walks::WalkKind;
 
 use crate::arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
 use crate::churn::{ChurnEvent, ChurnProcess};
 use crate::metrics::{EpochRecord, SimReport};
+use crate::shard::{rebalance_seed, ShardedEngine};
+use crate::state::SimState;
 use crate::tenants::{TenantSet, TenantSpec};
 
 /// Derive epoch `e`'s seed from the base seed (splitmix64 over the pair,
@@ -49,20 +63,19 @@ pub fn epoch_seed(base: u64, epoch: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Which protocol the per-epoch rebalancing pass runs. Every variant
-/// resolves to an [`AnyStepper`] via [`RebalancePolicy::make_stepper`],
-/// so the epoch loop drives one trait object instead of per-protocol
-/// match arms.
+/// Which protocol the per-epoch rebalancing pass runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RebalancePolicy {
     /// Resource-controlled (Algorithm 5.1): overloaded resources eject
-    /// every cutting/above task, one walk step each.
+    /// every cutting/above task, one walk step each. Runs through the
+    /// sharded engine ([`crate::shard::ShardedEngine`]); honours
+    /// [`SimConfig::shards`].
     Resource {
         /// Walk moving ejected tasks.
         walk: WalkKind,
     },
     /// Mixed protocol: user-style Bernoulli departures, resource-style
-    /// walk movement (works on any topology).
+    /// walk movement (works on any topology). Sequential.
     Mixed {
         /// Departure rule.
         departure: Departure,
@@ -74,7 +87,7 @@ pub enum RebalancePolicy {
     /// A related-work baseline (`tlb-baselines` stepper adapter):
     /// Algorithm-5.1 ejection with the baseline's global re-placement
     /// rule. Safe under churn — the adapters never place tasks on
-    /// isolated (deactivated) resources.
+    /// isolated (deactivated) resources. Sequential.
     Baseline {
         /// Placement rule moving ejected tasks.
         rule: BaselineRule,
@@ -82,8 +95,10 @@ pub enum RebalancePolicy {
 }
 
 impl RebalancePolicy {
-    /// Build the protocol stepper for one epoch's rebalancing pass
-    /// (resumes from the live stacks; consumes no RNG).
+    /// Build the sequential protocol stepper for one epoch's rebalancing
+    /// pass (resumes from the live stacks; consumes no RNG). Only the
+    /// mixed and baseline policies use this path — the resource policy
+    /// goes through [`ShardedEngine`] instead.
     fn make_stepper(
         &self,
         threshold_policy: ThresholdPolicy,
@@ -94,14 +109,8 @@ impl RebalancePolicy {
         w_max: f64,
     ) -> AnyStepper {
         match *self {
-            RebalancePolicy::Resource { walk } => {
-                ProtocolKind::Resource(ResourceControlledConfig {
-                    threshold: threshold_policy,
-                    walk,
-                    max_rounds: rounds_per_epoch,
-                    ..Default::default()
-                })
-                .stepper_from_parts(stacks, weights, threshold, w_max)
+            RebalancePolicy::Resource { .. } => {
+                unreachable!("the resource policy runs through the sharded engine")
             }
             RebalancePolicy::Mixed { departure, alpha, walk } => ProtocolKind::Mixed(MixedConfig {
                 threshold: threshold_policy,
@@ -158,6 +167,10 @@ pub struct SimConfig {
     /// Compact the churn overlay back to CSR once this many edge deltas
     /// accumulate.
     pub compact_after_ops: usize,
+    /// Shard count of the rebalancing pass (resource policy only; the
+    /// output is bit-identical at every shard count, so this is purely a
+    /// throughput knob — see `crate::shard`). Clamped to the node count.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -181,32 +194,20 @@ impl Default for SimConfig {
             rebalance: RebalancePolicy::Resource { walk: WalkKind::MaxDegree },
             rounds_per_epoch: 16,
             compact_after_ops: 64,
+            shards: 1,
         }
     }
 }
 
-/// The online simulation state.
+/// The online simulation: a [`SimState`] plus the epoch scheduler
+/// driving it (see the module docs for the split).
 #[derive(Debug, Clone)]
 pub struct OnlineSim {
     cfg: SimConfig,
     tenants: TenantSet,
-    dg: DynamicGraph,
-    /// CSR snapshot of the effective graph the walk kernels use;
-    /// refreshed whenever churn changes the topology.
-    walk_graph: Graph,
-    stacks: Vec<ResourceStack>,
-    /// Weight slot per task id; slots of departed tasks are recycled via
-    /// `free_ids`, so memory tracks the live population, not the arrival
-    /// total.
-    weights: Vec<f64>,
-    /// Tenant index per task id (parallel to `weights`).
-    tenant_of: Vec<u16>,
-    free_ids: Vec<TaskId>,
-    live: usize,
+    state: SimState,
     epoch: u64,
     records: Vec<EpochRecord>,
-    // Reused per-epoch buffer for departure draws.
-    departed: Vec<TaskId>,
 }
 
 impl OnlineSim {
@@ -214,29 +215,15 @@ impl OnlineSim {
     ///
     /// # Panics
     /// If the graph is empty, the tenant list is empty or has
-    /// non-positive shares, `departure_prob` is not in `[0, 1)`, or a
-    /// churn probability is not in `[0, 1]`.
+    /// non-positive shares, `departure_prob` is not in `[0, 1)`, a churn
+    /// probability is not in `[0, 1]`, `shards` is zero, or `shards > 1`
+    /// with a sequential (mixed/baseline) rebalance policy.
     pub fn new(base: Graph, cfg: SimConfig) -> Self {
         let n = base.num_nodes();
         assert!(n > 0, "need at least one resource");
         Self::validate(&cfg);
         let tenants = TenantSet::new(cfg.tenants.clone());
-        let dg = DynamicGraph::new(base);
-        let walk_graph = dg.snapshot();
-        OnlineSim {
-            cfg,
-            tenants,
-            dg,
-            walk_graph,
-            stacks: vec![ResourceStack::new(); n],
-            weights: Vec::new(),
-            tenant_of: Vec::new(),
-            free_ids: Vec::new(),
-            live: 0,
-            epoch: 0,
-            records: Vec::new(),
-            departed: Vec::new(),
-        }
+        OnlineSim { cfg, tenants, state: SimState::new(base), epoch: 0, records: Vec::new() }
     }
 
     /// Parameters come from config literals, so reject bad ones up front
@@ -254,6 +241,12 @@ impl OnlineSim {
         }
         cfg.arrivals.validate();
         cfg.arrival_weights.validate();
+        assert!(cfg.shards >= 1, "shards must be >= 1");
+        assert!(
+            cfg.shards == 1 || matches!(cfg.rebalance, RebalancePolicy::Resource { .. }),
+            "only the resource-controlled policy rebalances sharded (shards = {})",
+            cfg.shards
+        );
         // Churn can isolate an active node; the max-degree and lazy walks
         // self-loop there, but the simple walk is undefined on isolated
         // nodes, so it cannot drive an online run. (Baselines use no walk
@@ -283,7 +276,7 @@ impl OnlineSim {
 
     /// Number of live tasks.
     pub fn live_tasks(&self) -> usize {
-        self.live
+        self.state.live
     }
 
     /// Epochs executed so far.
@@ -293,12 +286,12 @@ impl OnlineSim {
 
     /// The churn overlay (for inspection).
     pub fn graph(&self) -> &DynamicGraph {
-        &self.dg
+        &self.state.dg
     }
 
     /// The per-resource stacks (index = resource id).
     pub fn stacks(&self) -> &[ResourceStack] {
-        &self.stacks
+        &self.state.stacks
     }
 
     /// Records taken so far.
@@ -310,7 +303,7 @@ impl OnlineSim {
     /// the engine's memory footprint per task, for the bounded-memory
     /// tests.
     pub fn id_capacity(&self) -> usize {
-        self.weights.len()
+        self.state.weights.len()
     }
 
     /// Run `cfg.epochs` epochs (on top of any already run) and assemble
@@ -331,127 +324,119 @@ impl OnlineSim {
     /// metrics.
     pub fn run_epoch(&mut self) {
         let mut rng = SmallRng::seed_from_u64(epoch_seed(self.cfg.seed, self.epoch));
+        let state = &mut self.state;
         let mut drained = 0u64;
         let mut topology_changed = false;
 
         // --- 1. churn: scripted events in list order, then stochastic.
         let events: Vec<ChurnEvent> = self.cfg.churn.events_at(self.epoch).collect();
         for ev in events {
-            drained += self.apply_event(ev, &mut rng, &mut topology_changed);
+            drained += state.apply_event(ev, &mut rng, &mut topology_changed);
         }
         if self.cfg.churn.random_down > 0.0 && rng.gen_bool(self.cfg.churn.random_down) {
-            let active = self.active_ids();
+            let active = state.active_ids();
             if active.len() > 1 {
                 let v = active[rng.gen_range(0..active.len())];
                 drained +=
-                    self.apply_event(ChurnEvent::Deactivate(v), &mut rng, &mut topology_changed);
+                    state.apply_event(ChurnEvent::Deactivate(v), &mut rng, &mut topology_changed);
             }
         }
         if self.cfg.churn.random_up > 0.0 && rng.gen_bool(self.cfg.churn.random_up) {
-            let inactive: Vec<NodeId> =
-                (0..self.dg.num_nodes() as NodeId).filter(|&v| !self.dg.is_active(v)).collect();
+            let inactive: Vec<tlb_graphs::NodeId> = (0..state.dg.num_nodes() as tlb_graphs::NodeId)
+                .filter(|&v| !state.dg.is_active(v))
+                .collect();
             if !inactive.is_empty() {
                 let v = inactive[rng.gen_range(0..inactive.len())];
-                self.apply_event(ChurnEvent::Activate(v), &mut rng, &mut topology_changed);
+                state.apply_event(ChurnEvent::Activate(v), &mut rng, &mut topology_changed);
             }
         }
         if topology_changed {
-            if self.dg.delta_ops() >= self.cfg.compact_after_ops {
-                self.dg.compact();
-            }
-            self.walk_graph = self.dg.snapshot();
+            state.refresh_walk_graph(self.cfg.compact_after_ops);
         }
 
         // --- 2. departures: every live task flips an independent coin.
-        let mut departures = 0u64;
-        if self.cfg.departure_prob > 0.0 && self.live > 0 {
-            self.departed.clear();
-            for stack in self.stacks.iter_mut() {
-                stack.drain_bernoulli_into(
-                    self.cfg.departure_prob,
-                    &self.weights,
-                    &mut rng,
-                    &mut self.departed,
-                );
-            }
-            departures = self.departed.len() as u64;
-            self.live -= self.departed.len();
-            self.free_ids.append(&mut self.departed);
-        }
+        let departures = state.depart_bernoulli(self.cfg.departure_prob, &mut rng);
 
         // --- 3. arrivals.
         let mut arrivals = 0u64;
         let in_window = self.cfg.arrival_window.is_none_or(|w| self.epoch < w);
         if in_window {
             let count = self.cfg.arrivals.sample_count(self.epoch, &mut rng);
-            let active = self.active_ids();
+            let active = state.active_ids();
             for _ in 0..count {
                 let tenant = self.tenants.pick(rng.gen::<f64>());
                 let weight = self.cfg.arrival_weights.sample(&mut rng);
-                let dest = self.arrival_destination(&active, &mut rng);
-                let id = match self.free_ids.pop() {
-                    Some(id) => {
-                        self.weights[id as usize] = weight;
-                        self.tenant_of[id as usize] = tenant;
-                        id
-                    }
-                    None => {
-                        self.weights.push(weight);
-                        self.tenant_of.push(tenant);
-                        (self.weights.len() - 1) as TaskId
-                    }
-                };
-                self.stacks[dest as usize].push(id, weight);
-                self.live += 1;
+                let dest = state.arrival_destination(self.cfg.arrival_placement, &active, &mut rng);
+                state.admit(weight, tenant, dest);
                 arrivals += 1;
             }
         }
 
         // --- 4. recompute the live threshold.
-        let n_active = self.dg.num_active();
-        let total_weight: f64 = self.stacks.iter().map(ResourceStack::load).sum();
-        let w_max = self
-            .stacks
-            .iter()
-            .flat_map(|s| s.tasks().iter())
-            .map(|&t| self.weights[t as usize])
-            .fold(0.0, f64::max);
-        let threshold = if self.live > 0 {
+        let n_active = state.dg.num_active();
+        let total_weight = state.total_weight();
+        let w_max = state.live_w_max();
+        let threshold = if state.live > 0 {
             self.cfg.threshold.value(total_weight, n_active, w_max)
         } else {
             0.0
         };
 
-        // --- 5. incremental rebalancing pass through the core steppers.
+        // --- 5. incremental rebalancing pass.
         let mut rebalance_rounds = 0u64;
         let mut migrations = 0u64;
-        if self.live > 0 && !is_balanced(&self.stacks, threshold) {
-            let stacks = std::mem::take(&mut self.stacks);
-            let weights = std::mem::take(&mut self.weights);
-            // One trait object covers every policy — paper protocols and
-            // baseline adapters alike (same draws as driving the concrete
-            // stepper directly; see the tlb-core stream policy).
-            let mut stepper = self.cfg.rebalance.make_stepper(
-                self.cfg.threshold,
-                self.cfg.rounds_per_epoch,
-                stacks,
-                weights,
-                threshold,
-                w_max,
-            );
-            stepper.run(&self.walk_graph, &mut rng);
-            rebalance_rounds = stepper.rounds();
-            migrations = stepper.migrations();
-            (self.stacks, self.weights) = stepper.into_parts();
+        if state.live > 0 && !is_balanced(&state.stacks, threshold) {
+            match self.cfg.rebalance {
+                RebalancePolicy::Resource { walk } => {
+                    // The sharded engine — at shards = 1 this *is* the
+                    // reference sequential semantics, so every resource
+                    // run goes through one code path regardless of k.
+                    let stacks = std::mem::take(&mut state.stacks);
+                    let partition = state.dg.partition(self.cfg.shards);
+                    let mut engine = ShardedEngine::from_parts(
+                        stacks,
+                        partition,
+                        threshold,
+                        walk,
+                        self.cfg.rounds_per_epoch,
+                    );
+                    engine.run(
+                        &state.walk_graph,
+                        &state.weights,
+                        rebalance_seed(self.cfg.seed, self.epoch),
+                    );
+                    rebalance_rounds = engine.rounds();
+                    migrations = engine.migrations();
+                    state.stacks = engine.into_parts();
+                }
+                _ => {
+                    // Sequential stepper path (mixed/baseline): same
+                    // draws as driving the concrete stepper directly.
+                    let stacks = std::mem::take(&mut state.stacks);
+                    let weights = std::mem::take(&mut state.weights);
+                    let mut stepper = self.cfg.rebalance.make_stepper(
+                        self.cfg.threshold,
+                        self.cfg.rounds_per_epoch,
+                        stacks,
+                        weights,
+                        threshold,
+                        w_max,
+                    );
+                    stepper.run(&state.walk_graph, &mut rng);
+                    rebalance_rounds = stepper.rounds();
+                    migrations = stepper.migrations();
+                    (state.stacks, state.weights) = stepper.into_parts();
+                }
+            }
         }
 
         // --- 6. metrics snapshot.
-        let max_load = max_load(&self.stacks);
-        let overloaded = num_overloaded(&self.stacks, threshold);
+        let max_load = max_load(&state.stacks);
+        let overloaded = num_overloaded(&state.stacks, threshold);
         let balanced = overloaded == 0;
         self.records.push(EpochRecord {
             epoch: self.epoch,
-            live_tasks: self.live,
+            live_tasks: state.live,
             active_resources: n_active,
             arrivals,
             departures,
@@ -462,143 +447,16 @@ impl OnlineSim {
             max_load,
             mean_load: if n_active > 0 { total_weight / n_active as f64 } else { 0.0 },
             overload_fraction: if n_active > 0 { overloaded as f64 / n_active as f64 } else { 0.0 },
-            potential: total_potential(&self.stacks, threshold, &self.weights),
+            potential: total_potential(&state.stacks, threshold, &state.weights),
             balanced,
             tenant_violations: self.tenants.violations(
-                &self.stacks,
-                &self.weights,
-                &self.tenant_of,
+                &state.stacks,
+                &state.weights,
+                &state.tenant_of,
                 n_active,
             ),
         });
         self.epoch += 1;
-    }
-
-    /// Apply one churn event. Deactivating a resource drains its tasks to
-    /// uniformly random surviving resources (the orchestrator's forced
-    /// migration — these do not count as protocol migrations). Returns
-    /// the number of drained tasks. Deactivation of the last active
-    /// resource is skipped: the system never loses all capacity.
-    fn apply_event<R: Rng + ?Sized>(
-        &mut self,
-        ev: ChurnEvent,
-        rng: &mut R,
-        topology_changed: &mut bool,
-    ) -> u64 {
-        match ev {
-            ChurnEvent::Deactivate(v) => self.deactivate_one(v, rng, topology_changed),
-            ChurnEvent::Activate(v) => {
-                if self.dg.activate(v) {
-                    *topology_changed = true;
-                }
-                0
-            }
-            ChurnEvent::DeactivateRange { from, to } => {
-                // Take the whole rack down before re-placing anything, so
-                // no task is drained onto a sibling that leaves in the
-                // same event (and then drained again).
-                let mut orphans: Vec<TaskId> = Vec::new();
-                for v in from..to {
-                    if let Some(stack) = self.deactivate_collect(v, topology_changed) {
-                        orphans.extend_from_slice(stack.tasks());
-                    }
-                }
-                self.place_orphans(&orphans, rng)
-            }
-            ChurnEvent::ActivateRange { from, to } => {
-                for v in from..to {
-                    if self.dg.activate(v) {
-                        *topology_changed = true;
-                    }
-                }
-                0
-            }
-            ChurnEvent::AddEdge(u, v) => {
-                if self.dg.add_edge(u, v).expect("scripted edge must be valid") {
-                    *topology_changed = true;
-                }
-                0
-            }
-            ChurnEvent::RemoveEdge(u, v) => {
-                if self.dg.remove_edge(u, v).expect("scripted edge must be valid") {
-                    *topology_changed = true;
-                }
-                0
-            }
-        }
-    }
-
-    fn deactivate_one<R: Rng + ?Sized>(
-        &mut self,
-        v: NodeId,
-        rng: &mut R,
-        topology_changed: &mut bool,
-    ) -> u64 {
-        match self.deactivate_collect(v, topology_changed) {
-            Some(orphan) => {
-                let tasks = orphan.tasks().to_vec();
-                self.place_orphans(&tasks, rng)
-            }
-            None => 0,
-        }
-    }
-
-    /// Deactivate `v` (unless it is the last active resource) and take
-    /// its stack without re-placing the tasks yet.
-    fn deactivate_collect(
-        &mut self,
-        v: NodeId,
-        topology_changed: &mut bool,
-    ) -> Option<ResourceStack> {
-        if !self.dg.is_active(v) || self.dg.num_active() <= 1 {
-            return None;
-        }
-        self.dg.deactivate(v);
-        *topology_changed = true;
-        Some(std::mem::take(&mut self.stacks[v as usize]))
-    }
-
-    /// Re-place drained tasks on uniformly random surviving resources;
-    /// returns how many were placed.
-    fn place_orphans<R: Rng + ?Sized>(&mut self, orphans: &[TaskId], rng: &mut R) -> u64 {
-        if orphans.is_empty() {
-            return 0;
-        }
-        let survivors = self.active_ids();
-        for &t in orphans {
-            let dest = survivors[rng.gen_range(0..survivors.len())];
-            self.stacks[dest as usize].push(t, self.weights[t as usize]);
-        }
-        orphans.len() as u64
-    }
-
-    fn active_ids(&self) -> Vec<NodeId> {
-        (0..self.dg.num_nodes() as NodeId).filter(|&v| self.dg.is_active(v)).collect()
-    }
-
-    fn arrival_destination<R: Rng + ?Sized>(&self, active: &[NodeId], rng: &mut R) -> NodeId {
-        match self.cfg.arrival_placement {
-            ArrivalPlacement::Uniform => active[rng.gen_range(0..active.len())],
-            ArrivalPlacement::HotSpot(v) => {
-                if self.dg.is_active(v) {
-                    v
-                } else {
-                    active[0]
-                }
-            }
-            ArrivalPlacement::MostLoaded => active
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    self.stacks[a as usize]
-                        .load()
-                        .partial_cmp(&self.stacks[b as usize].load())
-                        .expect("loads are finite")
-                        // Ties go to the lowest id: prefer `a` on equal.
-                        .then(b.cmp(&a))
-                })
-                .expect("at least one active resource"),
-        }
     }
 }
 
@@ -637,6 +495,21 @@ mod tests {
         let b = OnlineSim::new(torus2d(4, 4), quick_cfg("det")).run();
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn sharded_runs_match_the_single_shard_reference() {
+        // The online acceptance form of the shard-invariance law: whole
+        // reports (every record field, bit for bit) are independent of
+        // the shard count.
+        let mut cfg = quick_cfg("shards");
+        cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 };
+        let reference = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+        for shards in [2usize, 3, 7, 16] {
+            cfg.shards = shards;
+            let sharded = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+            assert_eq!(sharded, reference, "shard count {shards} diverged");
+        }
     }
 
     #[test]
@@ -760,6 +633,19 @@ mod tests {
         let last = report.last().unwrap();
         assert!(last.balanced, "mixed pass did not converge: {last:?}");
         assert_eq!(last.arrivals, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only the resource-controlled policy rebalances sharded")]
+    fn sequential_policies_reject_sharding() {
+        let mut cfg = quick_cfg("mixed-sharded");
+        cfg.rebalance = RebalancePolicy::Mixed {
+            departure: Departure::Bernoulli,
+            alpha: 1.0,
+            walk: WalkKind::MaxDegree,
+        };
+        cfg.shards = 2;
+        let _ = OnlineSim::new(complete(4), cfg);
     }
 
     #[test]

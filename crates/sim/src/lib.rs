@@ -19,9 +19,24 @@
 //! ([`TenantSpec`]), and every epoch emits a fixed-shape
 //! [`EpochRecord`]; a run serializes to JSON as a [`SimReport`].
 //!
-//! Runs are bit-reproducible across thread counts: the engine is
-//! sequential and each epoch draws from its own [`epoch_seed`]-derived
-//! RNG.
+//! ## Architecture: state, scheduler, shards
+//!
+//! The engine is split into a *state* half ([`SimState`] in [`state`]:
+//! the churn overlay, walk snapshot, stacks, and task tables, plus the
+//! event primitives that mutate them) and a *scheduler* half
+//! ([`OnlineSim`] in [`engine`]: the epoch loop deciding when churn,
+//! departures, arrivals, and the rebalancing pass run). The
+//! resource-controlled rebalancing pass runs through the **sharded
+//! engine** ([`ShardedEngine`] in [`shard`]): the stacks split into
+//! contiguous node-range fragments (`tlb_core::fragment`), each stepped
+//! as one task on the persistent rayon pool, with cross-shard walk
+//! handoffs batched at round boundaries.
+//!
+//! Runs are bit-reproducible across thread counts **and shard counts**:
+//! each epoch's churn/departure/arrival draws come from its own
+//! [`epoch_seed`]-derived sequential RNG, and the sharded pass draws
+//! counter-based walk words that are a pure function of
+//! `(seed, epoch, round, node, slot)` — see [`shard`] for the law.
 //!
 //! ## Quickstart
 //!
@@ -48,11 +63,15 @@ pub mod arrivals;
 pub mod churn;
 pub mod engine;
 pub mod metrics;
+pub mod shard;
+pub mod state;
 pub mod tenants;
 
 pub use arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
 pub use churn::{ChurnEvent, ChurnProcess};
 pub use engine::{epoch_seed, OnlineSim, RebalancePolicy, SimConfig};
 pub use metrics::{EpochRecord, SimReport};
+pub use shard::ShardedEngine;
+pub use state::SimState;
 pub use tenants::{TenantSet, TenantSpec};
 pub use tlb_baselines::BaselineRule;

@@ -1,0 +1,394 @@
+//! The sharded rebalancing engine: Algorithm 5.1 rounds over
+//! fragment-partitioned state, stepped in parallel on the rayon pool.
+//!
+//! ## Shard model
+//!
+//! The node id space is split into contiguous ranges by a
+//! [`Partition`]; each shard owns the [`StackFragment`] of its range.
+//! One protocol round runs in three phases:
+//!
+//! 1. **eject + walk** (parallel, one task per shard): every overloaded
+//!    resource in the shard ejects its cutting/above tasks in ascending
+//!    node order, and each ejected task takes one walk step, producing
+//!    the shard's *outbox* of `(task, destination)` handoffs;
+//! 2. **route** (sequential barrier): outboxes are concatenated in shard
+//!    order — which by contiguity *is* the global ascending-node-order
+//!    cohort of the sequential stepper — and routed into per-destination
+//!    shard inboxes, preserving that order;
+//! 3. **apply** (parallel): each shard pushes its inbox in routed order
+//!    and reports whether its range is balanced; the round is globally
+//!    balanced iff every shard is.
+//!
+//! ## Determinism: counter-based walk words
+//!
+//! Parallel shards cannot share a sequential RNG without making the
+//! stream depend on scheduling. Instead, the walk word of the ejected
+//! task with per-source slot `s` on node `v` in round `r` is the
+//! *counter-based* draw `mix(mix(stream_seed, r), v · 2³² + s)` where
+//! `mix` is the engine's splitmix64 [`epoch_seed`] finalizer — a pure
+//! function of `(stream_seed, r, v, s)`, independent of shard count,
+//! thread count, and scheduling order. The word is mapped to a
+//! destination by [`walk_dest`], which reproduces the batched kernel's
+//! one-word-per-walker law (`tlb_walks::BatchWalker`) bit for bit: the
+//! same Lemire widening multiply for the slot, the same top-bit fused
+//! stay-coin for the lazy walk. Distribution equivalence against the
+//! exact transition matrix is chi-square-pinned in this module's tests —
+//! the justification, per the repo's RNG stream policy, for the one-time
+//! golden re-pin that moving the online resource-policy path onto this
+//! engine required.
+//!
+//! Because every phase is a pure function of the phase inputs and the
+//! rayon shim's `collect` preserves input order, a run is bit-identical
+//! across `RAYON_NUM_THREADS` *and* across shard counts; the engine at
+//! `shards = 1` is the reference sequential semantics.
+
+use rayon::prelude::*;
+use tlb_core::fragment::StackFragment;
+use tlb_core::stack::ResourceStack;
+use tlb_core::task::TaskId;
+use tlb_graphs::{Graph, NodeId, Partition};
+use tlb_walks::WalkKind;
+
+use crate::engine::epoch_seed;
+
+/// Domain-separation tag deriving the rebalance stream from an epoch
+/// seed (see [`rebalance_seed`]).
+const REBALANCE_STREAM_TAG: u64 = 0x5AAD_ED00_31C7_B21F;
+
+/// Seed of the counter-based rebalance stream for `epoch`: a splitmix
+/// chain off the engine's base seed, domain-separated from the epoch's
+/// sequential churn/arrival RNG so neither stream can alias the other.
+#[inline]
+pub fn rebalance_seed(base_seed: u64, epoch: u64) -> u64 {
+    epoch_seed(epoch_seed(base_seed, epoch), REBALANCE_STREAM_TAG)
+}
+
+/// The counter-based walk word for the ejected task with per-source slot
+/// index `slot` on node `v` under `round_seed` (see the module docs).
+/// Slot indices count a node's ejections within one round bottom-to-top.
+#[inline]
+pub fn walk_word(round_seed: u64, v: NodeId, slot: u64) -> u64 {
+    debug_assert!(slot < u32::MAX as u64, "per-node ejection slot overflowed u32");
+    epoch_seed(round_seed, ((v as u64) << 32) | slot)
+}
+
+/// Map one walk word to a destination — the batched kernel's per-word
+/// law (`tlb_walks::BatchWalker::step_batch`), bit for bit:
+///
+/// * **max-degree**: `slot = lemire(word, Δ)`; move to `neighbors(v)[slot]`
+///   if in range, else the `(Δ − deg v)/Δ` self-loop mass stays;
+/// * **lazy**: top bit is the stay-coin; the remaining bits, re-aligned,
+///   drive the max-degree slot.
+///
+/// An edgeless graph (`Δ = 0`) always stays.
+///
+/// # Panics
+/// For [`WalkKind::Simple`] — undefined on the isolated nodes churn
+/// creates; the engine rejects it at config validation.
+#[inline]
+pub fn walk_dest(g: &Graph, kind: WalkKind, v: NodeId, word: u64) -> NodeId {
+    let d = g.max_degree() as u64;
+    if d == 0 {
+        return v;
+    }
+    match kind {
+        WalkKind::MaxDegree => {
+            let slot = rand::lemire_u64(word, d) as usize;
+            let nbrs = g.neighbors(v);
+            if slot < nbrs.len() {
+                nbrs[slot]
+            } else {
+                v
+            }
+        }
+        WalkKind::Lazy => {
+            if word >> 63 != 0 {
+                return v;
+            }
+            let slot = rand::lemire_u64(word << 1, d) as usize;
+            let nbrs = g.neighbors(v);
+            if slot < nbrs.len() {
+                nbrs[slot]
+            } else {
+                v
+            }
+        }
+        WalkKind::Simple => panic!("the simple walk cannot drive the sharded engine"),
+    }
+}
+
+/// A resumable sharded rebalancing pass: the resource-controlled
+/// protocol's round loop over fragment-partitioned stacks. Construct
+/// from live stepper state with [`ShardedEngine::from_parts`], drive
+/// with [`ShardedEngine::run`], and take the stacks back with
+/// [`ShardedEngine::into_parts`] — the same resume surface the
+/// sequential steppers expose, minus the RNG (the engine draws its
+/// counter-based stream from the seed passed to `run`).
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    partition: Partition,
+    fragments: Vec<StackFragment>,
+    threshold: f64,
+    walk: WalkKind,
+    max_rounds: u64,
+    rounds: u64,
+    migrations: u64,
+    balanced: bool,
+}
+
+impl ShardedEngine {
+    /// Split `stacks` (a stepper's `into_parts()` surface) into
+    /// `partition`'s fragments and set up a pass enforcing `threshold`
+    /// with up to `max_rounds` rounds of `walk` steps.
+    ///
+    /// # Panics
+    /// If the partition does not cover exactly `stacks.len()` nodes.
+    pub fn from_parts(
+        stacks: Vec<ResourceStack>,
+        partition: Partition,
+        threshold: f64,
+        walk: WalkKind,
+        max_rounds: u64,
+    ) -> Self {
+        let fragments = StackFragment::split(stacks, &partition);
+        let balanced = fragments.iter().all(|f| f.is_balanced(threshold));
+        ShardedEngine {
+            partition,
+            fragments,
+            threshold,
+            walk,
+            max_rounds,
+            rounds: 0,
+            migrations: 0,
+            balanced,
+        }
+    }
+
+    /// Run rounds until balanced or the round budget is spent. `weights`
+    /// is the global task-weight table; `stream_seed` roots the
+    /// counter-based walk stream (see [`rebalance_seed`]).
+    pub fn run(&mut self, g: &Graph, weights: &[f64], stream_seed: u64) {
+        while !self.balanced && self.rounds < self.max_rounds {
+            let round_seed = epoch_seed(stream_seed, self.rounds);
+            self.round(g, weights, round_seed);
+        }
+    }
+
+    /// One three-phase round (see the module docs).
+    fn round(&mut self, g: &Graph, weights: &[f64], round_seed: u64) {
+        let threshold = self.threshold;
+        let walk = self.walk;
+        // Phase 1: eject + walk, one pool task per shard. Each outbox is
+        // in ascending (node, slot) order within its shard.
+        let fragments = std::mem::take(&mut self.fragments);
+        let ejected: Vec<(StackFragment, Vec<(TaskId, NodeId)>)> = fragments
+            .into_par_iter()
+            .map(|mut frag| {
+                let mut cohort: Vec<TaskId> = Vec::new();
+                let mut sources: Vec<NodeId> = Vec::new();
+                frag.eject_overloaded(threshold, weights, &mut cohort, &mut sources);
+                let mut outbox = Vec::with_capacity(cohort.len());
+                let mut prev = NodeId::MAX;
+                let mut slot = 0u64;
+                for (&t, &v) in cohort.iter().zip(&sources) {
+                    slot = if v == prev { slot + 1 } else { 0 };
+                    prev = v;
+                    let dest = walk_dest(g, walk, v, walk_word(round_seed, v, slot));
+                    outbox.push((t, dest));
+                }
+                (frag, outbox)
+            })
+            .collect();
+        // Phase 2: route handoffs. Iterating shards in order keeps each
+        // inbox in canonical global cohort order, so the apply phase
+        // stacks arrivals exactly as the sequential stepper would.
+        let mut inboxes: Vec<Vec<(TaskId, NodeId)>> = vec![Vec::new(); self.partition.num_shards()];
+        for (_, outbox) in &ejected {
+            self.migrations += outbox.len() as u64;
+            for &(t, dest) in outbox {
+                inboxes[self.partition.shard_of(dest)].push((t, dest));
+            }
+        }
+        // Phase 3: apply inboxes and check balance per shard.
+        let work: Vec<(StackFragment, Vec<(TaskId, NodeId)>)> =
+            ejected.into_iter().map(|(f, _)| f).zip(inboxes).collect();
+        let applied: Vec<(StackFragment, bool)> = work
+            .into_par_iter()
+            .map(|(mut frag, inbox)| {
+                for (t, dest) in inbox {
+                    frag.push(dest, t, weights[t as usize]);
+                }
+                let balanced = frag.is_balanced(threshold);
+                (frag, balanced)
+            })
+            .collect();
+        self.balanced = applied.iter().all(|&(_, ok)| ok);
+        self.fragments = applied.into_iter().map(|(f, _)| f).collect();
+        self.rounds += 1;
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total walk steps taken (every ejected task counts, stays included
+    /// — the sequential steppers' convention).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Whether no resource exceeded the threshold after the last round.
+    pub fn is_balanced(&self) -> bool {
+        self.balanced
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.partition.num_shards()
+    }
+
+    /// Reassemble and return the flat per-resource stacks.
+    pub fn into_parts(self) -> Vec<ResourceStack> {
+        StackFragment::join(self.fragments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use tlb_graphs::generators::{complete, star, torus2d};
+    use tlb_walks::{BatchWalker, TransitionMatrix};
+
+    /// An `RngCore` replaying a fixed word list — drives the real batched
+    /// kernel with chosen words to pin `walk_dest` to its per-word law.
+    struct FixedWords(Vec<u64>, usize);
+    impl RngCore for FixedWords {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.0[self.1];
+            self.1 += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn walk_dest_matches_the_batched_kernel_per_word() {
+        // Irregular (star: hub 24, leaves 1) and regular (torus) graphs
+        // cover both kernel paths; a word sweep covers both coin halves.
+        for g in [star(25), torus2d(5, 5)] {
+            for kind in [WalkKind::MaxDegree, WalkKind::Lazy] {
+                for (i, v) in (0..g.num_nodes() as NodeId).enumerate() {
+                    let word = epoch_seed(0xD15EA5E, i as u64);
+                    let mut pos = vec![v];
+                    let mut rng = FixedWords(vec![word], 0);
+                    BatchWalker::new().step_batch(&g, kind, &mut pos, &mut rng);
+                    assert_eq!(
+                        walk_dest(&g, kind, v, word),
+                        pos[0],
+                        "{kind:?} diverged from the kernel at {v} word {word:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Chi-square pin (the re-pin justification per the stream policy):
+    /// counter-based words drive `walk_dest` to the exact one-step
+    /// transition law, just as the sequential stream does.
+    #[test]
+    fn counter_words_reproduce_the_transition_row() {
+        let graphs: Vec<(&str, Graph, NodeId)> = vec![
+            ("star_hub", star(8), 0),
+            ("torus", torus2d(4, 4), 5),
+            ("complete", complete(6), 2),
+        ];
+        let total = 120_000u64;
+        for (name, g, start) in &graphs {
+            for kind in [WalkKind::MaxDegree, WalkKind::Lazy] {
+                let probs = TransitionMatrix::build(g, kind);
+                let probs = probs.matrix().row(*start as usize);
+                let mut counts = vec![0u64; g.num_nodes()];
+                for i in 0..total {
+                    // Vary both the round seed and the slot, as the
+                    // engine does across rounds and stack positions.
+                    let word = walk_word(epoch_seed(7, i / 97), *start, i % 97);
+                    counts[walk_dest(g, kind, *start, word) as usize] += 1;
+                }
+                let (mut stat, mut df) = (0.0f64, 0usize);
+                for (&c, &p) in counts.iter().zip(probs) {
+                    if p <= 0.0 {
+                        assert_eq!(c, 0, "mass on a zero-probability destination");
+                        continue;
+                    }
+                    let e = p * total as f64;
+                    stat += (c as f64 - e) * (c as f64 - e) / e;
+                    df += 1;
+                }
+                let df = df.saturating_sub(1);
+                // χ²(df, 0.999) upper bound, as in tlb_walks::batch.
+                let crit = df as f64 + 4.0 * (2.0 * df as f64).sqrt() + 10.0;
+                assert!(
+                    if df == 0 { stat == 0.0 } else { stat < crit },
+                    "{name}/{kind:?}: chi2 {stat:.2} >= {crit:.2} (df {df})"
+                );
+            }
+        }
+    }
+
+    fn loaded_stacks(n: usize, tasks_on: &[(NodeId, usize)]) -> (Vec<ResourceStack>, Vec<f64>) {
+        let mut stacks = vec![ResourceStack::new(); n];
+        let mut weights = Vec::new();
+        for &(v, k) in tasks_on {
+            for i in 0..k {
+                let id = weights.len() as TaskId;
+                weights.push(1.0 + (i % 3) as f64);
+                stacks[v as usize].push(id, weights[id as usize]);
+            }
+        }
+        (stacks, weights)
+    }
+
+    #[test]
+    fn output_is_invariant_to_shard_count() {
+        let g = torus2d(6, 6);
+        let (stacks, weights) = loaded_stacks(36, &[(0, 40), (17, 25), (35, 10)]);
+        let run_at = |k: usize| {
+            let p = Partition::contiguous(36, k);
+            let mut eng =
+                ShardedEngine::from_parts(stacks.clone(), p, 5.0, WalkKind::MaxDegree, 64);
+            eng.run(&g, &weights, 0xFEED);
+            (eng.rounds(), eng.migrations(), eng.is_balanced(), eng.into_parts())
+        };
+        let reference = run_at(1);
+        for k in [2usize, 3, 5, 8, 36] {
+            assert_eq!(run_at(k), reference, "shard count {k} diverged");
+        }
+        assert!(reference.2, "reference run should balance on the torus");
+    }
+
+    #[test]
+    fn from_parts_into_parts_round_trips_without_rounds() {
+        let (stacks, _) = loaded_stacks(10, &[(2, 5), (7, 3)]);
+        for k in [1usize, 2, 4, 10] {
+            let p = Partition::contiguous(10, k);
+            let eng =
+                ShardedEngine::from_parts(stacks.clone(), p, f64::INFINITY, WalkKind::Lazy, 8);
+            assert!(eng.is_balanced());
+            assert_eq!(eng.into_parts(), stacks);
+        }
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let g = complete(4);
+        // All load on one node, threshold so tight it cannot balance.
+        let (stacks, weights) = loaded_stacks(4, &[(0, 50)]);
+        let p = Partition::contiguous(4, 2);
+        let mut eng = ShardedEngine::from_parts(stacks, p, 0.5, WalkKind::MaxDegree, 6);
+        eng.run(&g, &weights, 9);
+        assert_eq!(eng.rounds(), 6);
+        assert!(!eng.is_balanced());
+        assert!(eng.migrations() > 0);
+    }
+}

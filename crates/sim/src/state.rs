@@ -1,0 +1,253 @@
+//! The engine's *state* half: everything an online run owns, with the
+//! event-application primitives that mutate it — no scheduling.
+//!
+//! [`SimState`] bundles the churn overlay, its CSR walk snapshot, the
+//! per-resource stacks, and the task tables (weights, tenant indices,
+//! recycled id slots). The *scheduler* half — the epoch loop in
+//! [`crate::engine`] that decides **when** churn, departures, arrivals,
+//! and the rebalancing pass run, and which engine runs the pass — calls
+//! into these primitives. The split is what makes sharding possible: the
+//! scheduler can hand the stacks to the parallel
+//! [`crate::shard::ShardedEngine`] (or a sequential `tlb-core` stepper)
+//! without either engine knowing how the state is stored between epochs.
+
+use rand::Rng;
+use tlb_core::stack::ResourceStack;
+use tlb_core::task::TaskId;
+use tlb_graphs::{DynamicGraph, Graph, NodeId};
+
+use crate::arrivals::ArrivalPlacement;
+use crate::churn::ChurnEvent;
+
+/// All state an online simulation owns between epochs (see the module
+/// docs for the state/scheduler split).
+#[derive(Debug, Clone)]
+pub struct SimState {
+    /// The churn overlay.
+    pub(crate) dg: DynamicGraph,
+    /// CSR snapshot of the effective graph the walk kernels use;
+    /// refreshed whenever churn changes the topology.
+    pub(crate) walk_graph: Graph,
+    /// Per-resource stacks (index = resource id).
+    pub(crate) stacks: Vec<ResourceStack>,
+    /// Weight slot per task id; slots of departed tasks are recycled via
+    /// `free_ids`, so memory tracks the live population, not the arrival
+    /// total.
+    pub(crate) weights: Vec<f64>,
+    /// Tenant index per task id (parallel to `weights`).
+    pub(crate) tenant_of: Vec<u16>,
+    pub(crate) free_ids: Vec<TaskId>,
+    pub(crate) live: usize,
+    /// Reused per-epoch buffer for departure draws.
+    pub(crate) departed: Vec<TaskId>,
+}
+
+impl SimState {
+    /// Empty state over `base`: all resources active, no tasks.
+    pub(crate) fn new(base: Graph) -> Self {
+        let n = base.num_nodes();
+        let dg = DynamicGraph::new(base);
+        let walk_graph = dg.snapshot();
+        SimState {
+            dg,
+            walk_graph,
+            stacks: vec![ResourceStack::new(); n],
+            weights: Vec::new(),
+            tenant_of: Vec::new(),
+            free_ids: Vec::new(),
+            live: 0,
+            departed: Vec::new(),
+        }
+    }
+
+    /// Re-snapshot the walk graph after churn, compacting the overlay
+    /// first once enough edge deltas accumulated.
+    pub(crate) fn refresh_walk_graph(&mut self, compact_after_ops: usize) {
+        if self.dg.delta_ops() >= compact_after_ops {
+            self.dg.compact();
+        }
+        self.walk_graph = self.dg.snapshot();
+    }
+
+    /// Apply one churn event. Deactivating a resource drains its tasks to
+    /// uniformly random surviving resources (the orchestrator's forced
+    /// migration — these do not count as protocol migrations). Returns
+    /// the number of drained tasks. Deactivation of the last active
+    /// resource is skipped: the system never loses all capacity.
+    pub(crate) fn apply_event<R: Rng + ?Sized>(
+        &mut self,
+        ev: ChurnEvent,
+        rng: &mut R,
+        topology_changed: &mut bool,
+    ) -> u64 {
+        match ev {
+            ChurnEvent::Deactivate(v) => self.deactivate_one(v, rng, topology_changed),
+            ChurnEvent::Activate(v) => {
+                if self.dg.activate(v) {
+                    *topology_changed = true;
+                }
+                0
+            }
+            ChurnEvent::DeactivateRange { from, to } => {
+                // Take the whole rack down before re-placing anything, so
+                // no task is drained onto a sibling that leaves in the
+                // same event (and then drained again).
+                let mut orphans: Vec<TaskId> = Vec::new();
+                for v in from..to {
+                    if let Some(stack) = self.deactivate_collect(v, topology_changed) {
+                        orphans.extend_from_slice(stack.tasks());
+                    }
+                }
+                self.place_orphans(&orphans, rng)
+            }
+            ChurnEvent::ActivateRange { from, to } => {
+                for v in from..to {
+                    if self.dg.activate(v) {
+                        *topology_changed = true;
+                    }
+                }
+                0
+            }
+            ChurnEvent::AddEdge(u, v) => {
+                if self.dg.add_edge(u, v).expect("scripted edge must be valid") {
+                    *topology_changed = true;
+                }
+                0
+            }
+            ChurnEvent::RemoveEdge(u, v) => {
+                if self.dg.remove_edge(u, v).expect("scripted edge must be valid") {
+                    *topology_changed = true;
+                }
+                0
+            }
+        }
+    }
+
+    fn deactivate_one<R: Rng + ?Sized>(
+        &mut self,
+        v: NodeId,
+        rng: &mut R,
+        topology_changed: &mut bool,
+    ) -> u64 {
+        match self.deactivate_collect(v, topology_changed) {
+            Some(orphan) => {
+                let tasks = orphan.tasks().to_vec();
+                self.place_orphans(&tasks, rng)
+            }
+            None => 0,
+        }
+    }
+
+    /// Deactivate `v` (unless it is the last active resource) and take
+    /// its stack without re-placing the tasks yet.
+    fn deactivate_collect(
+        &mut self,
+        v: NodeId,
+        topology_changed: &mut bool,
+    ) -> Option<ResourceStack> {
+        if !self.dg.is_active(v) || self.dg.num_active() <= 1 {
+            return None;
+        }
+        self.dg.deactivate(v);
+        *topology_changed = true;
+        Some(std::mem::take(&mut self.stacks[v as usize]))
+    }
+
+    /// Re-place drained tasks on uniformly random surviving resources;
+    /// returns how many were placed.
+    fn place_orphans<R: Rng + ?Sized>(&mut self, orphans: &[TaskId], rng: &mut R) -> u64 {
+        if orphans.is_empty() {
+            return 0;
+        }
+        let survivors = self.active_ids();
+        for &t in orphans {
+            let dest = survivors[rng.gen_range(0..survivors.len())];
+            self.stacks[dest as usize].push(t, self.weights[t as usize]);
+        }
+        orphans.len() as u64
+    }
+
+    /// Every live task flips an independent departure coin; freed id
+    /// slots are recycled. Returns the departure count.
+    pub(crate) fn depart_bernoulli<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> u64 {
+        if p <= 0.0 || self.live == 0 {
+            return 0;
+        }
+        self.departed.clear();
+        for stack in self.stacks.iter_mut() {
+            stack.drain_bernoulli_into(p, &self.weights, rng, &mut self.departed);
+        }
+        let departures = self.departed.len() as u64;
+        self.live -= self.departed.len();
+        self.free_ids.append(&mut self.departed);
+        departures
+    }
+
+    /// Admit one arriving task: assign an id slot (recycled if possible),
+    /// record its weight and tenant, and stack it on `dest`.
+    pub(crate) fn admit(&mut self, weight: f64, tenant: u16, dest: NodeId) {
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.weights[id as usize] = weight;
+                self.tenant_of[id as usize] = tenant;
+                id
+            }
+            None => {
+                self.weights.push(weight);
+                self.tenant_of.push(tenant);
+                (self.weights.len() - 1) as TaskId
+            }
+        };
+        self.stacks[dest as usize].push(id, weight);
+        self.live += 1;
+    }
+
+    pub(crate) fn active_ids(&self) -> Vec<NodeId> {
+        (0..self.dg.num_nodes() as NodeId).filter(|&v| self.dg.is_active(v)).collect()
+    }
+
+    /// Pick the resource an arrival lands on under `placement`.
+    pub(crate) fn arrival_destination<R: Rng + ?Sized>(
+        &self,
+        placement: ArrivalPlacement,
+        active: &[NodeId],
+        rng: &mut R,
+    ) -> NodeId {
+        match placement {
+            ArrivalPlacement::Uniform => active[rng.gen_range(0..active.len())],
+            ArrivalPlacement::HotSpot(v) => {
+                if self.dg.is_active(v) {
+                    v
+                } else {
+                    active[0]
+                }
+            }
+            ArrivalPlacement::MostLoaded => active
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    self.stacks[a as usize]
+                        .load()
+                        .partial_cmp(&self.stacks[b as usize].load())
+                        .expect("loads are finite")
+                        // Ties go to the lowest id: prefer `a` on equal.
+                        .then(b.cmp(&a))
+                })
+                .expect("at least one active resource"),
+        }
+    }
+
+    /// Total live weight.
+    pub(crate) fn total_weight(&self) -> f64 {
+        self.stacks.iter().map(ResourceStack::load).sum()
+    }
+
+    /// Largest live task weight (0 when empty).
+    pub(crate) fn live_w_max(&self) -> f64 {
+        self.stacks
+            .iter()
+            .flat_map(|s| s.tasks().iter())
+            .map(|&t| self.weights[t as usize])
+            .fold(0.0, f64::max)
+    }
+}

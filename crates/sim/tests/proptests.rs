@@ -1,0 +1,133 @@
+//! Property-based tests for the sharded online engine: shard-count
+//! invariance of whole churned runs and the fragment resume surface.
+//!
+//! The unit tests in `tlb_sim::shard` pin the walk-word law against the
+//! batched kernel and chi-square the transition row; these properties
+//! check the *system-level* contract — a full `OnlineSim` run (arrivals,
+//! departures, scripted + stochastic churn) produces the identical
+//! report at every shard count, and `from_parts`/`into_parts` is a
+//! lossless resume surface at every partition.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlb_core::stack::ResourceStack;
+use tlb_graphs::generators::random_regular;
+use tlb_graphs::Partition;
+use tlb_sim::{
+    ArrivalProcess, ChurnEvent, ChurnProcess, OnlineSim, RebalancePolicy, ShardedEngine, SimConfig,
+};
+use tlb_walks::WalkKind;
+
+/// A churned open-system scenario on whatever graph the test supplies:
+/// streaming arrivals, Bernoulli departures, a scripted rack drain with
+/// later recovery, plus stochastic resource flapping.
+fn churned_cfg(walk: WalkKind, seed: u64, epochs: u64, shards: usize) -> SimConfig {
+    SimConfig {
+        name: "prop".into(),
+        epochs,
+        seed,
+        arrivals: ArrivalProcess::Poisson { rate: 30.0 },
+        departure_prob: 0.04,
+        churn: ChurnProcess {
+            scripted: vec![
+                (1, ChurnEvent::DeactivateRange { from: 3, to: 9 }),
+                (3, ChurnEvent::ActivateRange { from: 3, to: 9 }),
+            ],
+            random_down: 0.3,
+            random_up: 0.4,
+        },
+        rebalance: RebalancePolicy::Resource { walk },
+        rounds_per_epoch: 24,
+        shards,
+        ..Default::default()
+    }
+}
+
+/// Arbitrary per-node stacks (task ids are globally unique; weights in
+/// `1..=4`), returned with the flat weight table indexed by task id.
+fn arb_stacks() -> impl Strategy<Value = (Vec<ResourceStack>, Vec<f64>)> {
+    proptest::collection::vec(proptest::collection::vec(1u32..5, 0..6), 4..40).prop_map(
+        |per_node| {
+            let mut stacks = Vec::with_capacity(per_node.len());
+            let mut weights = Vec::new();
+            for tasks in per_node {
+                let mut stack = ResourceStack::new();
+                for w in tasks {
+                    let id = weights.len() as u32;
+                    weights.push(w as f64);
+                    stack.push(id, w as f64);
+                }
+                stacks.push(stack);
+            }
+            (stacks, weights)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A full churned run of the resource policy reports identically at
+    /// every shard count, for both walk kinds, on a random expander.
+    #[test]
+    fn sharded_report_is_invariant_to_shard_count(
+        walk in prop_oneof![Just(WalkKind::MaxDegree), Just(WalkKind::Lazy)],
+        n in 16usize..48,
+        shards in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let reference = OnlineSim::new(g.clone(), churned_cfg(walk, seed, 6, 1)).run();
+        let sharded = OnlineSim::new(g, churned_cfg(walk, seed, 6, shards)).run();
+        prop_assert_eq!(reference, sharded);
+    }
+
+    /// `from_parts` → `into_parts` with no rounds run is the identity on
+    /// the stacks, at every shard count (including more shards than
+    /// nodes, which the partition clamps).
+    #[test]
+    fn fragment_surface_round_trips(
+        workload in arb_stacks(),
+        shards in 1usize..64,
+    ) {
+        let (stacks, _weights) = workload;
+        let partition = Partition::contiguous(stacks.len(), shards);
+        let engine = ShardedEngine::from_parts(
+            stacks.clone(),
+            partition,
+            1e18, // everything under threshold: constructor marks it balanced
+            WalkKind::MaxDegree,
+            8,
+        );
+        prop_assert!(engine.is_balanced());
+        prop_assert_eq!(engine.rounds(), 0);
+        prop_assert_eq!(engine.into_parts(), stacks);
+    }
+
+    /// Running a sharded pass conserves the task multiset and total
+    /// weight regardless of the partition.
+    #[test]
+    fn sharded_pass_conserves_tasks(
+        workload in arb_stacks(),
+        shards in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let (stacks, weights) = workload;
+        let n = stacks.len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let total: f64 = weights.iter().sum();
+        let threshold = (total / n as f64) * 1.2 + 1e-9;
+        let partition = Partition::contiguous(n, shards);
+        let mut engine =
+            ShardedEngine::from_parts(stacks, partition, threshold, WalkKind::Lazy, 16);
+        engine.run(&g, &weights, seed);
+        let after = engine.into_parts();
+        prop_assert_eq!(after.len(), n);
+        let after_total: f64 = after.iter().map(|s| s.load()).sum();
+        prop_assert!((after_total - total).abs() < 1e-6,
+            "weight not conserved: {} vs {}", after_total, total);
+    }
+}

@@ -213,6 +213,18 @@ impl_serde_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 /// Look up `key` in an object's pair list (derive-macro helper).
 /// A missing key is an error, matching real serde's behavior for fields
 /// without `#[serde(default)]`.

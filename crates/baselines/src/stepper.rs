@@ -247,6 +247,18 @@ impl BaselineStepper {
         &self.eng.stacks
     }
 
+    /// Weight per task id (freed slots of dynamic callers included).
+    pub fn weights(&self) -> &[f64] {
+        &self.eng.weights
+    }
+
+    /// Largest stacked task weight (0 when empty). The baseline rules
+    /// never read `w_max`, so the checkpoint surface recomputes it over
+    /// the live population instead of storing a dead value.
+    pub fn w_max(&self) -> f64 {
+        tlb_core::protocol::live_w_max(self.stacks(), self.weights())
+    }
+
     /// Execute one round (ejection, baseline re-placement) unless the run
     /// is already done. Returns [`is_done`](Self::is_done) after the
     /// round.
@@ -432,6 +444,14 @@ impl Protocol for BaselineStepper {
 
     fn stacks(&self) -> &[ResourceStack] {
         BaselineStepper::stacks(self)
+    }
+
+    fn weights(&self) -> &[f64] {
+        BaselineStepper::weights(self)
+    }
+
+    fn w_max(&self) -> f64 {
+        BaselineStepper::w_max(self)
     }
 
     fn into_parts(self: Box<Self>) -> (Vec<ResourceStack>, Vec<f64>) {

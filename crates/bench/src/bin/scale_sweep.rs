@@ -147,7 +147,8 @@ fn main() {
         if gi > 0 {
             det_reports.push_str(",\n");
         }
-        write!(det_reports, "  \"n={n}\": {}", report.to_json()).unwrap();
+        write!(det_reports, "  \"n={n}\": {}", report.to_json().expect("report serializes"))
+            .unwrap();
     }
 
     let json = format!(

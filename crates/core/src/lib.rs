@@ -133,7 +133,8 @@ pub mod prelude {
     pub use crate::fragment::StackFragment;
     pub use crate::placement::Placement;
     pub use crate::protocol::{
-        AnyStepper, Protocol, ProtocolKind, ProtocolOutcome, ProtocolSpec, RoundEngine,
+        AnyStepper, Protocol, ProtocolKind, ProtocolOutcome, ProtocolParts, ProtocolSpec,
+        RoundEngine,
     };
     pub use crate::resource_protocol::{
         run_resource_controlled, ResourceControlledConfig, ResourceControlledOutcome,

@@ -193,6 +193,18 @@ impl MixedStepper {
         &self.eng.stacks
     }
 
+    /// Weight per task id (freed slots of dynamic callers included).
+    pub fn weights(&self) -> &[f64] {
+        &self.eng.weights
+    }
+
+    /// The `w_max` this run's departure probabilities divide by — part of
+    /// the resume surface, so a checkpointed stepper restarts with the
+    /// identical migration law.
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
     /// Execute one round unless the run is already done. Returns
     /// [`is_done`](Self::is_done) after the round.
     pub fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) -> bool {

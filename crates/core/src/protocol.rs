@@ -88,6 +88,40 @@ impl ProtocolOutcome {
     }
 }
 
+/// Largest weight among the *stacked* tasks (0 when no task is stacked).
+/// The checkpoint surface of variants that never read `w_max` uses this
+/// instead of carrying a dead value around.
+pub fn live_w_max(stacks: &[ResourceStack], weights: &[f64]) -> f64 {
+    stacks
+        .iter()
+        .flat_map(|s| s.tasks().iter())
+        .map(|&t| weights[t as usize])
+        .fold(0.0, f64::max)
+}
+
+/// The serializable resume surface of a protocol stepper: everything
+/// [`ProtocolSpec::resume`] needs to rebuild one, captured by
+/// [`Protocol::snapshot_parts`]. Counters (rounds, migrations) are *not*
+/// part of it — they are per-pass accounting a dynamic caller reads off
+/// before checkpointing, and a resumed stepper starts its own pass.
+///
+/// Pair it with a [`ProtocolKind`] (or a `ProtocolSpec::Config`) to get
+/// a running stepper back: `kind.resume_parts(parts)` is bit-identical
+/// to the stepper the parts were taken from, for every variant and the
+/// baseline adapters (proptested in `tests/proptests.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolParts {
+    /// Per-resource stacks (index = resource id).
+    pub stacks: Vec<ResourceStack>,
+    /// Weight per task id.
+    pub weights: Vec<f64>,
+    /// The threshold the pass balances against.
+    pub threshold: f64,
+    /// The `w_max` the user/mixed migration law divides by (recomputed
+    /// over the stacked tasks for variants that never read it).
+    pub w_max: f64,
+}
+
 /// The shared round state every protocol stepper embeds (see the module
 /// docs). Variant `step` implementations work directly on the public
 /// buffers between [`begin_round`](Self::begin_round) and
@@ -278,6 +312,26 @@ pub trait Protocol {
     /// The per-resource stacks (index = resource id).
     fn stacks(&self) -> &[ResourceStack];
 
+    /// Weight per task id (freed slots of dynamic callers included).
+    fn weights(&self) -> &[f64];
+
+    /// The `w_max` of the resume surface: the value the user/mixed
+    /// migration law divides by, or the live maximum for variants that
+    /// never read it.
+    fn w_max(&self) -> f64;
+
+    /// Capture the serializable resume surface without consuming the
+    /// stepper — the checkpoint half of the
+    /// [`ProtocolParts`]/[`ProtocolKind::resume_parts`] round trip.
+    fn snapshot_parts(&self) -> ProtocolParts {
+        ProtocolParts {
+            stacks: self.stacks().to_vec(),
+            weights: self.weights().to_vec(),
+            threshold: self.threshold(),
+            w_max: self.w_max(),
+        }
+    }
+
     /// Hand the stacks and weight vector back to a dynamic caller.
     fn into_parts(self: Box<Self>) -> (Vec<ResourceStack>, Vec<f64>);
 
@@ -321,6 +375,13 @@ pub trait ProtocolSpec: Protocol + Sized {
         w_max: f64,
         cfg: Self::Config,
     ) -> Self;
+
+    /// Resume from a captured [`ProtocolParts`] (consumes no RNG) — the
+    /// statically typed restore half of
+    /// [`Protocol::snapshot_parts`].
+    fn resume_parts(parts: ProtocolParts, cfg: Self::Config) -> Self {
+        Self::resume(parts.stacks, parts.weights, parts.threshold, parts.w_max, cfg)
+    }
 
     /// Consume the engine into its (statically typed) outcome.
     fn outcome(self) -> Self::Outcome;
@@ -400,6 +461,14 @@ impl ProtocolKind {
             }
         }
     }
+
+    /// Resume a stepper from a captured [`ProtocolParts`] (consumes no
+    /// RNG) — the dynamic restore half of [`Protocol::snapshot_parts`].
+    /// The resumed stepper's future word stream is bit-identical to the
+    /// one it was captured from.
+    pub fn resume_parts(&self, parts: ProtocolParts) -> AnyStepper {
+        self.stepper_from_parts(parts.stacks, parts.weights, parts.threshold, parts.w_max)
+    }
 }
 
 macro_rules! impl_protocol_via_engine {
@@ -431,6 +500,14 @@ macro_rules! impl_protocol_via_engine {
 
             fn stacks(&self) -> &[ResourceStack] {
                 <$stepper>::stacks(self)
+            }
+
+            fn weights(&self) -> &[f64] {
+                <$stepper>::weights(self)
+            }
+
+            fn w_max(&self) -> f64 {
+                <$stepper>::w_max(self)
             }
 
             fn into_parts(self: Box<Self>) -> (Vec<ResourceStack>, Vec<f64>) {
@@ -608,6 +685,66 @@ mod tests {
         let out = second.into_outcome();
         let total: f64 = out.final_loads.iter().sum();
         assert!((total - tasks.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_parts_resume_is_bit_identical_mid_run() {
+        // Pause every variant mid-run, serialize the resume surface
+        // through the JSON tree, resume in a "fresh process", and require
+        // the continuation to match the uninterrupted run exactly. The
+        // user/mixed variants re-draw from the same RNG state; to compare
+        // streams we clone the RNG at the pause point.
+        let g = torus2d(5, 5);
+        let tasks = TaskSet::new((0..180).map(|i| 1.0 + (i % 4) as f64).collect::<Vec<_>>());
+        for kind in [
+            ProtocolKind::Resource(Default::default()),
+            ProtocolKind::User(Default::default()),
+            ProtocolKind::Mixed(Default::default()),
+        ] {
+            let mut r = rng(13);
+            let mut stepper = kind.new_stepper(&g, &tasks, Placement::AllOnOne(0), &mut r);
+            for _ in 0..2 {
+                if stepper.is_done() {
+                    break;
+                }
+                stepper.step(&g, &mut r);
+            }
+            let pre_migrations = stepper.migrations();
+            let parts = stepper.snapshot_parts();
+            let json = serde_json::to_string(&parts).unwrap();
+            let back: ProtocolParts = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, parts, "{}: parts must round-trip bit-exactly", kind.label());
+
+            // A resumed stepper starts its own pass: counters restart at
+            // zero, the word stream continues exactly.
+            let mut resumed = kind.resume_parts(back);
+            let mut r2 = r.clone();
+            resumed.run(&g, &mut r2);
+            stepper.run(&g, &mut r);
+            assert_eq!(
+                pre_migrations + resumed.migrations(),
+                stepper.migrations(),
+                "{}: resumed migrations diverged",
+                kind.label()
+            );
+            let resumed_out = resumed.into_outcome();
+            let direct_out = stepper.into_outcome();
+            assert_eq!(resumed_out.final_loads, direct_out.final_loads, "{}", kind.label());
+            assert_eq!(resumed_out.completed, direct_out.completed, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn w_max_is_preserved_for_the_variants_that_read_it() {
+        let g = complete(8);
+        let mut weights: Vec<f64> = vec![1.0; 40];
+        weights[17] = 9.5;
+        let tasks = TaskSet::new(weights);
+        let kind = ProtocolKind::Mixed(Default::default());
+        let mut r = rng(2);
+        let stepper = kind.new_stepper(&g, &tasks, Placement::AllOnOne(0), &mut r);
+        assert_eq!(stepper.w_max(), 9.5);
+        assert_eq!(stepper.snapshot_parts().w_max, 9.5);
     }
 
     #[test]

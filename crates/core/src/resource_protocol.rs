@@ -183,6 +183,18 @@ impl ResourceControlledStepper {
         &self.eng.stacks
     }
 
+    /// Weight per task id (freed slots of dynamic callers included).
+    pub fn weights(&self) -> &[f64] {
+        &self.eng.weights
+    }
+
+    /// Largest stacked task weight (0 when empty). Algorithm 5.1 never
+    /// reads `w_max`, so the checkpoint surface recomputes it over the
+    /// live population instead of storing a dead value.
+    pub fn w_max(&self) -> f64 {
+        crate::protocol::live_w_max(self.stacks(), self.weights())
+    }
+
     /// Execute one round (removal phase, walk steps, arrival phase) unless
     /// the run is already done. Returns [`is_done`](Self::is_done) after
     /// the round.

@@ -171,6 +171,18 @@ impl UserControlledStepper {
         &self.eng.stacks
     }
 
+    /// Weight per task id (freed slots of dynamic callers included).
+    pub fn weights(&self) -> &[f64] {
+        &self.eng.weights
+    }
+
+    /// The `w_max` this run's departure probabilities divide by — part of
+    /// the resume surface, so a checkpointed stepper restarts with the
+    /// identical migration law.
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
     /// One round of Algorithm 6.1 — the graph-free body `step` wraps.
     fn round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         if self.is_done() {

@@ -1,9 +1,11 @@
 //! Online-simulation driver: streaming arrivals + resource churn +
 //! multi-tenant thresholds, producing the `BENCH_online.json` epoch-metrics
-//! snapshot CI uploads alongside `BENCH_harness.json`.
+//! snapshot CI uploads alongside `BENCH_harness.json` — and, in service
+//! mode, the checkpoint/restore + streaming-metrics soak CI byte-diffs.
 //!
 //! Usage: `online_sim [--quick] [--scenario NAME] [--epochs N] [--seed S]
-//! [--out PATH]`
+//! [--out PATH] [--checkpoint-every N] [--checkpoint PATH]
+//! [--restore PATH] [--metrics-out PATH] [--bench-out PATH]`
 //!
 //! Scenarios:
 //!
@@ -14,6 +16,30 @@
 //!   the tail is a pure convergence phase (the default).
 //! * `cdn-day` — bursty flash-crowd traffic with heavy-tailed object
 //!   sizes on a torus fabric.
+//! * `soak`    — the service-mode scenario: a long run that cycles
+//!   through traffic phases via live `reconfigure()` on a fixed epoch
+//!   grid. The phase schedule is a pure function of `(quick, epoch)` —
+//!   *not* of the total epoch count — so a run restored from a
+//!   checkpoint replays the identical schedule and stays bit-identical
+//!   to the uninterrupted run.
+//!
+//! Service-mode flags (any scenario):
+//!
+//! * `--epochs N` is the **total** target epoch count: a restored run
+//!   continues until the engine has executed `N` epochs overall, so
+//!   `seg1(--epochs 60) + seg2(--restore --epochs 120)` covers exactly
+//!   the epochs of one `--epochs 120` run.
+//! * `--checkpoint-every N` saves a [`SimSnapshot`] to `--checkpoint
+//!   PATH` at every epoch divisible by `N` (the metrics stream is
+//!   flushed first, so the NDJSON on disk never lags the snapshot).
+//! * `--metrics-out PATH` turns record buffering **off** and streams one
+//!   compact JSON [`EpochRecord`] per line to `PATH`; memory stays flat
+//!   no matter how long the run is. Concatenating segment streams must
+//!   reproduce the uninterrupted stream byte for byte — the CI `soak`
+//!   job diffs exactly that, across different `RAYON_NUM_THREADS` per
+//!   segment.
+//! * `--bench-out PATH` writes a small perf JSON (epochs/sec, peak-RSS
+//!   flatness) for the advisory `bench_compare` gate.
 //!
 //! The report JSON contains no wall-clock fields, so two runs with the
 //! same seed are byte-identical regardless of machine or thread count —
@@ -23,8 +49,8 @@ use tlb_core::threshold::ThresholdPolicy;
 use tlb_graphs::generators::{complete, torus2d};
 use tlb_graphs::Graph;
 use tlb_sim::{
-    ArrivalPlacement, ArrivalProcess, ArrivalWeights, ChurnEvent, ChurnProcess, OnlineSim,
-    SimConfig, TenantSpec,
+    ArrivalPlacement, ArrivalProcess, ArrivalWeights, ChurnEvent, ChurnProcess, NdjsonSink,
+    OnlineSim, SimConfig, SimSnapshot, TenantSpec,
 };
 
 struct Args {
@@ -33,6 +59,11 @@ struct Args {
     epochs: Option<u64>,
     seed: u64,
     out: String,
+    checkpoint_every: Option<u64>,
+    checkpoint: String,
+    restore: Option<String>,
+    metrics_out: Option<String>,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +73,11 @@ fn parse_args() -> Args {
         epochs: None,
         seed: 2024,
         out: "BENCH_online.json".into(),
+        checkpoint_every: None,
+        checkpoint: "online_sim.snapshot.json".into(),
+        restore: None,
+        metrics_out: None,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,10 +96,25 @@ fn parse_args() -> Args {
                     it.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--checkpoint-every needs a positive integer"),
+                );
+            }
+            "--checkpoint" => args.checkpoint = it.next().expect("--checkpoint needs a path"),
+            "--restore" => args.restore = Some(it.next().expect("--restore needs a path")),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().expect("--metrics-out needs a path"));
+            }
+            "--bench-out" => args.bench_out = Some(it.next().expect("--bench-out needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: online_sim [--quick] [--scenario steady|churn|cdn-day] \
-                     [--epochs N] [--seed S] [--out PATH]"
+                    "usage: online_sim [--quick] [--scenario steady|churn|cdn-day|soak] \
+                     [--epochs N] [--seed S] [--out PATH] [--checkpoint-every N] \
+                     [--checkpoint PATH] [--restore PATH] [--metrics-out PATH] \
+                     [--bench-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -146,53 +197,196 @@ fn scenario(name: &str, quick: bool, epochs: Option<u64>, seed: u64) -> (SimConf
             };
             (cfg, torus2d(4 * scale, 4 * scale))
         }
-        other => panic!("unknown scenario {other:?} (expected steady / churn / cdn-day)"),
+        "soak" => {
+            let cfg = SimConfig {
+                name: "soak".into(),
+                epochs: epochs.unwrap_or(if quick { 120 } else { 1200 }),
+                seed,
+                arrivals: ArrivalProcess::Poisson { rate: 6.0 * scale as f64 },
+                departure_prob: 0.05,
+                churn: ChurnProcess { scripted: vec![], random_down: 0.03, random_up: 0.06 },
+                tenants: two_tenants(),
+                rounds_per_epoch: 16,
+                ..Default::default()
+            };
+            (cfg, torus2d(4 * scale, 4 * scale))
+        }
+        other => panic!("unknown scenario {other:?} (expected steady / churn / cdn-day / soak)"),
     }
 }
 
-fn main() {
+/// Soak phase period: the schedule flips phase every this many epochs.
+fn soak_period(quick: bool) -> u64 {
+    if quick {
+        30
+    } else {
+        100
+    }
+}
+
+/// The soak scenario's live-reconfiguration schedule: at every epoch on
+/// the phase grid, the config to apply. A pure function of
+/// `(quick, epoch)` and the base config — deliberately *not* of the
+/// total epoch count — so a restored segment recomputes the identical
+/// schedule from its CLI args and the stream stays bit-identical.
+fn soak_phase(base: &SimConfig, quick: bool, epoch: u64) -> Option<SimConfig> {
+    let period = soak_period(quick);
+    if !epoch.is_multiple_of(period) {
+        return None;
+    }
+    let scale = if quick { 1 } else { 4 };
+    let phase = (epoch / period) % 3;
+    Some(match phase {
+        // Equilibrium traffic.
+        0 => base.clone(),
+        // Flash crowd: bursty arrivals, bigger round budget.
+        1 => SimConfig {
+            arrivals: ArrivalProcess::Bursty {
+                base: 4.0 * scale as f64,
+                burst: 30.0 * scale as f64,
+                period: 20,
+                burst_len: 4,
+            },
+            rounds_per_epoch: 24,
+            ..base.clone()
+        },
+        // Overnight drain: trickle arrivals, faster departures.
+        _ => SimConfig {
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 * scale as f64 },
+            departure_prob: 0.10,
+            ..base.clone()
+        },
+    })
+}
+
+/// Peak resident set (VmHWM) in bytes, from `/proc/self/status`.
+/// Inlined rather than taken from `tlb-bench` (which depends on this
+/// crate); returns 0 off Linux.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn main() -> anyhow::Result<()> {
     let args = parse_args();
     let (cfg, base) = scenario(&args.scenario, args.quick, args.epochs, args.seed);
-    let epochs = cfg.epochs;
+    let total = cfg.epochs;
     let n = base.num_nodes();
 
+    let mut sim = match &args.restore {
+        Some(path) => {
+            let snap = SimSnapshot::load(path)?;
+            let resumed = OnlineSim::restore(snap, base)?;
+            println!("restored from {path} at epoch {}", resumed.epoch());
+            resumed
+        }
+        None => OnlineSim::new(base, cfg.clone()),
+    };
+    if let Some(path) = &args.metrics_out {
+        // Service mode: stream the series, keep memory flat.
+        sim.set_record_buffering(false);
+        sim.set_sink(Some(Box::new(NdjsonSink::create(path)?)));
+    }
+
     let started = std::time::Instant::now();
-    let report = OnlineSim::new(base, cfg).run();
+    let start_epoch = sim.epoch();
+    let mut warmup_rss = 0u64;
+    while sim.epoch() < total {
+        let epoch = sim.epoch();
+        if args.scenario == "soak" {
+            if let Some(phase_cfg) = soak_phase(&cfg, args.quick, epoch) {
+                sim.reconfigure(phase_cfg)?;
+            }
+        }
+        sim.try_run_epoch()?;
+        if epoch + 1 == total / 10 {
+            warmup_rss = peak_rss_bytes();
+        }
+        if let Some(every) = args.checkpoint_every {
+            let done = sim.epoch();
+            if done % every == 0 && done < total {
+                sim.checkpoint()?.save(&args.checkpoint)?;
+                println!("checkpoint at epoch {done} -> {}", args.checkpoint);
+            }
+        }
+    }
     let secs = started.elapsed().as_secs_f64();
+    let segment_epochs = sim.epoch() - start_epoch;
+    if let Some(mut sink) = sim.set_sink(None) {
+        sink.flush()?;
+    }
+    if args.checkpoint_every.is_some() && args.restore.is_none() && sim.epoch() == total {
+        // A final snapshot so a follow-on segment can always resume.
+        sim.checkpoint()?.save(&args.checkpoint)?;
+    }
 
-    let json = report.to_json();
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    let report = sim.report();
+    let json = report.to_json()?;
+    std::fs::write(&args.out, &json)
+        .map_err(|e| anyhow::anyhow!("cannot write {}: {e}", args.out))?;
 
-    let last = report.last().expect("at least one epoch");
     println!(
-        "scenario {} on {n} resources: {epochs} epochs in {secs:.2}s ({:.0} epochs/s)",
+        "scenario {} on {n} resources: {segment_epochs} epochs this segment in {secs:.2}s \
+         ({:.0} epochs/s), {} epochs total",
         report.scenario,
-        epochs as f64 / secs
+        segment_epochs as f64 / secs.max(1e-9),
+        sim.epoch()
     );
     println!(
         "  arrivals {} / departures {} / protocol migrations {}",
         report.total_arrivals, report.total_departures, report.total_migrations
     );
     println!(
-        "  balanced epochs {:.1}% / peak load {:.1} / final max load {:.1} (threshold {:.1})",
+        "  balanced epochs {:.1}% / peak load {:.1}",
         report.balanced_fraction * 100.0,
         report.peak_load,
-        last.max_load,
-        last.threshold
     );
     for (name, rate) in report.tenants.iter().zip(&report.tenant_violation_rates) {
         println!("  tenant {name}: SLO violated in {:.1}% of epochs", rate * 100.0);
     }
-    println!(
-        "  final epoch: {} live tasks on {} active resources, balanced = {}",
-        last.live_tasks, last.active_resources, last.balanced
-    );
+    if let Some(last) = report.last() {
+        println!(
+            "  final epoch: {} live tasks on {} active resources, balanced = {} \
+             (max load {:.1}, threshold {:.1})",
+            last.live_tasks, last.active_resources, last.balanced, last.max_load, last.threshold
+        );
+    }
     println!("wrote {}", args.out);
+
+    if let Some(bench_out) = &args.bench_out {
+        let final_rss = peak_rss_bytes();
+        // Flatness: how much the high-water mark grew after warmup. A
+        // leaking record buffer shows up here as a ratio well above 1.
+        let rss_growth = if warmup_rss > 0 { final_rss as f64 / warmup_rss as f64 } else { 1.0 };
+        let bench = format!(
+            "{{\n  \"bench\": \"soak\",\n  \"scenario\": \"{}\",\n  \"quick\": {},\n  \
+             \"epochs\": {},\n  \"secs\": {secs:.4},\n  \"epochs_per_sec\": {:.2},\n  \
+             \"peak_rss_bytes\": {final_rss},\n  \"rss_growth_after_warmup\": {rss_growth:.4}\n}}\n",
+            report.scenario,
+            args.quick,
+            sim.epoch(),
+            segment_epochs as f64 / secs.max(1e-9),
+        );
+        std::fs::write(bench_out, &bench)
+            .map_err(|e| anyhow::anyhow!("cannot write {bench_out}: {e}"))?;
+        println!("wrote {bench_out}");
+    }
 
     // The convergence contract of the churn scenario: after arrivals stop
     // the system must settle back under the threshold.
     if report.scenario == "churn" {
-        assert!(last.balanced, "churn scenario must converge after arrivals stop");
-        assert_eq!(last.arrivals, 0, "tail epochs must be arrival-free");
+        if let Some(last) = report.last() {
+            assert!(last.balanced, "churn scenario must converge after arrivals stop");
+            assert_eq!(last.arrivals, 0, "tail epochs must be arrival-free");
+        }
     }
+    Ok(())
 }

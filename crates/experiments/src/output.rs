@@ -96,7 +96,11 @@ impl Table {
         let csv_path = dir.join(format!("{}.csv", self.name));
         fs::write(&csv_path, self.to_csv())?;
         let json_path = dir.join(format!("{}.json", self.name));
-        fs::write(&json_path, serde_json::to_string_pretty(self).expect("table serializes"))?;
+        // Serialization failure becomes an I/O error for the caller to
+        // handle, not a panic in the middle of a sweep's save pass.
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::other(format!("table {} serializes: {e:?}", self.name)))?;
+        fs::write(&json_path, json)?;
         Ok(csv_path)
     }
 

@@ -24,6 +24,34 @@
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A serializable description of a [`DynamicGraph`]'s divergence from a
+/// *reference* base CSR: the active mask plus the canonical edge diff of
+/// the stored edge set (base − removed + added, ignoring activity)
+/// against the reference's edges. Checkpoints persist this instead of
+/// the graph itself, so a snapshot costs `O(churn)` rather than `O(E)`
+/// bytes and never materializes the base CSR; restoring replays the diff
+/// over a freshly supplied copy of the reference
+/// ([`DynamicGraph::from_delta`]).
+///
+/// The diff is canonical — computed against the reference, not against
+/// the overlay's internal base (which [`DynamicGraph::compact`] rewrites
+/// freely) — so two overlays with the same effective graph produce the
+/// same delta regardless of their compaction history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicDelta {
+    /// Node count of the reference (restore validates against it).
+    pub num_nodes: usize,
+    /// Active mask (index = node id).
+    pub active: Vec<bool>,
+    /// Edges in the stored set but not in the reference, as `(u, v)`
+    /// pairs with `u < v`, sorted.
+    pub added: Vec<(NodeId, NodeId)>,
+    /// Reference edges missing from the stored set, as `(u, v)` pairs
+    /// with `u < v`, sorted.
+    pub removed: Vec<(NodeId, NodeId)>,
+}
 
 /// A CSR base graph plus churn deltas (active mask, added/removed edges).
 #[derive(Debug, Clone)]
@@ -262,6 +290,95 @@ impl DynamicGraph {
     pub fn base(&self) -> &Graph {
         &self.base
     }
+
+    /// Compute the canonical [`DynamicDelta`] of this overlay against
+    /// `reference` — typically the pristine base graph the overlay was
+    /// built over, which the restoring side can regenerate instead of
+    /// shipping. `O(E)` time, `O(churn)` output.
+    ///
+    /// # Panics
+    /// If `reference` has a different node count.
+    pub fn delta_from(&self, reference: &Graph) -> DynamicDelta {
+        assert_eq!(
+            reference.num_nodes(),
+            self.num_nodes(),
+            "delta reference must share the node id space"
+        );
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for v in 0..self.num_nodes() as NodeId {
+            // Stored adjacency of v (sorted): base − removed + added,
+            // ignoring the active mask.
+            let vi = v as usize;
+            let mut stored: Vec<NodeId> = self
+                .base
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| self.removed[vi].binary_search(&u).is_err())
+                .chain(self.added[vi].iter().copied())
+                .filter(|&u| v < u)
+                .collect();
+            stored.sort_unstable();
+            let reference_adj: Vec<NodeId> =
+                reference.neighbors(v).iter().copied().filter(|&u| v < u).collect();
+            for &u in &stored {
+                if reference_adj.binary_search(&u).is_err() {
+                    added.push((v, u));
+                }
+            }
+            for &u in &reference_adj {
+                if stored.binary_search(&u).is_err() {
+                    removed.push((v, u));
+                }
+            }
+        }
+        DynamicDelta { num_nodes: self.num_nodes(), active: self.active.clone(), added, removed }
+    }
+
+    /// Rebuild an overlay from a reference base plus a delta computed by
+    /// [`delta_from`](Self::delta_from) against the same reference. The
+    /// effective graph (and hence [`snapshot`](Self::snapshot)) of the
+    /// result is identical to the overlay the delta was taken from; only
+    /// the internal base/delta split may differ, which
+    /// [`compact`](Self::compact) erases and which never affects the
+    /// effective graph.
+    ///
+    /// # Errors
+    /// [`GraphError::DeltaMismatch`] if the delta's node count or active
+    /// mask does not fit `reference`, a removed edge is absent from it,
+    /// or an added edge is already present; [`GraphError::SelfLoop`] /
+    /// [`GraphError::NodeOutOfRange`] if an edge itself is malformed.
+    pub fn from_delta(reference: Graph, delta: &DynamicDelta) -> Result<Self, GraphError> {
+        let n = reference.num_nodes();
+        if delta.num_nodes != n || delta.active.len() != n {
+            return Err(GraphError::DeltaMismatch(format!(
+                "delta covers {} nodes (mask {}), reference has {n}",
+                delta.num_nodes,
+                delta.active.len()
+            )));
+        }
+        let mut dg = DynamicGraph::new(reference);
+        for &(u, v) in &delta.removed {
+            if !dg.remove_edge(u, v)? {
+                return Err(GraphError::DeltaMismatch(format!(
+                    "removed edge ({u}, {v}) is absent from the reference"
+                )));
+            }
+        }
+        for &(u, v) in &delta.added {
+            if !dg.add_edge(u, v)? {
+                return Err(GraphError::DeltaMismatch(format!(
+                    "added edge ({u}, {v}) already exists in the reference"
+                )));
+            }
+        }
+        dg.active = delta.active.clone();
+        // The replayed ops are not churn the caller scheduled; start the
+        // compaction clock fresh.
+        dg.delta_ops = 0;
+        Ok(dg)
+    }
 }
 
 /// Insert into a sorted vector; returns `false` if already present.
@@ -385,6 +502,76 @@ mod tests {
         assert_eq!(dg.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
         assert!(matches!(dg.add_edge(0, 9), Err(GraphError::NodeOutOfRange { .. })));
         assert!(matches!(dg.remove_edge(9, 0), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    /// Standard churned overlay for the delta tests: a deactivated node,
+    /// an added chord, a removed base edge, and a hidden edge parked on
+    /// the inactive node.
+    fn churned(g: Graph) -> DynamicGraph {
+        let mut dg = DynamicGraph::new(g);
+        dg.deactivate(4);
+        dg.add_edge(0, 8).unwrap();
+        dg.remove_edge(0, 1).unwrap();
+        dg.add_edge(4, 8).unwrap();
+        dg
+    }
+
+    #[test]
+    fn delta_round_trips_through_the_reference() {
+        let g = torus2d(3, 3);
+        let dg = churned(g.clone());
+        let delta = dg.delta_from(&g);
+        assert_eq!(delta.added, vec![(0, 8), (4, 8)]);
+        assert_eq!(delta.removed, vec![(0, 1)]);
+        assert!(!delta.active[4]);
+
+        let back = DynamicGraph::from_delta(g.clone(), &delta).unwrap();
+        assert_eq!(back.snapshot(), dg.snapshot());
+        assert_eq!(back.num_active(), dg.num_active());
+        assert_eq!(back.delta_ops(), 0, "replayed ops are not scheduled churn");
+        // Hidden state matches too: reactivating surfaces the same edges.
+        let mut a = dg.clone();
+        let mut b = back;
+        a.activate(4);
+        b.activate(4);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn delta_is_canonical_across_compaction_history() {
+        let g = torus2d(3, 3);
+        let uncompacted = churned(g.clone());
+        let mut compacted = churned(g.clone());
+        compacted.compact();
+        assert_eq!(uncompacted.delta_from(&g), compacted.delta_from(&g));
+    }
+
+    #[test]
+    fn fresh_overlay_has_an_empty_delta() {
+        let g = complete(5);
+        let delta = DynamicGraph::new(g.clone()).delta_from(&g);
+        assert!(delta.added.is_empty());
+        assert!(delta.removed.is_empty());
+        assert_eq!(delta.active, vec![true; 5]);
+    }
+
+    #[test]
+    fn from_delta_rejects_mismatched_references() {
+        let g = cycle(6);
+        let dg = DynamicGraph::new(g.clone());
+        let mut delta = dg.delta_from(&g);
+
+        let wrong_n = DynamicGraph::from_delta(cycle(5), &delta);
+        assert!(matches!(wrong_n, Err(GraphError::DeltaMismatch(_))));
+
+        delta.removed.push((0, 3)); // not a cycle edge
+        let bad_removed = DynamicGraph::from_delta(g.clone(), &delta);
+        assert!(matches!(bad_removed, Err(GraphError::DeltaMismatch(_))));
+
+        delta.removed.clear();
+        delta.added.push((0, 1)); // already a cycle edge
+        let bad_added = DynamicGraph::from_delta(g, &delta);
+        assert!(matches!(bad_added, Err(GraphError::DeltaMismatch(_))));
     }
 
     #[test]

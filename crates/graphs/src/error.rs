@@ -24,6 +24,10 @@ pub enum GraphError {
     /// retry budget (possible for random regular graphs with adversarial
     /// parameters).
     GenerationFailed(String),
+    /// A checkpoint delta did not match the reference graph it was
+    /// replayed over (wrong node count, or an edge diff the reference
+    /// cannot absorb) — the snapshot and the regenerated base disagree.
+    DeltaMismatch(String),
 }
 
 impl fmt::Display for GraphError {
@@ -35,6 +39,7 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop(v) => write!(f, "self-loop on node {v} (graphs are simple)"),
             GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
             GraphError::GenerationFailed(msg) => write!(f, "generation failed: {msg}"),
+            GraphError::DeltaMismatch(msg) => write!(f, "delta mismatch: {msg}"),
         }
     }
 }

@@ -51,7 +51,7 @@ pub mod io;
 pub mod partition;
 
 pub use builder::GraphBuilder;
-pub use dynamic::DynamicGraph;
+pub use dynamic::{DynamicDelta, DynamicGraph};
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use partition::Partition;

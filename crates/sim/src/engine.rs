@@ -47,8 +47,10 @@ use tlb_walks::WalkKind;
 
 use crate::arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
 use crate::churn::{ChurnEvent, ChurnProcess};
-use crate::metrics::{EpochRecord, SimReport};
+use crate::metrics::{EpochRecord, RunningSummary, SimReport};
 use crate::shard::{rebalance_seed, ShardedEngine};
+use crate::sink::MetricsSink;
+use crate::snapshot::{SimSnapshot, SNAPSHOT_VERSION};
 use crate::state::SimState;
 use crate::tenants::{TenantSet, TenantSpec};
 
@@ -201,13 +203,24 @@ impl Default for SimConfig {
 
 /// The online simulation: a [`SimState`] plus the epoch scheduler
 /// driving it (see the module docs for the split).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OnlineSim {
     cfg: SimConfig,
     tenants: TenantSet,
+    /// Pristine copy of the base graph the run started on — the
+    /// reference [`SimSnapshot`] deltas are computed against.
+    base: Graph,
     state: SimState,
     epoch: u64,
     records: Vec<EpochRecord>,
+    /// Streaming run-level aggregates; fed every epoch whether or not
+    /// the record itself is buffered.
+    summary: RunningSummary,
+    /// Whether epoch records accumulate in `records` (batch mode). Off
+    /// in service mode so memory stays flat over unbounded runs.
+    buffer_records: bool,
+    /// Optional streaming destination for every epoch record.
+    sink: Option<Box<dyn MetricsSink>>,
 }
 
 impl OnlineSim {
@@ -223,30 +236,47 @@ impl OnlineSim {
         assert!(n > 0, "need at least one resource");
         Self::validate(&cfg);
         let tenants = TenantSet::new(cfg.tenants.clone());
-        OnlineSim { cfg, tenants, state: SimState::new(base), epoch: 0, records: Vec::new() }
+        OnlineSim {
+            cfg,
+            tenants,
+            base: base.clone(),
+            state: SimState::new(base),
+            epoch: 0,
+            records: Vec::new(),
+            summary: RunningSummary::default(),
+            buffer_records: true,
+            sink: None,
+        }
     }
 
     /// Parameters come from config literals, so reject bad ones up front
     /// instead of panicking deep inside a sampler mid-run.
-    fn validate(cfg: &SimConfig) {
-        assert!(
-            (0.0..1.0).contains(&cfg.departure_prob),
-            "departure_prob must be in [0, 1), got {}",
-            cfg.departure_prob
-        );
+    ///
+    /// # Panics
+    /// Via the arrival/weight sub-validators on malformed distribution
+    /// literals (those have no `Result` surface).
+    fn try_validate(cfg: &SimConfig) -> Result<(), String> {
+        if !(0.0..1.0).contains(&cfg.departure_prob) {
+            return Err(format!("departure_prob must be in [0, 1), got {}", cfg.departure_prob));
+        }
         for (name, p) in
             [("random_down", cfg.churn.random_down), ("random_up", cfg.churn.random_up)]
         {
-            assert!((0.0..=1.0).contains(&p), "churn {name} must be in [0, 1], got {p}");
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("churn {name} must be in [0, 1], got {p}"));
+            }
         }
         cfg.arrivals.validate();
         cfg.arrival_weights.validate();
-        assert!(cfg.shards >= 1, "shards must be >= 1");
-        assert!(
-            cfg.shards == 1 || matches!(cfg.rebalance, RebalancePolicy::Resource { .. }),
-            "only the resource-controlled policy rebalances sharded (shards = {})",
-            cfg.shards
-        );
+        if cfg.shards == 0 {
+            return Err("shards must be >= 1".to_string());
+        }
+        if cfg.shards > 1 && !matches!(cfg.rebalance, RebalancePolicy::Resource { .. }) {
+            return Err(format!(
+                "only the resource-controlled policy rebalances sharded (shards = {})",
+                cfg.shards
+            ));
+        }
         // Churn can isolate an active node; the max-degree and lazy walks
         // self-loop there, but the simple walk is undefined on isolated
         // nodes, so it cannot drive an online run. (Baselines use no walk
@@ -256,10 +286,21 @@ impl OnlineSim {
             RebalancePolicy::Mixed { walk, .. } => Some(walk),
             RebalancePolicy::Baseline { .. } => None,
         };
-        assert!(
-            walk != Some(WalkKind::Simple),
-            "WalkKind::Simple cannot rebalance a churned graph (undefined on isolated nodes)"
-        );
+        if walk == Some(WalkKind::Simple) {
+            return Err(
+                "WalkKind::Simple cannot rebalance a churned graph (undefined on isolated nodes)"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`try_validate`](Self::try_validate), for the
+    /// constructor paths where a bad config is a programming error.
+    fn validate(cfg: &SimConfig) {
+        if let Err(msg) = Self::try_validate(cfg) {
+            panic!("{msg}");
+        }
     }
 
     /// Swap the configuration between runs (phase-driven scenarios: a new
@@ -267,11 +308,34 @@ impl OnlineSim {
     /// while keeping all engine state — stacks, churn overlay, epoch
     /// counter, records. The tenant list must be unchanged, because
     /// task→tenant assignments are indices into it.
+    ///
+    /// Panicking builder form of [`reconfigure`](Self::reconfigure).
     pub fn with_config(mut self, cfg: SimConfig) -> Self {
         assert_eq!(self.cfg.tenants, cfg.tenants, "tenant classes cannot change mid-run");
         Self::validate(&cfg);
         self.cfg = cfg;
         self
+    }
+
+    /// Validated in-place configuration swap for a live service: apply a
+    /// new phase's config between epochs, keeping all engine state.
+    ///
+    /// Rejected swaps (returned as errors, the engine untouched):
+    ///
+    /// * a changed tenant list — task→tenant assignments are indices
+    ///   into it;
+    /// * any config [`try_validate`](Self::try_validate) rejects, which
+    ///   includes the swaps that would corrupt the deterministic stream
+    ///   contract — e.g. `shards > 1` onto a sequential (mixed/baseline)
+    ///   policy, or `WalkKind::Simple` onto a churned graph.
+    ///
+    /// # Errors
+    /// As above; the current configuration stays in force on error.
+    pub fn reconfigure(&mut self, cfg: SimConfig) -> anyhow::Result<()> {
+        anyhow::ensure!(self.cfg.tenants == cfg.tenants, "tenant classes cannot change mid-run");
+        Self::try_validate(&cfg).map_err(anyhow::Error::msg)?;
+        self.cfg = cfg;
+        Ok(())
     }
 
     /// Number of live tasks.
@@ -306,23 +370,203 @@ impl OnlineSim {
         self.state.weights.len()
     }
 
+    /// Streaming run-level aggregates over every epoch executed by this
+    /// engine (including epochs before a [`restore`](Self::restore)).
+    pub fn summary(&self) -> &RunningSummary {
+        &self.summary
+    }
+
+    /// Attach a streaming destination for epoch records; replaces (and
+    /// returns) any previous sink. Pass `None` to detach.
+    pub fn set_sink(&mut self, sink: Option<Box<dyn MetricsSink>>) -> Option<Box<dyn MetricsSink>> {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
+    /// Turn the in-memory record buffer on (batch mode, the default) or
+    /// off (service mode: memory stays flat; the series goes to the
+    /// sink, aggregates to [`summary`](Self::summary)). Turning it off
+    /// clears any already-buffered records.
+    pub fn set_record_buffering(&mut self, on: bool) {
+        self.buffer_records = on;
+        if !on {
+            self.records = Vec::new();
+        }
+    }
+
     /// Run `cfg.epochs` epochs (on top of any already run) and assemble
     /// the report.
+    ///
+    /// # Panics
+    /// If an attached metrics sink fails; use [`try_run`](Self::try_run)
+    /// to handle sink errors.
     pub fn run(&mut self) -> SimReport {
+        self.try_run().expect("online run failed")
+    }
+
+    /// Fallible form of [`run`](Self::run): run `cfg.epochs` epochs,
+    /// flush the sink, and assemble the report. With record buffering on
+    /// the report carries the buffered series; with it off the series is
+    /// empty and the summary fields come from the streaming aggregates
+    /// (bit-equal to the buffered computation).
+    ///
+    /// # Errors
+    /// If the attached metrics sink fails to record or flush.
+    pub fn try_run(&mut self) -> anyhow::Result<SimReport> {
         for _ in 0..self.cfg.epochs {
-            self.run_epoch();
+            self.try_run_epoch()?;
         }
-        SimReport::from_records(
-            self.cfg.name.clone(),
-            self.cfg.seed,
-            self.tenants.names(),
-            self.records.clone(),
-        )
+        if let Some(sink) = self.sink.as_mut() {
+            sink.flush()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Assemble a report for the epochs this engine has run: the
+    /// buffered series in batch mode, or the streaming aggregates (with
+    /// an empty series — it went to the sink) in service mode.
+    pub fn report(&self) -> SimReport {
+        if self.buffer_records {
+            SimReport::from_records(
+                self.cfg.name.clone(),
+                self.cfg.seed,
+                self.tenants.names(),
+                self.records.clone(),
+            )
+        } else {
+            self.summary
+                .to_report(self.cfg.name.clone(), self.cfg.seed, self.tenants.names())
+        }
+    }
+
+    /// Checkpoint the engine at the current epoch boundary.
+    ///
+    /// Flushes the sink first so the metrics stream on disk never lags
+    /// the snapshot, then captures config, epoch counter, churn overlay
+    /// (as a canonical delta against the pristine base graph), stacks,
+    /// task tables, and the streaming summary. See [`crate::snapshot`]
+    /// for why no RNG state is needed.
+    ///
+    /// # Errors
+    /// If the sink flush fails.
+    pub fn checkpoint(&mut self) -> anyhow::Result<SimSnapshot> {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.flush()?;
+        }
+        Ok(SimSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.cfg.clone(),
+            epoch: self.epoch,
+            graph: self.state.dg.delta_from(&self.base),
+            stacks: self.state.stacks.clone(),
+            weights: self.state.weights.clone(),
+            tenant_of: self.state.tenant_of.clone(),
+            free_ids: self.state.free_ids.clone(),
+            live: self.state.live,
+            summary: self.summary.clone(),
+        })
+    }
+
+    /// Rebuild an engine from a checkpoint plus the pristine base graph
+    /// the original run was started on. The resumed engine continues
+    /// **bit-identically** to the uninterrupted run — same records, same
+    /// stream draws — across thread and shard counts, because all
+    /// randomness re-derives from `(seed, epoch)` at epoch boundaries.
+    ///
+    /// The record buffer starts empty (records before the checkpoint
+    /// live wherever the original run's sink put them);
+    /// [`summary`](Self::summary) continues from the checkpointed
+    /// aggregates. No sink is attached; re-attach one with
+    /// [`set_sink`](Self::set_sink).
+    ///
+    /// # Errors
+    /// If the snapshot version is unsupported, the config fails
+    /// validation, the graph delta does not apply to `base`, or the task
+    /// tables are inconsistent (stacked tasks vs. live count, freelist
+    /// vs. slot capacity).
+    pub fn restore(snap: SimSnapshot, base: Graph) -> anyhow::Result<Self> {
+        anyhow::ensure!(
+            snap.version == SNAPSHOT_VERSION,
+            "snapshot version {} unsupported (this build reads version {})",
+            snap.version,
+            SNAPSHOT_VERSION
+        );
+        Self::try_validate(&snap.config).map_err(anyhow::Error::msg)?;
+        let n = base.num_nodes();
+        anyhow::ensure!(n > 0, "need at least one resource");
+        let dg = DynamicGraph::from_delta(base.clone(), &snap.graph)
+            .map_err(|e| anyhow::anyhow!("snapshot graph delta does not apply: {e}"))?;
+        anyhow::ensure!(
+            snap.stacks.len() == n,
+            "snapshot has {} stacks for a {n}-node base graph",
+            snap.stacks.len()
+        );
+        anyhow::ensure!(
+            snap.weights.len() == snap.tenant_of.len(),
+            "task tables out of sync: {} weights vs {} tenant slots",
+            snap.weights.len(),
+            snap.tenant_of.len()
+        );
+        let stacked: usize = snap.stacks.iter().map(|s| s.num_tasks()).sum();
+        anyhow::ensure!(
+            stacked == snap.live,
+            "snapshot stacks hold {stacked} tasks but live = {}",
+            snap.live
+        );
+        anyhow::ensure!(
+            snap.live + snap.free_ids.len() == snap.weights.len(),
+            "id accounting broken: live {} + free {} != capacity {}",
+            snap.live,
+            snap.free_ids.len(),
+            snap.weights.len()
+        );
+        for &t in snap.stacks.iter().flat_map(|s| s.tasks()) {
+            anyhow::ensure!(
+                (t as usize) < snap.weights.len(),
+                "stacked task id {t} outside the {}-slot table",
+                snap.weights.len()
+            );
+        }
+        let tenants = TenantSet::new(snap.config.tenants.clone());
+        // At an epoch boundary the walk graph always equals the overlay
+        // snapshot (any topology change refreshes it within the epoch),
+        // so re-deriving it here preserves bit-identity.
+        let walk_graph = dg.snapshot();
+        let mut state = SimState::new(base.clone());
+        state.dg = dg;
+        state.walk_graph = walk_graph;
+        state.stacks = snap.stacks;
+        state.weights = snap.weights;
+        state.tenant_of = snap.tenant_of;
+        state.free_ids = snap.free_ids;
+        state.live = snap.live;
+        Ok(OnlineSim {
+            cfg: snap.config,
+            tenants,
+            base,
+            state,
+            epoch: snap.epoch,
+            records: Vec::new(),
+            summary: snap.summary,
+            buffer_records: true,
+            sink: None,
+        })
     }
 
     /// Execute one epoch: churn → departures → arrivals → rebalance →
     /// metrics.
+    ///
+    /// # Panics
+    /// If an attached metrics sink fails; use
+    /// [`try_run_epoch`](Self::try_run_epoch) to handle sink errors.
     pub fn run_epoch(&mut self) {
+        self.try_run_epoch().expect("online epoch failed")
+    }
+
+    /// Fallible form of [`run_epoch`](Self::run_epoch).
+    ///
+    /// # Errors
+    /// If the attached metrics sink fails to record.
+    pub fn try_run_epoch(&mut self) -> anyhow::Result<()> {
         let mut rng = SmallRng::seed_from_u64(epoch_seed(self.cfg.seed, self.epoch));
         let state = &mut self.state;
         let mut drained = 0u64;
@@ -434,7 +678,7 @@ impl OnlineSim {
         let max_load = max_load(&state.stacks);
         let overloaded = num_overloaded(&state.stacks, threshold);
         let balanced = overloaded == 0;
-        self.records.push(EpochRecord {
+        let record = EpochRecord {
             epoch: self.epoch,
             live_tasks: state.live,
             active_resources: n_active,
@@ -455,8 +699,16 @@ impl OnlineSim {
                 &state.tenant_of,
                 n_active,
             ),
-        });
+        };
+        self.summary.observe(&record);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&record)?;
+        }
+        if self.buffer_records {
+            self.records.push(record);
+        }
         self.epoch += 1;
+        Ok(())
     }
 }
 
@@ -494,7 +746,7 @@ mod tests {
         let a = OnlineSim::new(torus2d(4, 4), quick_cfg("det")).run();
         let b = OnlineSim::new(torus2d(4, 4), quick_cfg("det")).run();
         assert_eq!(a, b);
-        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
     }
 
     #[test]
@@ -676,6 +928,111 @@ mod tests {
         // Node 2 left at epoch 5 and never returned: the baseline must
         // not have used it as a destination afterwards.
         assert!(sim.stacks()[2].is_empty(), "baseline placed tasks on a deactivated resource");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Segmented run (pause at epoch 25, serialize, restore, finish)
+        // vs the uninterrupted run: every post-restore record and the
+        // whole-run summary must match bit for bit.
+        let mut cfg = quick_cfg("ckpt");
+        cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 };
+        let full = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+
+        let mut first = OnlineSim::new(torus2d(4, 4), cfg.clone());
+        for _ in 0..25 {
+            first.run_epoch();
+        }
+        let snap = first.checkpoint().unwrap();
+        let json = snap.to_json().unwrap();
+        let back = crate::snapshot::SimSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap, "snapshot must survive serde");
+
+        let mut resumed = OnlineSim::restore(back, torus2d(4, 4)).unwrap();
+        assert_eq!(resumed.epoch(), 25);
+        for _ in 25..60 {
+            resumed.run_epoch();
+        }
+        assert_eq!(resumed.records(), &full.records[25..]);
+        let summary_report = resumed.summary().to_report("ckpt", cfg.seed, full.tenants.clone());
+        assert_eq!(summary_report.total_migrations, full.total_migrations);
+        assert_eq!(summary_report.peak_load.to_bits(), full.peak_load.to_bits());
+        assert_eq!(summary_report.balanced_fraction.to_bits(), full.balanced_fraction.to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let mut sim = OnlineSim::new(complete(8), quick_cfg("corrupt"));
+        for _ in 0..5 {
+            sim.run_epoch();
+        }
+        let snap = sim.checkpoint().unwrap();
+
+        let mut wrong_version = snap.clone();
+        wrong_version.version = 99;
+        assert!(OnlineSim::restore(wrong_version, complete(8)).is_err());
+
+        let mut wrong_live = snap.clone();
+        wrong_live.live += 1;
+        assert!(OnlineSim::restore(wrong_live, complete(8)).is_err());
+
+        let mut wrong_tables = snap.clone();
+        wrong_tables.tenant_of.push(0);
+        assert!(OnlineSim::restore(wrong_tables, complete(8)).is_err());
+
+        // Wrong base graph: node count mismatch surfaces as a delta error.
+        assert!(OnlineSim::restore(snap, complete(9)).is_err());
+    }
+
+    #[test]
+    fn reconfigure_rejects_determinism_corrupting_swaps() {
+        let mut sim = OnlineSim::new(complete(8), quick_cfg("reconf"));
+        for _ in 0..3 {
+            sim.run_epoch();
+        }
+
+        // Sharding a sequential policy is rejected, engine untouched.
+        let mut bad = quick_cfg("reconf");
+        bad.rebalance = RebalancePolicy::Mixed {
+            departure: Departure::Bernoulli,
+            alpha: 1.0,
+            walk: WalkKind::MaxDegree,
+        };
+        bad.shards = 2;
+        assert!(sim.reconfigure(bad).is_err());
+
+        // Tenant list changes are rejected.
+        let mut tenants = quick_cfg("reconf");
+        tenants.tenants.push(TenantSpec::new("late", ThresholdPolicy::Tight, 1.0));
+        assert!(sim.reconfigure(tenants).is_err());
+
+        // A legal phase swap applies and the run continues.
+        let mut ok = quick_cfg("reconf");
+        ok.arrivals = ArrivalProcess::Off;
+        ok.epochs = 2;
+        sim.reconfigure(ok).unwrap();
+        let report = sim.run();
+        assert_eq!(report.last().unwrap().arrivals, 0);
+    }
+
+    #[test]
+    fn streaming_mode_matches_buffered_aggregates_with_flat_records() {
+        let cfg = quick_cfg("stream");
+        let buffered = OnlineSim::new(complete(12), cfg.clone()).run();
+
+        let mut streaming = OnlineSim::new(complete(12), cfg);
+        streaming.set_record_buffering(false);
+        streaming.set_sink(Some(Box::new(crate::sink::MemorySink::new(4))));
+        let report = streaming.try_run().unwrap();
+        assert!(report.records.is_empty(), "service mode must not buffer the series");
+        assert_eq!(streaming.records().len(), 0);
+        assert_eq!(report.epochs, buffered.epochs);
+        assert_eq!(report.total_arrivals, buffered.total_arrivals);
+        assert_eq!(report.total_departures, buffered.total_departures);
+        assert_eq!(report.total_migrations, buffered.total_migrations);
+        assert_eq!(report.balanced_fraction.to_bits(), buffered.balanced_fraction.to_bits());
+        assert_eq!(report.peak_load.to_bits(), buffered.peak_load.to_bits());
+        assert_eq!(report.tenant_violation_rates, buffered.tenant_violation_rates);
     }
 
     #[test]

@@ -38,6 +38,34 @@
 //! counter-based walk words that are a pure function of
 //! `(seed, epoch, round, node, slot)` — see [`shard`] for the law.
 //!
+//! ## Service mode: checkpoint/restore and streaming metrics
+//!
+//! A long-running deployment cannot buffer its whole epoch series or
+//! restart from epoch zero after a rollout. Service mode is three
+//! orthogonal pieces:
+//!
+//! * **Checkpoint/restore** ([`SimSnapshot`] in [`snapshot`]):
+//!   [`OnlineSim::checkpoint`] serializes the full engine state at an
+//!   epoch boundary — config, epoch counter, the churn overlay as a
+//!   canonical delta against the pristine base graph, stacks, task
+//!   tables with the id-recycling freelist, and the running summary.
+//!   [`OnlineSim::restore`] rebuilds an engine that continues
+//!   **bit-identically** to the uninterrupted run, across thread *and*
+//!   shard counts: all randomness re-derives from `(seed, epoch)` at
+//!   epoch boundaries, so the `(seed, epoch)` pair in the snapshot is
+//!   the complete RNG stream position.
+//! * **Streaming metrics** ([`MetricsSink`] in [`sink`]): with
+//!   [`OnlineSim::set_record_buffering`]`(false)` the engine stops
+//!   accumulating records; each [`EpochRecord`] streams to the attached
+//!   sink ([`NdjsonSink`] for soaks, [`MemorySink`] for tests) and folds
+//!   into an O(1) [`RunningSummary`], so memory stays flat over
+//!   unbounded runs.
+//! * **Live reconfiguration**: [`OnlineSim::reconfigure`] applies a new
+//!   phase's config between epochs with validation — swaps that would
+//!   corrupt the deterministic stream contract (sharding a sequential
+//!   policy, changing the tenant list) are rejected as errors with the
+//!   engine untouched.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -64,14 +92,18 @@ pub mod churn;
 pub mod engine;
 pub mod metrics;
 pub mod shard;
+pub mod sink;
+pub mod snapshot;
 pub mod state;
 pub mod tenants;
 
 pub use arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
 pub use churn::{ChurnEvent, ChurnProcess};
 pub use engine::{epoch_seed, OnlineSim, RebalancePolicy, SimConfig};
-pub use metrics::{EpochRecord, SimReport};
+pub use metrics::{EpochRecord, RunningSummary, SimReport};
 pub use shard::ShardedEngine;
+pub use sink::{MemorySink, MetricsSink, NdjsonSink};
+pub use snapshot::{SimSnapshot, SNAPSHOT_VERSION};
 pub use state::SimState;
 pub use tenants::{TenantSet, TenantSpec};
 pub use tlb_baselines::BaselineRule;

@@ -7,6 +7,12 @@
 //! sample per epoch; [`SimReport`] carries the series plus run-level
 //! summaries and serializes to JSON for the CI perf-trajectory artifacts
 //! (`BENCH_online.json`).
+//!
+//! Long-running service mode cannot afford the full series in memory:
+//! [`RunningSummary`] folds each record into O(1) state as it streams
+//! past (the series itself goes to a [`crate::sink::MetricsSink`]), and
+//! reconstitutes the same run-level aggregates a buffered
+//! [`SimReport::from_records`] would have computed.
 
 use serde::{Deserialize, Serialize};
 
@@ -114,13 +120,104 @@ impl SimReport {
     }
 
     /// Serialize to pretty JSON (the CI artifact format).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+    ///
+    /// # Errors
+    /// If the report fails to serialize. In a long soak this surfaces as
+    /// a run error rather than a mid-flight panic.
+    pub fn to_json(&self) -> anyhow::Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| anyhow::anyhow!("report serializes: {e:?}"))
     }
 
     /// The last epoch's record, if any.
     pub fn last(&self) -> Option<&EpochRecord> {
         self.records.last()
+    }
+}
+
+/// O(1) streaming fold of the run-level aggregates.
+///
+/// The engine feeds every [`EpochRecord`] through
+/// [`observe`](Self::observe) whether or not the record itself is
+/// buffered, so a run with buffering off (service mode) can still
+/// produce a [`SimReport`] — with an empty `records` series — whose
+/// summary fields are bit-equal to what
+/// [`SimReport::from_records`] computes over the full series. The
+/// summary is part of [`crate::SimSnapshot`], so aggregates survive a
+/// checkpoint/restore cycle and keep counting from where they left off.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningSummary {
+    /// Epochs observed.
+    pub epochs: u64,
+    /// Total arrivals over the run.
+    pub total_arrivals: u64,
+    /// Total departures over the run.
+    pub total_departures: u64,
+    /// Total rebalancing migrations over the run.
+    pub total_migrations: u64,
+    /// Epochs that ended balanced.
+    pub balanced_epochs: u64,
+    /// Per-tenant count of epochs with at least one SLO violation.
+    pub violated_epochs: Vec<u64>,
+    /// Maximum load seen in any epoch.
+    pub peak_load: f64,
+}
+
+impl RunningSummary {
+    /// Fold one epoch's record into the aggregates.
+    pub fn observe(&mut self, r: &EpochRecord) {
+        if self.violated_epochs.is_empty() && !r.tenant_violations.is_empty() {
+            self.violated_epochs = vec![0; r.tenant_violations.len()];
+        }
+        self.epochs += 1;
+        self.total_arrivals += r.arrivals;
+        self.total_departures += r.departures;
+        self.total_migrations += r.migrations;
+        if r.balanced {
+            self.balanced_epochs += 1;
+        }
+        for (slot, &v) in self.violated_epochs.iter_mut().zip(&r.tenant_violations) {
+            if v > 0 {
+                *slot += 1;
+            }
+        }
+        self.peak_load = self.peak_load.max(r.max_load);
+    }
+
+    /// Reconstitute a [`SimReport`] from the aggregates alone.
+    ///
+    /// `records` comes back empty (the series went to the sink); every
+    /// summary field matches [`SimReport::from_records`] over the same
+    /// series bit for bit.
+    pub fn to_report(
+        &self,
+        scenario: impl Into<String>,
+        seed: u64,
+        tenants: Vec<String>,
+    ) -> SimReport {
+        let balanced_fraction =
+            if self.epochs == 0 { 1.0 } else { self.balanced_epochs as f64 / self.epochs as f64 };
+        let tenant_violation_rates = (0..tenants.len())
+            .map(|c| {
+                if self.epochs == 0 {
+                    return 0.0;
+                }
+                let violated = self.violated_epochs.get(c).copied().unwrap_or(0);
+                violated as f64 / self.epochs as f64
+            })
+            .collect();
+        SimReport {
+            scenario: scenario.into(),
+            seed,
+            epochs: self.epochs,
+            tenants,
+            records: Vec::new(),
+            total_arrivals: self.total_arrivals,
+            total_departures: self.total_departures,
+            total_migrations: self.total_migrations,
+            balanced_fraction,
+            tenant_violation_rates,
+            peak_load: self.peak_load,
+        }
     }
 }
 
@@ -179,8 +276,40 @@ mod tests {
             vec!["only".into()],
             vec![record(0, true, vec![0])],
         );
-        let back: SimReport = serde_json::from_str(&report.to_json()).unwrap();
+        let back: SimReport = serde_json::from_str(&report.to_json().unwrap()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn running_summary_matches_from_records_bit_for_bit() {
+        let records = vec![
+            record(0, false, vec![1, 0]),
+            record(1, true, vec![0, 0]),
+            record(2, true, vec![2, 1]),
+            record(3, true, vec![0, 0]),
+        ];
+        let mut summary = RunningSummary::default();
+        for r in &records {
+            summary.observe(r);
+        }
+        let tenants = vec!["a".to_string(), "b".to_string()];
+        let buffered = SimReport::from_records("unit", 7, tenants.clone(), records);
+        let streamed = summary.to_report("unit", 7, tenants);
+        assert_eq!(streamed.epochs, buffered.epochs);
+        assert_eq!(streamed.total_arrivals, buffered.total_arrivals);
+        assert_eq!(streamed.total_departures, buffered.total_departures);
+        assert_eq!(streamed.total_migrations, buffered.total_migrations);
+        assert_eq!(streamed.balanced_fraction.to_bits(), buffered.balanced_fraction.to_bits());
+        assert_eq!(streamed.tenant_violation_rates, buffered.tenant_violation_rates);
+        assert_eq!(streamed.peak_load.to_bits(), buffered.peak_load.to_bits());
+        assert!(streamed.records.is_empty());
+    }
+
+    #[test]
+    fn empty_summary_reports_like_an_empty_run() {
+        let streamed = RunningSummary::default().to_report("empty", 0, vec![]);
+        let buffered = SimReport::from_records("empty", 0, vec![], vec![]);
+        assert_eq!(streamed, buffered);
     }
 
     #[test]

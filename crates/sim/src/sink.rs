@@ -1,0 +1,207 @@
+//! Streaming metrics sinks: where [`EpochRecord`]s go as they are made.
+//!
+//! A batch run can afford to buffer its whole series and dump it at the
+//! end; a long-running service cannot — an unbounded `Vec<EpochRecord>`
+//! is exactly the memory leak a multi-day soak dies of. [`MetricsSink`]
+//! is the streaming alternative: the engine hands every record to the
+//! sink the moment the epoch closes, so memory stays flat no matter how
+//! long the run is.
+//!
+//! Two implementations cover the two regimes:
+//!
+//! * [`MemorySink`] — a bounded ring of the most recent records, for
+//!   tests and interactive inspection;
+//! * [`NdjsonSink`] — newline-delimited JSON (one compact [`EpochRecord`]
+//!   object per line) through a buffered writer, the soak/CI format: two
+//!   segmented runs concatenate into exactly the byte stream of one
+//!   uninterrupted run, which is how the CI `soak` job checks
+//!   checkpoint/restore end to end.
+//!
+//! Sink errors (a full disk mid-soak) propagate as `anyhow` errors
+//! through [`OnlineSim::try_run`](crate::OnlineSim::try_run) instead of
+//! panicking — see the service-mode section of the README.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use anyhow::Context;
+
+use crate::metrics::EpochRecord;
+
+/// A destination for the per-epoch metrics stream.
+///
+/// Implementations must be cheap per record (the engine calls
+/// [`record`](Self::record) once per epoch, inside the hot loop) and
+/// must not reorder or drop records on the success path — segmented-run
+/// byte-identity depends on the stream being exactly the epoch sequence.
+pub trait MetricsSink: std::fmt::Debug + Send {
+    /// Consume one epoch's record.
+    ///
+    /// # Errors
+    /// Propagated out of the epoch loop; the engine stops at the failed
+    /// epoch boundary.
+    fn record(&mut self, record: &EpochRecord) -> anyhow::Result<()>;
+
+    /// Flush any buffered output (called at the end of a run and before
+    /// a checkpoint is written, so the metrics stream on disk never lags
+    /// the snapshot).
+    ///
+    /// # Errors
+    /// Propagated to the caller.
+    fn flush(&mut self) -> anyhow::Result<()> {
+        Ok(())
+    }
+}
+
+/// A bounded in-memory ring of the most recent records.
+#[derive(Debug)]
+pub struct MemorySink {
+    ring: VecDeque<EpochRecord>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl MemorySink {
+    /// A sink retaining the last `capacity` records (`capacity >= 1`).
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be >= 1");
+        MemorySink { ring: VecDeque::with_capacity(capacity), capacity, seen: 0 }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EpochRecord> {
+        self.ring.iter()
+    }
+
+    /// Total records ever offered (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The most recent record, if any.
+    pub fn last(&self) -> Option<&EpochRecord> {
+        self.ring.back()
+    }
+}
+
+impl MetricsSink for MemorySink {
+    fn record(&mut self, record: &EpochRecord) -> anyhow::Result<()> {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(record.clone());
+        self.seen += 1;
+        Ok(())
+    }
+}
+
+/// Newline-delimited JSON to a buffered file: one compact
+/// [`EpochRecord`] object per line, in epoch order.
+#[derive(Debug)]
+pub struct NdjsonSink {
+    out: BufWriter<File>,
+    path: String,
+}
+
+impl NdjsonSink {
+    /// Create (truncate) `path` and stream records into it.
+    ///
+    /// # Errors
+    /// If the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> anyhow::Result<Self> {
+        let path = path.as_ref();
+        let file = File::create(path)
+            .with_context(|| format!("creating metrics stream {}", path.display()))?;
+        NdjsonSink::from_file(file, path.display().to_string())
+    }
+
+    /// Wrap an already-open file (appending segment writers reuse this).
+    ///
+    /// # Errors
+    /// Never fails today; `Result` keeps the constructor surface uniform.
+    pub fn from_file(file: File, label: String) -> anyhow::Result<Self> {
+        Ok(NdjsonSink { out: BufWriter::new(file), path: label })
+    }
+}
+
+impl MetricsSink for NdjsonSink {
+    fn record(&mut self, record: &EpochRecord) -> anyhow::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| anyhow::anyhow!("serializing epoch {}: {e:?}", record.epoch))?;
+        writeln!(self.out, "{line}")
+            .with_context(|| format!("writing metrics stream {}", self.path))?;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> anyhow::Result<()> {
+        self.out
+            .flush()
+            .with_context(|| format!("flushing metrics stream {}", self.path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            live_tasks: 1,
+            active_resources: 1,
+            arrivals: 0,
+            departures: 0,
+            drained: 0,
+            rebalance_rounds: 0,
+            migrations: 0,
+            threshold: 1.0,
+            max_load: 0.5,
+            mean_load: 0.5,
+            overload_fraction: 0.0,
+            potential: 0.0,
+            balanced: true,
+            tenant_violations: vec![0],
+        }
+    }
+
+    #[test]
+    fn memory_ring_evicts_oldest() {
+        let mut sink = MemorySink::new(3);
+        for e in 0..5 {
+            sink.record(&record(e)).unwrap();
+        }
+        assert_eq!(sink.seen(), 5);
+        let epochs: Vec<u64> = sink.records().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![2, 3, 4]);
+        assert_eq!(sink.last().unwrap().epoch, 4);
+    }
+
+    #[test]
+    fn ndjson_writes_one_line_per_record_in_order() {
+        let path = std::env::temp_dir().join("tlb_sink_test.ndjson");
+        let mut sink = NdjsonSink::create(&path).unwrap();
+        for e in 0..4 {
+            sink.record(&record(e)).unwrap();
+        }
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (i, line) in lines.iter().enumerate() {
+            let back: EpochRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(back, record(i as u64), "line {i} must round-trip");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity")]
+    fn zero_capacity_ring_rejected() {
+        MemorySink::new(0);
+    }
+}

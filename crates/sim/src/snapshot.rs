@@ -1,0 +1,116 @@
+//! Versioned checkpoints of a running [`OnlineSim`](crate::OnlineSim).
+//!
+//! A [`SimSnapshot`] captures everything a resumed engine needs to
+//! continue **bit-identically** to the uninterrupted run: the full
+//! configuration, the epoch counter, the churn overlay as a canonical
+//! [`DynamicDelta`] against the pristine base graph (the base CSR itself
+//! is *not* serialized — the restoring side supplies it, so a snapshot
+//! of a million-node run is the size of its churn, not its topology),
+//! the per-resource stacks, the task tables with their id-recycling
+//! freelist, and the streaming metrics summary.
+//!
+//! **Why no RNG state?** Checkpoints are taken at epoch boundaries, and
+//! the engine's determinism design leaves *no* persistent RNG state
+//! there: epoch `e` seeds a fresh `SmallRng` from
+//! [`epoch_seed`](crate::epoch_seed)`(seed, e)`, and the sharded
+//! rebalancing pass draws from the counter-based stream rooted at
+//! `rebalance_seed(seed, e)`. The `(seed, epoch)` pair in the snapshot
+//! *is* the complete RNG stream position. (The vendored RNG still
+//! exports raw state via `SmallRng::to_state`/`from_state` for callers
+//! that checkpoint mid-stream; the engine does not need it.)
+//!
+//! The format is JSON with a leading `version` field, checked on load;
+//! see the "Service mode" section of the README for the restart recipe.
+
+use serde::{Deserialize, Serialize};
+use tlb_core::stack::ResourceStack;
+use tlb_core::task::TaskId;
+use tlb_graphs::DynamicDelta;
+
+use anyhow::Context;
+
+use crate::engine::SimConfig;
+use crate::metrics::RunningSummary;
+
+/// Current snapshot format version. Bumped whenever the serialized
+/// layout or the determinism contract it relies on changes; `load`
+/// rejects mismatches instead of misinterpreting old state.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, serializable checkpoint of an online run at an epoch
+/// boundary (see the module docs for what is and is not captured).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`] at write time).
+    pub version: u32,
+    /// Full configuration in force when the checkpoint was taken.
+    pub config: SimConfig,
+    /// Epochs executed before the checkpoint (the resumed engine runs
+    /// epoch `epoch` next).
+    pub epoch: u64,
+    /// Churn overlay as a canonical delta against the pristine base
+    /// graph the run was started with.
+    pub graph: DynamicDelta,
+    /// Per-resource stacks (index = resource id).
+    pub stacks: Vec<ResourceStack>,
+    /// Weight slot per task id (freelist slots hold stale values).
+    pub weights: Vec<f64>,
+    /// Tenant index per task id (parallel to `weights`).
+    pub tenant_of: Vec<u16>,
+    /// Recycled task-id slots, in pop order.
+    pub free_ids: Vec<TaskId>,
+    /// Live task count.
+    pub live: usize,
+    /// Streaming run-level aggregates up to the checkpoint.
+    pub summary: RunningSummary,
+}
+
+impl SimSnapshot {
+    /// Serialize to pretty JSON.
+    ///
+    /// # Errors
+    /// If serialization fails.
+    pub fn to_json(&self) -> anyhow::Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| anyhow::anyhow!("snapshot serializes: {e:?}"))
+    }
+
+    /// Parse a snapshot, rejecting version mismatches.
+    ///
+    /// # Errors
+    /// If the JSON is malformed or the `version` field is not
+    /// [`SNAPSHOT_VERSION`].
+    pub fn from_json(text: &str) -> anyhow::Result<Self> {
+        let snap: SimSnapshot =
+            serde_json::from_str(text).map_err(|e| anyhow::anyhow!("snapshot parse: {e:?}"))?;
+        anyhow::ensure!(
+            snap.version == SNAPSHOT_VERSION,
+            "snapshot version {} unsupported (this build reads version {})",
+            snap.version,
+            SNAPSHOT_VERSION
+        );
+        Ok(snap)
+    }
+
+    /// Write the snapshot to `path` as JSON.
+    ///
+    /// # Errors
+    /// On serialization or I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> anyhow::Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()?)
+            .with_context(|| format!("writing snapshot {}", path.display()))
+    }
+
+    /// Read a snapshot from `path`.
+    ///
+    /// # Errors
+    /// On I/O failure, malformed JSON, or a version mismatch.
+    pub fn load(path: impl AsRef<std::path::Path>) -> anyhow::Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .with_context(|| format!("reading snapshot {}", path.display()))?;
+        SimSnapshot::from_json(&text)
+            .map_err(|e| anyhow::anyhow!("parsing snapshot {}: {e}", path.display()))
+    }
+}

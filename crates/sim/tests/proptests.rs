@@ -1,21 +1,29 @@
 //! Property-based tests for the sharded online engine: shard-count
-//! invariance of whole churned runs and the fragment resume surface.
+//! invariance of whole churned runs, the fragment resume surface, and
+//! the service-mode checkpoint/restore contract.
 //!
 //! The unit tests in `tlb_sim::shard` pin the walk-word law against the
 //! batched kernel and chi-square the transition row; these properties
 //! check the *system-level* contract — a full `OnlineSim` run (arrivals,
 //! departures, scripted + stochastic churn) produces the identical
-//! report at every shard count, and `from_parts`/`into_parts` is a
-//! lossless resume surface at every partition.
+//! report at every shard count, `from_parts`/`into_parts` is a lossless
+//! resume surface at every partition, and a run segmented by
+//! `checkpoint()`/serde/`restore()` at *any* epoch is bit-identical to
+//! the uninterrupted run at every shard count (CI additionally crosses
+//! `RAYON_NUM_THREADS` 1 vs 4 over this file and byte-diffs segmented
+//! NDJSON streams across thread counts in the `soak` job).
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use tlb_baselines::BaselineRule;
+use tlb_core::mixed_protocol::Departure;
 use tlb_core::stack::ResourceStack;
 use tlb_graphs::generators::random_regular;
 use tlb_graphs::Partition;
 use tlb_sim::{
-    ArrivalProcess, ChurnEvent, ChurnProcess, OnlineSim, RebalancePolicy, ShardedEngine, SimConfig,
+    ArrivalProcess, ChurnEvent, ChurnProcess, MemorySink, OnlineSim, RebalancePolicy,
+    ShardedEngine, SimConfig, SimSnapshot,
 };
 use tlb_walks::WalkKind;
 
@@ -104,6 +112,117 @@ proptest! {
         prop_assert!(engine.is_balanced());
         prop_assert_eq!(engine.rounds(), 0);
         prop_assert_eq!(engine.into_parts(), stacks);
+    }
+
+    /// The tentpole acceptance property: a run paused by `checkpoint()`
+    /// at a random epoch, round-tripped through snapshot JSON, and
+    /// resumed with `restore()` is bit-identical to the uninterrupted
+    /// run — records and summary aggregates — at shard counts 1 and 4.
+    /// The scenario keeps churn flapping so the snapshot's graph delta
+    /// is usually non-trivial at the pause point.
+    #[test]
+    fn checkpoint_restore_is_bit_identical_at_any_epoch(
+        walk in prop_oneof![Just(WalkKind::MaxDegree), Just(WalkKind::Lazy)],
+        n in 16usize..40,
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+        pause in 1u64..9,
+        seed in any::<u64>(),
+    ) {
+        let epochs = 10u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let cfg = churned_cfg(walk, seed, epochs, shards);
+
+        let full = OnlineSim::new(g.clone(), cfg.clone()).run();
+
+        let mut first = OnlineSim::new(g.clone(), cfg.clone());
+        for _ in 0..pause {
+            first.run_epoch();
+        }
+        let snap = first.checkpoint().unwrap();
+        let json = snap.to_json().unwrap();
+        let parsed = SimSnapshot::from_json(&json).unwrap();
+        prop_assert_eq!(&parsed, &snap, "snapshot must survive serde");
+
+        let mut resumed = OnlineSim::restore(parsed, g).unwrap();
+        prop_assert_eq!(resumed.epoch(), pause);
+        while resumed.epoch() < epochs {
+            resumed.run_epoch();
+        }
+        prop_assert_eq!(resumed.records(), &full.records[pause as usize..]);
+        let report = resumed.summary().to_report("prop", seed, full.tenants.clone());
+        prop_assert_eq!(report.total_arrivals, full.total_arrivals);
+        prop_assert_eq!(report.total_migrations, full.total_migrations);
+        prop_assert_eq!(report.peak_load.to_bits(), full.peak_load.to_bits());
+        prop_assert_eq!(report.balanced_fraction.to_bits(), full.balanced_fraction.to_bits());
+    }
+
+    /// Snapshot serde round-trips for every rebalance policy — all three
+    /// protocol variants plus a baseline — and restore resumes each one
+    /// bit-identically (sequential policies force shards = 1).
+    #[test]
+    fn snapshots_round_trip_for_every_policy(
+        policy_ix in 0usize..4,
+        pause in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let policy = [
+            RebalancePolicy::Resource { walk: WalkKind::MaxDegree },
+            RebalancePolicy::Mixed {
+                departure: Departure::Bernoulli,
+                alpha: 1.0,
+                walk: WalkKind::MaxDegree,
+            },
+            RebalancePolicy::Mixed {
+                departure: Departure::AllActive,
+                alpha: 0.8,
+                walk: WalkKind::Lazy,
+            },
+            RebalancePolicy::Baseline { rule: BaselineRule::Greedy { d: 2 } },
+        ][policy_ix];
+        let epochs = 7u64;
+        let cfg = SimConfig {
+            rebalance: policy,
+            shards: 1,
+            ..churned_cfg(WalkKind::MaxDegree, seed, epochs, 1)
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(24, 4, &mut rng).unwrap();
+
+        let full = OnlineSim::new(g.clone(), cfg.clone()).run();
+
+        let mut first = OnlineSim::new(g.clone(), cfg.clone());
+        for _ in 0..pause {
+            first.run_epoch();
+        }
+        let json = first.checkpoint().unwrap().to_json().unwrap();
+        let mut resumed =
+            OnlineSim::restore(SimSnapshot::from_json(&json).unwrap(), g).unwrap();
+        while resumed.epoch() < epochs {
+            resumed.run_epoch();
+        }
+        prop_assert_eq!(resumed.records(), &full.records[pause as usize..]);
+    }
+
+    /// Service mode never grows the record buffer: with buffering off and
+    /// a bounded sink attached, the engine's buffered series stays empty
+    /// over the whole run while the streaming summary still counts every
+    /// epoch.
+    #[test]
+    fn service_mode_keeps_the_record_buffer_empty(
+        epochs in 5u64..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(16, 4, &mut rng).unwrap();
+        let mut sim = OnlineSim::new(g, churned_cfg(WalkKind::MaxDegree, seed, epochs, 1));
+        sim.set_record_buffering(false);
+        sim.set_sink(Some(Box::new(MemorySink::new(2))));
+        let report = sim.try_run().unwrap();
+        prop_assert_eq!(sim.records().len(), 0);
+        prop_assert!(report.records.is_empty());
+        prop_assert_eq!(report.epochs, epochs);
+        prop_assert_eq!(sim.summary().epochs, epochs);
     }
 
     /// Running a sharded pass conserves the task multiset and total

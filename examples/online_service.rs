@@ -1,5 +1,5 @@
 //! Domain scenario: one day in the life of a CDN edge fabric, simulated
-//! online.
+//! online — including a mid-day service restart from a checkpoint.
 //!
 //! A 6×6 torus of edge caches serves streaming object placements. The day
 //! has four scripted phases:
@@ -11,6 +11,15 @@
 //!    while one rack (a torus row) drains for maintenance;
 //! 4. **wind-down**    — the rack returns, arrivals stop, and the
 //!    protocol converges the fabric back under threshold.
+//!
+//! Phases are applied to one long-lived engine through the validated
+//! [`OnlineSim::reconfigure`] service API. In the middle of the flash
+//! crowd — the worst possible moment — the balancer process "restarts":
+//! the engine checkpoints to a [`tlb_sim::SimSnapshot`], is dropped, and
+//! a new engine restores from the serialized snapshot plus a fresh base
+//! graph. The example then proves the service-mode contract by replaying
+//! the same day uninterrupted and asserting the two trajectories are
+//! bit-identical, epoch for epoch.
 //!
 //! Two tenants share the fabric: a latency tier with a tight SLO and a
 //! batch tier that tolerates 2× the average. The epoch metrics show the
@@ -25,7 +34,7 @@ use tlb_core::threshold::ThresholdPolicy;
 use tlb_graphs::generators::torus2d;
 use tlb_sim::{
     ArrivalPlacement, ArrivalProcess, ChurnEvent, ChurnProcess, EpochRecord, OnlineSim, SimConfig,
-    TenantSpec,
+    SimSnapshot, TenantSpec,
 };
 
 /// One phase of the scripted day.
@@ -52,6 +61,35 @@ fn summarize(name: &str, records: &[EpochRecord]) {
         last.live_tasks,
         last.active_resources,
     );
+}
+
+/// The phase config in force from `epoch` on, if `epoch` is a phase
+/// boundary. A pure function of the epoch index, so an engine restored
+/// mid-day re-derives the same schedule the uninterrupted day uses.
+fn phase_at(base: &SimConfig, phases: &[Phase], epoch: u64) -> Option<SimConfig> {
+    let mut start = 0;
+    for phase in phases {
+        if epoch == start {
+            return Some(SimConfig {
+                arrivals: phase.arrivals,
+                arrival_placement: phase.placement,
+                ..base.clone()
+            });
+        }
+        start += phase.epochs;
+    }
+    None
+}
+
+/// Drive `sim` from its current epoch to `total`, applying phase
+/// boundaries through the validated live-reconfiguration API.
+fn run_day(sim: &mut OnlineSim, base: &SimConfig, phases: &[Phase], total: u64) {
+    while sim.epoch() < total {
+        if let Some(cfg) = phase_at(base, phases, sim.epoch()) {
+            sim.reconfigure(cfg).expect("phase swap keeps tenants and determinism");
+        }
+        sim.run_epoch();
+    }
 }
 
 fn main() {
@@ -87,6 +125,9 @@ fn main() {
     ];
     let crowd_start: u64 = phases[..2].iter().map(|p| p.epochs).sum();
     let crowd_end = crowd_start + phases[2].epochs;
+    let total: u64 = phases.iter().map(|p| p.epochs).sum();
+    // The balancer restarts right in the middle of the flash crowd.
+    let restart_at = crowd_start + phases[2].epochs / 2;
 
     println!("CDN day on a {side}x{side} torus fabric, {} tenants, scripted phases:\n", 2);
 
@@ -97,12 +138,9 @@ fn main() {
         (crowd_end, ChurnEvent::ActivateRange { from: 0, to: rack }),
     ]);
 
-    // One engine runs the whole day; phases swap the arrival process by
-    // re-running with the accumulated state (the config is cheap to edit
-    // between `run_epoch` calls because the engine re-reads it per run).
-    let mut cfg = SimConfig {
+    let base = SimConfig {
         name: "cdn-day".into(),
-        epochs: 0, // driven phase by phase below
+        epochs: 0, // driven epoch by epoch below
         seed: 7,
         departure_prob: 0.03,
         churn,
@@ -114,30 +152,47 @@ fn main() {
         ..Default::default()
     };
 
+    // --- The service day: one engine, phases via reconfigure(), with a
+    // checkpoint/restart mid-crowd.
+    let mut morning_engine = OnlineSim::new(torus2d(side, side), base.clone());
+    run_day(&mut morning_engine, &base, &phases, restart_at);
+    let snapshot = morning_engine.checkpoint().expect("checkpoint at an epoch boundary");
+    let snapshot_json = snapshot.to_json().expect("snapshot serializes");
+    let mut day: Vec<EpochRecord> = morning_engine.records().to_vec();
+    drop(morning_engine); // the "process" exits mid-flash-crowd
+
+    let restored = SimSnapshot::from_json(&snapshot_json).expect("snapshot parses");
+    let mut evening_engine =
+        OnlineSim::restore(restored, torus2d(side, side)).expect("snapshot restores");
+    println!(
+        "(balancer restarted at epoch {}: {} bytes of snapshot, resumed mid-flash-crowd)\n",
+        evening_engine.epoch(),
+        snapshot_json.len()
+    );
+    run_day(&mut evening_engine, &base, &phases, total);
+    day.extend_from_slice(evening_engine.records());
+
     let mut start = 0usize;
-    let mut sim: Option<OnlineSim> = None;
     for phase in &phases {
-        cfg.arrivals = phase.arrivals;
-        cfg.arrival_placement = phase.placement;
-        cfg.epochs = phase.epochs;
-        let mut engine = match sim.take() {
-            // First phase: fresh engine. Later phases: rebuild the engine
-            // around the same config shape is unnecessary — the engine is
-            // stateful, so keep it and run more epochs.
-            None => OnlineSim::new(torus2d(side, side), cfg.clone()),
-            Some(engine) => engine.with_config(cfg.clone()),
-        };
-        engine.run();
-        summarize(phase.name, &engine.records()[start..]);
-        start = engine.records().len();
-        sim = Some(engine);
+        summarize(phase.name, &day[start..start + phase.epochs as usize]);
+        start += phase.epochs as usize;
     }
 
-    let engine = sim.expect("day ran");
-    let last = engine.records().last().expect("epochs ran");
+    let last = day.last().expect("epochs ran");
     println!(
         "\nend of day: balanced = {}, max load {:.1} vs threshold {:.1}",
         last.balanced, last.max_load, last.threshold
     );
     assert!(last.balanced, "the fabric must converge once traffic stops");
+
+    // --- The service-mode contract: the restarted day is bit-identical
+    // to the same day run without the restart.
+    let mut uninterrupted = OnlineSim::new(torus2d(side, side), base.clone());
+    run_day(&mut uninterrupted, &base, &phases, total);
+    assert_eq!(
+        day,
+        uninterrupted.records(),
+        "restarted trajectory must match the uninterrupted day bit for bit"
+    );
+    println!("restart check: all {} epochs match the uninterrupted run bit for bit", day.len());
 }

@@ -92,7 +92,7 @@ fn online_runs_are_bit_identical_across_runs() {
     let a = OnlineSim::new(torus2d(6, 6), cfg.clone()).run();
     let b = OnlineSim::new(torus2d(6, 6), cfg).run();
     assert_eq!(a, b);
-    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
 }
 
 /// Golden trajectory pin for the resource policy's online stream.

@@ -9,6 +9,28 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// Export the raw xoshiro256++ state words — the checkpoint surface
+    /// of the determinism policy (`vendor/README.md`): a generator
+    /// rebuilt via [`from_state`](Self::from_state) continues the exact
+    /// word stream this one would have produced.
+    pub fn to_state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from exported state words, resuming the
+    /// stream exactly where [`to_state`](Self::to_state) captured it.
+    /// The all-zero state (a fixed point of xoshiro) is remapped the
+    /// same way [`seed_from_u64`](SeedableRng::seed_from_u64) guards it,
+    /// so every input yields a working generator.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
@@ -63,3 +85,48 @@ impl RngCore for SmallRng {
 /// Alias so code written against `rand::rngs::StdRng` keeps compiling;
 /// the shim offers a single generator quality tier.
 pub type StdRng = SmallRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut resumed = SmallRng::from_state(rng.to_state());
+        for _ in 0..100 {
+            assert_eq!(resumed.next_u64(), rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_fill_u64() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut resumed = SmallRng::from_state(rng.to_state());
+        let mut a = [0u64; 37];
+        let mut b = [0u64; 37];
+        rng.fill_u64(&mut a);
+        resumed.fill_u64(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(rng.to_state(), resumed.to_state(), "state advances identically");
+    }
+
+    #[test]
+    fn export_does_not_perturb_the_stream() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let _ = a.to_state();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn all_zero_state_is_remapped_to_a_working_generator() {
+        let mut rng = SmallRng::from_state([0; 4]);
+        assert_ne!(rng.to_state(), [0, 0, 0, 0]);
+        let words: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != words[0]), "stream must not be constant: {words:?}");
+    }
+}

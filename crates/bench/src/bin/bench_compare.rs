@@ -6,7 +6,10 @@
 //! classified from its name:
 //!
 //! * higher-is-better — name contains `per_sec` or `speedup`;
-//! * lower-is-better — name contains `secs`, `_ns`, `rss`, or `bytes`;
+//! * lower-is-better — name contains `secs`, `_ns`, `rss`, or `bytes`
+//!   (unless the leaf is a `*_count` / `*_hits` tally, which stays
+//!   informational — an observability counter named `route_ns_count`
+//!   must never be read as a latency);
 //! * informational — everything else (counts, sizes, thread counts):
 //!   printed when it changed, never a failure.
 //!
@@ -15,7 +18,14 @@
 //! code is nonzero iff at least one metric regressed, so CI can wire the
 //! step soft-fail (`continue-on-error`) while still surfacing red.
 //!
-//! Usage: `bench_compare BASELINE.json FRESH.json [--threshold 0.10]`
+//! `--ignore PREFIX` (repeatable) drops every dotted path equal to the
+//! prefix or nested under it (`PREFIX.`/`PREFIX[`) from both files
+//! before comparing — the obs-overhead gate uses it to exclude the
+//! `timings`/`exec`/`counters` subtrees an instrumented `BENCH_obs.json`
+//! carries on top of the plain snapshot's shape.
+//!
+//! Usage: `bench_compare BASELINE.json FRESH.json [--threshold 0.10]
+//! [--ignore PREFIX]...`
 
 use std::process::ExitCode;
 
@@ -56,7 +66,11 @@ fn direction(path: &str) -> Direction {
     // Classify on the leaf name only, so container keys like
     // "secs"-free row labels can't flip a metric's direction.
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf.contains("per_sec") || leaf.contains("speedup") {
+    // Tallies first: a histogram leaf like `route_ns_count` is an event
+    // count, not a latency, whatever substrings the name carries.
+    if leaf.ends_with("_count") || leaf.ends_with("_hits") {
+        Direction::Informational
+    } else if leaf.contains("per_sec") || leaf.contains("speedup") {
         Direction::HigherBetter
     } else if leaf.contains("secs")
         || leaf.contains("_ns")
@@ -67,6 +81,16 @@ fn direction(path: &str) -> Direction {
     } else {
         Direction::Informational
     }
+}
+
+/// Whether `path` equals `prefix` or lies nested under it (object child
+/// `prefix.…` or array element `prefix[…`). Boundary-aware so
+/// `--ignore timings` cannot swallow a sibling key `timings_v2`.
+fn under_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('.') || rest.starts_with('['))
 }
 
 fn load(path: &str) -> Vec<(String, f64)> {
@@ -81,6 +105,7 @@ fn load(path: &str) -> Vec<(String, f64)> {
 fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 0.10f64;
+    let mut ignored: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,16 +115,27 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--threshold needs a fraction, e.g. 0.10");
             }
+            "--ignore" => {
+                ignored.push(args.next().expect("--ignore needs a dotted-path prefix"));
+            }
             other if !other.starts_with("--") => paths.push(other.to_string()),
-            other => panic!("unknown argument {other:?} (expected BASELINE FRESH [--threshold F])"),
+            other => panic!(
+                "unknown argument {other:?} \
+                 (expected BASELINE FRESH [--threshold F] [--ignore PREFIX]...)"
+            ),
         }
     }
     assert!(
         paths.len() == 2 && threshold >= 0.0,
-        "usage: bench_compare BASELINE.json FRESH.json [--threshold 0.10]"
+        "usage: bench_compare BASELINE.json FRESH.json [--threshold 0.10] [--ignore PREFIX]..."
     );
-    let baseline = load(&paths[0]);
-    let fresh = load(&paths[1]);
+    let keep = |rows: Vec<(String, f64)>| -> Vec<(String, f64)> {
+        rows.into_iter()
+            .filter(|(p, _)| !ignored.iter().any(|i| under_prefix(p, i)))
+            .collect()
+    };
+    let baseline = keep(load(&paths[0]));
+    let fresh = keep(load(&paths[1]));
 
     let mut regressions = 0usize;
     let mut improvements = 0usize;
@@ -110,6 +146,9 @@ fn main() -> ExitCode {
         paths[1],
         threshold * 100.0
     );
+    if !ignored.is_empty() {
+        println!("ignoring subtrees: {}", ignored.join(", "));
+    }
     for (path, old) in &baseline {
         let Some((_, new)) = fresh.iter().find(|(p, _)| p == path) else {
             println!("  - {path}: dropped (baseline {old}, absent in fresh)");
@@ -154,5 +193,28 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_are_informational_before_directional_substrings() {
+        // `route_ns_count` contains `_ns` but is an event tally.
+        assert!(direction("timings.route_ns_count") == Direction::Informational);
+        assert!(direction("counters.fast_path_hits") == Direction::Informational);
+        assert!(direction("timings.route_ns") == Direction::LowerBetter);
+        assert!(direction("rows[0].epochs_per_sec") == Direction::HigherBetter);
+    }
+
+    #[test]
+    fn ignore_prefixes_respect_path_boundaries() {
+        assert!(under_prefix("timings", "timings"));
+        assert!(under_prefix("timings.route_ns", "timings"));
+        assert!(under_prefix("rows[3].secs", "rows"));
+        assert!(!under_prefix("timings_v2.route_ns", "timings"));
+        assert!(!under_prefix("rows[3].secs", "rows[3].secs_b"));
     }
 }

@@ -20,8 +20,18 @@
 //! When `--shards` lists several counts the driver also asserts, in
 //! process, that every count reproduced the same report.
 //!
+//! Observability: `--obs-out PATH` turns the engine's obs registry on
+//! for every cell and writes a `BENCH_obs.json` — the same timing rows
+//! plus the merged [`ObsReport`] subtrees (`counters` deterministic,
+//! `timings` wall clock, `exec` layout diagnostics). `--obs-det-out
+//! PATH` writes *only* the `counters` subtree, which must be
+//! byte-identical across thread and shard counts — the obs twin of
+//! `--det-out`. Without either flag the run is obs-free, identical to
+//! the uninstrumented driver.
+//!
 //! Usage: `scale_sweep [--quick] [--epochs E] [--shards 1,4,...]
-//!                     [--out PATH] [--det-out PATH]`
+//!                     [--out PATH] [--det-out PATH]
+//!                     [--obs-out PATH] [--obs-det-out PATH]`
 //!
 //! `--quick` runs the CI grid (n = 10⁴ and 10⁵, i.e. up to 10⁵ resources
 //! and 10⁶ tasks); the default grid adds n = 10⁶ (10⁷ tasks) for real
@@ -31,6 +41,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use tlb_bench::rss::{peak_rss_bytes, rss_json};
+use tlb_obs::ObsReport;
 use tlb_sim::{ArrivalProcess, OnlineSim, SimConfig, SimReport};
 use tlb_walks::WalkKind;
 
@@ -57,12 +68,23 @@ fn config(n: usize, epochs: u64, shards: usize) -> SimConfig {
     }
 }
 
-/// One timed run; returns the report and its wall seconds.
-fn run_cell(base: &tlb_graphs::Graph, n: usize, epochs: u64, shards: usize) -> (SimReport, f64) {
+/// One timed run; returns the report, its wall seconds, and (when obs
+/// was requested) the cell's observability report.
+fn run_cell(
+    base: &tlb_graphs::Graph,
+    n: usize,
+    epochs: u64,
+    shards: usize,
+    obs: bool,
+) -> (SimReport, f64, Option<ObsReport>) {
     let mut sim = OnlineSim::new(base.clone(), config(n, epochs, shards));
+    if obs {
+        sim.enable_obs();
+    }
     let t = Instant::now();
     let report = sim.run();
-    (report, t.elapsed().as_secs_f64())
+    let secs = t.elapsed().as_secs_f64();
+    (report, secs, sim.obs_report())
 }
 
 fn main() {
@@ -71,6 +93,8 @@ fn main() {
     let mut shards: Vec<usize> = vec![1, 4];
     let mut out = String::from("BENCH_scale.json");
     let mut det_out: Option<String> = None;
+    let mut obs_out: Option<String> = None;
+    let mut obs_det_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,9 +114,13 @@ fn main() {
             }
             "--out" => out = args.next().expect("--out needs a path"),
             "--det-out" => det_out = Some(args.next().expect("--det-out needs a path")),
+            "--obs-out" => obs_out = Some(args.next().expect("--obs-out needs a path")),
+            "--obs-det-out" => {
+                obs_det_out = Some(args.next().expect("--obs-det-out needs a path"));
+            }
             other => panic!(
                 "unknown argument {other:?} (expected --quick / --epochs E / --shards LIST / \
-                 --out PATH / --det-out PATH)"
+                 --out PATH / --det-out PATH / --obs-out PATH / --obs-det-out PATH)"
             ),
         }
     }
@@ -100,16 +128,28 @@ fn main() {
 
     let grid: &[usize] = if quick { &[10_000, 100_000] } else { &[10_000, 100_000, 1_000_000] };
     let threads = rayon::current_num_threads();
+    let obs_on = obs_out.is_some() || obs_det_out.is_some();
 
     let mut rows = String::new();
     let mut det_reports = String::new();
+    let mut obs_total: Option<ObsReport> = None;
     for (gi, &n) in grid.iter().enumerate() {
         let mut rng = SmallRng::seed_from_u64(BASE_SEED ^ n as u64);
         let base = random_regular(n, 8, &mut rng).expect("regular scale graph");
 
         let mut reference: Option<SimReport> = None;
         for &s in &shards {
-            let (report, secs) = run_cell(&base, n, epochs, s);
+            let (report, secs, obs) = run_cell(&base, n, epochs, s, obs_on);
+            // Merge one cell per n — the first listed shard count — so
+            // the merged counters cannot depend on how many counts the
+            // `--shards` list replays (each cell's counters are already
+            // shard-count-invariant on their own).
+            if let Some(obs) = obs.filter(|_| s == shards[0]) {
+                match &mut obs_total {
+                    None => obs_total = Some(obs),
+                    Some(total) => total.merge(&obs),
+                }
+            }
             match &reference {
                 None => reference = Some(report),
                 Some(reference) => assert_eq!(
@@ -163,5 +203,29 @@ fn main() {
         let det = format!("{{\n{det_reports}\n}}\n");
         std::fs::write(&det_out, &det).unwrap_or_else(|e| panic!("cannot write {det_out}: {e}"));
         println!("wrote {det_out} (deterministic; byte-stable across threads and shards)");
+    }
+
+    if obs_on {
+        let obs = obs_total.expect("obs was enabled for every cell");
+        if let Some(obs_out) = obs_out {
+            let json = format!(
+                "{{\n  \"bench\": \"scale_sweep\",\n  \
+                 \"workload\": \"batched_10n_tasks_regular_d8\",\n  \"quick\": {quick},\n  \
+                 \"threads\": {threads},\n  \"rows\": [\n{rows}\n  ],\n  \
+                 \"counters\": {},\n  \"timings\": {},\n  \"exec\": {}\n}}\n",
+                obs.counters_json(),
+                obs.timings_json(),
+                obs.exec_json(),
+            );
+            std::fs::write(&obs_out, &json)
+                .unwrap_or_else(|e| panic!("cannot write {obs_out}: {e}"));
+            println!("wrote {obs_out} (timing rows + obs report)");
+        }
+        if let Some(obs_det_out) = obs_det_out {
+            let det = format!("{}\n", obs.counters_json());
+            std::fs::write(&obs_det_out, &det)
+                .unwrap_or_else(|e| panic!("cannot write {obs_det_out}: {e}"));
+            println!("wrote {obs_det_out} (obs counters; byte-stable across threads and shards)");
+        }
     }
 }

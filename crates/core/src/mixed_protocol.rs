@@ -34,7 +34,7 @@ use tlb_graphs::{Graph, NodeId};
 use tlb_walks::WalkKind;
 
 use crate::placement::Placement;
-use crate::protocol::{ProtocolOutcome, RoundEngine};
+use crate::protocol::{EngineStats, ProtocolOutcome, RoundEngine};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
@@ -205,6 +205,11 @@ impl MixedStepper {
         self.w_max
     }
 
+    /// Deterministic observability counters accumulated so far.
+    pub fn obs_stats(&self) -> EngineStats {
+        self.eng.obs_stats()
+    }
+
     /// Execute one round unless the run is already done. Returns
     /// [`is_done`](Self::is_done) after the round.
     pub fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) -> bool {
@@ -248,6 +253,7 @@ impl MixedStepper {
             eng.positions.resize(eng.cohort.len(), r);
         }
         eng.walker.step_batch(g, self.cfg.walk, &mut eng.positions, rng);
+        eng.note_walk_batch(g, self.cfg.walk);
         // Arrival phase straight off the stepped cohort — the mixed
         // protocol has no shuffle ablation, so no materialized (task,
         // dest) list is needed.

@@ -45,7 +45,7 @@
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use tlb_graphs::{Graph, NodeId};
-use tlb_walks::BatchWalker;
+use tlb_walks::{BatchWalker, WalkKind};
 
 use crate::mixed_protocol::{MixedConfig, MixedStepper};
 use crate::placement::Placement;
@@ -122,6 +122,45 @@ pub struct ProtocolParts {
     pub w_max: f64,
 }
 
+/// Deterministic per-pass observability counters, accumulated by the
+/// round engine as a side effect of quantities every round computes
+/// anyway (cohort lengths) — a handful of integer adds per *round*, so
+/// tracking is unconditional and costs nothing measurable.
+///
+/// These are pure functions of the stack configuration, threshold, and
+/// seed: none of them reads a clock or consumes an RNG word, so they are
+/// bit-identical across thread counts and identical for a replayed
+/// stream. They are *not* part of [`ProtocolOutcome`] (whose serialized
+/// shape is pinned by goldens); the obs layer reads them off through
+/// [`Protocol::obs_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Walk-kernel steps taken (one per cohort member per batched step).
+    pub walk_steps: u64,
+    /// Lazy-walk fused coin+neighbor words drawn (one per walker per
+    /// step under [`WalkKind::Lazy`]).
+    pub fused_word_draws: u64,
+    /// Steps served by the kernel's regular fast path (affine CSR
+    /// offsets; taken whenever the graph is regular with degree > 0).
+    pub regular_fast_path_hits: u64,
+    /// Uniform re-placement words drawn (user-style arrival phase).
+    pub uniform_jump_draws: u64,
+    /// Largest single-round migration cohort seen this pass.
+    pub max_round_cohort: u64,
+}
+
+impl EngineStats {
+    /// Fold another pass's counters into this one (sums; max for the
+    /// cohort high-water mark).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.walk_steps += other.walk_steps;
+        self.fused_word_draws += other.fused_word_draws;
+        self.regular_fast_path_hits += other.regular_fast_path_hits;
+        self.uniform_jump_draws += other.uniform_jump_draws;
+        self.max_round_cohort = self.max_round_cohort.max(other.max_round_cohort);
+    }
+}
+
 /// The shared round state every protocol stepper embeds (see the module
 /// docs). Variant `step` implementations work directly on the public
 /// buffers between [`begin_round`](Self::begin_round) and
@@ -155,6 +194,7 @@ pub struct RoundEngine {
     track_potential: bool,
     rounds: u64,
     migrations: u64,
+    stats: EngineStats,
     potential_series: Vec<f64>,
     trace: Option<RoundTrace>,
     completed: bool,
@@ -194,6 +234,7 @@ impl RoundEngine {
             track_potential,
             rounds: 0,
             migrations: 0,
+            stats: EngineStats::default(),
             potential_series,
             trace,
             completed,
@@ -225,6 +266,32 @@ impl RoundEngine {
         self.threshold
     }
 
+    /// Deterministic observability counters accumulated so far.
+    pub fn obs_stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Account one batched walk step of the current cohort (call right
+    /// after `walker.step_batch`): `positions.len()` steps, classified by
+    /// walk kind and by whether the kernel's regular fast path applies.
+    /// Reads only lengths and cached degree bounds — no RNG, no clock.
+    pub fn note_walk_batch(&mut self, g: &Graph, kind: WalkKind) {
+        let n = self.positions.len() as u64;
+        self.stats.walk_steps += n;
+        if kind == WalkKind::Lazy {
+            self.stats.fused_word_draws += n;
+        }
+        if g.max_degree() > 0 && g.is_regular() {
+            self.stats.regular_fast_path_hits += n;
+        }
+    }
+
+    /// Account one bulk uniform re-placement (user-style arrival phase):
+    /// one destination word per cohort member.
+    pub fn note_uniform_batch(&mut self) {
+        self.stats.uniform_jump_draws += self.cohort.len() as u64;
+    }
+
     /// Open a round: bump the round counter and clear the cohort buffers.
     /// Callers must have checked [`is_done`](Self::is_done) first.
     pub fn begin_round(&mut self) {
@@ -239,6 +306,7 @@ impl RoundEngine {
     /// Returns [`is_done`](Self::is_done) after the round.
     pub fn finish_round(&mut self, migrated: u64) -> bool {
         self.migrations += migrated;
+        self.stats.max_round_cohort = self.stats.max_round_cohort.max(migrated);
         if self.track_potential {
             self.potential_series.push(total_potential(
                 &self.stacks,
@@ -319,6 +387,13 @@ pub trait Protocol {
     /// migration law divides by, or the live maximum for variants that
     /// never read it.
     fn w_max(&self) -> f64;
+
+    /// Deterministic observability counters accumulated so far. Defaults
+    /// to zeros for steppers that do not embed the round engine (the
+    /// baseline adapters).
+    fn obs_stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
 
     /// Capture the serializable resume surface without consuming the
     /// stepper — the checkpoint half of the
@@ -510,6 +585,10 @@ macro_rules! impl_protocol_via_engine {
                 <$stepper>::w_max(self)
             }
 
+            fn obs_stats(&self) -> EngineStats {
+                <$stepper>::obs_stats(self)
+            }
+
             fn into_parts(self: Box<Self>) -> (Vec<ResourceStack>, Vec<f64>) {
                 <$stepper>::into_parts(*self)
             }
@@ -664,6 +743,53 @@ mod tests {
         let on_cycle = run_on(&tlb_graphs::generators::cycle(12));
         assert_eq!(on_complete, on_cycle);
         assert!(on_complete.balanced());
+    }
+
+    #[test]
+    fn obs_stats_count_walks_and_cohorts_deterministically() {
+        let g = torus2d(5, 5); // 4-regular: every step hits the fast path
+        let tasks = TaskSet::new((0..200).map(|i| 1.0 + (i % 3) as f64).collect::<Vec<_>>());
+        let run_once = |walk: WalkKind| {
+            let cfg = ResourceControlledConfig { walk, ..Default::default() };
+            let kind = ProtocolKind::Resource(cfg);
+            let mut r = rng(11);
+            let mut s = kind.new_stepper(&g, &tasks, Placement::AllOnOne(0), &mut r);
+            s.run(&g, &mut r);
+            (s.obs_stats(), s.migrations())
+        };
+        let (stats, migrations) = run_once(WalkKind::MaxDegree);
+        // The resource protocol moves exactly the walked cohort each
+        // round, so steps == migrations; on a regular graph every step is
+        // a fast-path hit; max-degree walks draw no fused words.
+        assert_eq!(stats.walk_steps, migrations);
+        assert_eq!(stats.regular_fast_path_hits, stats.walk_steps);
+        assert_eq!(stats.fused_word_draws, 0);
+        assert_eq!(stats.uniform_jump_draws, 0);
+        assert!(stats.max_round_cohort > 0);
+        assert!(stats.max_round_cohort <= migrations);
+        // Counters are a pure function of the seed: identical on re-run.
+        assert_eq!(run_once(WalkKind::MaxDegree).0, stats);
+        // A lazy walk draws exactly one fused word per step.
+        let (lazy_stats, _) = run_once(WalkKind::Lazy);
+        assert_eq!(lazy_stats.fused_word_draws, lazy_stats.walk_steps);
+        assert!(lazy_stats.fused_word_draws > 0);
+
+        // The user protocol draws uniform words instead of walk steps,
+        // and the baseline default keeps zeros.
+        let kind = ProtocolKind::User(Default::default());
+        let mut r = rng(11);
+        let mut s = kind.new_stepper(&g, &tasks, Placement::AllOnOne(0), &mut r);
+        s.run(&g, &mut r);
+        let ustats = s.obs_stats();
+        assert_eq!(ustats.uniform_jump_draws, s.migrations());
+        assert_eq!(ustats.walk_steps, 0);
+
+        // Merging folds sums and maxes.
+        let mut merged = stats;
+        merged.merge(&ustats);
+        assert_eq!(merged.walk_steps, stats.walk_steps);
+        assert_eq!(merged.uniform_jump_draws, ustats.uniform_jump_draws);
+        assert_eq!(merged.max_round_cohort, stats.max_round_cohort.max(ustats.max_round_cohort));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use tlb_graphs::{Graph, NodeId};
 use tlb_walks::WalkKind;
 
 use crate::placement::Placement;
-use crate::protocol::{ProtocolOutcome, RoundEngine};
+use crate::protocol::{EngineStats, ProtocolOutcome, RoundEngine};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
@@ -195,6 +195,11 @@ impl ResourceControlledStepper {
         crate::protocol::live_w_max(self.stacks(), self.weights())
     }
 
+    /// Deterministic observability counters accumulated so far.
+    pub fn obs_stats(&self) -> EngineStats {
+        self.eng.obs_stats()
+    }
+
     /// Execute one round (removal phase, walk steps, arrival phase) unless
     /// the run is already done. Returns [`is_done`](Self::is_done) after
     /// the round.
@@ -227,6 +232,7 @@ impl ResourceControlledStepper {
         }
         // Walk phase: the whole cohort takes one batched step.
         eng.walker.step_batch(g, self.cfg.walk, &mut eng.positions, rng);
+        eng.note_walk_batch(g, self.cfg.walk);
         eng.pending.clear();
         eng.pending
             .extend(eng.cohort.iter().copied().zip(eng.positions.iter().copied()));

@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use tlb_graphs::Graph;
 
 use crate::placement::Placement;
-use crate::protocol::{ProtocolOutcome, RoundEngine};
+use crate::protocol::{EngineStats, ProtocolOutcome, RoundEngine};
 use crate::stack::ResourceStack;
 use crate::task::{TaskId, TaskSet};
 use crate::threshold::ThresholdPolicy;
@@ -183,6 +183,11 @@ impl UserControlledStepper {
         self.w_max
     }
 
+    /// Deterministic observability counters accumulated so far.
+    pub fn obs_stats(&self) -> EngineStats {
+        self.eng.obs_stats()
+    }
+
     /// One round of Algorithm 6.1 — the graph-free body `step` wraps.
     fn round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         if self.is_done() {
@@ -220,6 +225,7 @@ impl UserControlledStepper {
         // re-zeroing the buffer each round would be a wasted memset.
         eng.dest_words.resize(eng.cohort.len(), 0);
         rng.fill_u64(&mut eng.dest_words);
+        eng.note_uniform_batch();
         for (&t, &word) in eng.cohort.iter().zip(eng.dest_words.iter()) {
             let dest = lemire_u64(word, n) as usize;
             eng.stacks[dest].push(t, eng.weights[t as usize]);

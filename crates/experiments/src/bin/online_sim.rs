@@ -5,7 +5,15 @@
 //!
 //! Usage: `online_sim [--quick] [--scenario NAME] [--epochs N] [--seed S]
 //! [--out PATH] [--checkpoint-every N] [--checkpoint PATH]
-//! [--restore PATH] [--metrics-out PATH] [--bench-out PATH]`
+//! [--restore PATH] [--metrics-out PATH] [--bench-out PATH]
+//! [--obs-out PATH]`
+//!
+//! `--obs-out PATH` enables the engine's observability registry (see
+//! `tlb-obs`) and writes the final report — deterministic counters,
+//! phase timings, execution diagnostics — as JSON. Obs never touches an
+//! RNG stream, so every other artifact stays byte-identical to an
+//! obs-free run; lifecycle events (obs start, checkpoints, soak
+//! reconfigurations) additionally log one JSON line each to stderr.
 //!
 //! Scenarios:
 //!
@@ -64,6 +72,7 @@ struct Args {
     restore: Option<String>,
     metrics_out: Option<String>,
     bench_out: Option<String>,
+    obs_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -78,6 +87,7 @@ fn parse_args() -> Args {
         restore: None,
         metrics_out: None,
         bench_out: None,
+        obs_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -109,12 +119,13 @@ fn parse_args() -> Args {
                 args.metrics_out = Some(it.next().expect("--metrics-out needs a path"));
             }
             "--bench-out" => args.bench_out = Some(it.next().expect("--bench-out needs a path")),
+            "--obs-out" => args.obs_out = Some(it.next().expect("--obs-out needs a path")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: online_sim [--quick] [--scenario steady|churn|cdn-day|soak] \
                      [--epochs N] [--seed S] [--out PATH] [--checkpoint-every N] \
                      [--checkpoint PATH] [--restore PATH] [--metrics-out PATH] \
-                     [--bench-out PATH]"
+                     [--bench-out PATH] [--obs-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -295,6 +306,10 @@ fn main() -> anyhow::Result<()> {
         sim.set_record_buffering(false);
         sim.set_sink(Some(Box::new(NdjsonSink::create(path)?)));
     }
+    if args.obs_out.is_some() {
+        // After a restore this logs the resume epoch in its start event.
+        sim.enable_obs();
+    }
 
     let started = std::time::Instant::now();
     let start_epoch = sim.epoch();
@@ -378,6 +393,13 @@ fn main() -> anyhow::Result<()> {
         std::fs::write(bench_out, &bench)
             .map_err(|e| anyhow::anyhow!("cannot write {bench_out}: {e}"))?;
         println!("wrote {bench_out}");
+    }
+
+    if let Some(obs_out) = &args.obs_out {
+        let obs = sim.obs_report().expect("obs was enabled");
+        std::fs::write(obs_out, format!("{}\n", obs.to_json()))
+            .map_err(|e| anyhow::anyhow!("cannot write {obs_out}: {e}"))?;
+        println!("wrote {obs_out} (obs report: counters / timings / exec)");
     }
 
     // The convergence contract of the churn scenario: after arrivals stop

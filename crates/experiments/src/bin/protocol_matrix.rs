@@ -1,5 +1,10 @@
 //! M1: any protocol × any graph × any arrival scenario through the
 //! generic protocol harness (the `BENCH_matrix` CI artifact).
+//!
+//! `--obs-out PATH` additionally writes the sweep's observability
+//! report (deterministic counters + wall timings + pool diagnostics;
+//! see `tlb-obs`). The table artifacts are byte-identical with or
+//! without it.
 
 use tlb_experiments::cli::Options;
 use tlb_experiments::figures::protocol_matrix;
@@ -16,8 +21,13 @@ fn main() {
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }
-    let table = protocol_matrix::run(&cfg);
+    let (table, obs) = protocol_matrix::run_obs(&cfg);
     print!("{}", table.render());
     let path = table.save(&opts.out_dir).expect("write results");
     eprintln!("saved {}", path.display());
+    if let Some(obs_out) = &opts.obs_out {
+        std::fs::write(obs_out, format!("{}\n", obs.to_json()))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", obs_out.display()));
+        eprintln!("saved {}", obs_out.display());
+    }
 }

@@ -7,7 +7,10 @@
 //!   1000 trials per data point) on the sweep drivers that support it;
 //!   drivers without a full configuration treat it as the default,
 //! * `--trials N` — override the trial count,
-//! * `--out DIR` — results directory (default `results/`).
+//! * `--out DIR` — results directory (default `results/`),
+//! * `--obs-out PATH` — on drivers wired for observability, also write
+//!   a `tlb-obs` report (deterministic sweep counters + wall timings)
+//!   to `PATH`; other drivers accept and ignore it.
 //!
 //! `--full` and `--quick` are mutually exclusive.
 
@@ -24,11 +27,19 @@ pub struct Options {
     pub trials: Option<usize>,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Destination for an observability report, on wired drivers.
+    pub obs_out: Option<PathBuf>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { quick: false, full: false, trials: None, out_dir: PathBuf::from("results") }
+        Options {
+            quick: false,
+            full: false,
+            trials: None,
+            out_dir: PathBuf::from("results"),
+            obs_out: None,
+        }
     }
 }
 
@@ -52,8 +63,13 @@ impl Options {
                 "--out" => {
                     opts.out_dir = PathBuf::from(it.next().expect("--out needs a value"));
                 }
+                "--obs-out" => {
+                    opts.obs_out = Some(PathBuf::from(it.next().expect("--obs-out needs a value")));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick | --full] [--trials N] [--out DIR]");
+                    eprintln!(
+                        "usage: [--quick | --full] [--trials N] [--out DIR] [--obs-out PATH]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),
@@ -87,11 +103,17 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let o = parse(&["--quick", "--trials", "42", "--out", "/tmp/x"]);
+        let o = parse(&["--quick", "--trials", "42", "--out", "/tmp/x", "--obs-out", "obs.json"]);
         assert!(o.quick);
         assert!(!o.full);
         assert_eq!(o.trials, Some(42));
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.obs_out, Some(PathBuf::from("obs.json")));
+    }
+
+    #[test]
+    fn obs_out_defaults_to_none() {
+        assert_eq!(parse(&[]).obs_out, None);
     }
 
     #[test]

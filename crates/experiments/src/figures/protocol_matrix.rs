@@ -24,6 +24,7 @@ use tlb_core::threshold::ThresholdPolicy;
 use tlb_core::user_protocol::UserControlledConfig;
 use tlb_core::weights::WeightSpec;
 use tlb_graphs::generators::Family;
+use tlb_obs::{ObsReport, Registry};
 
 use crate::figures::table1::build_family;
 use crate::harness::{self, MatrixProtocol, ProtocolPoint};
@@ -160,6 +161,18 @@ fn roster(
 /// Run the matrix. Columns: protocol, family, scenario, workload, n, m,
 /// rounds_mean, rounds_ci95, migrations_mean, completed_fraction.
 pub fn run(cfg: &Config) -> Table {
+    run_obs(cfg).0
+}
+
+/// [`run`], also returning the sweep's observability report: the
+/// `counters` subtree aggregates deterministic per-cell totals (rounds,
+/// migrations, completed trials — bit-identical across thread counts),
+/// `timings` carries the sweep wall time, and `exec` the rayon pool
+/// deltas the sweep caused.
+pub fn run_obs(cfg: &Config) -> (Table, ObsReport) {
+    let reg = Registry::new();
+    let pool_base = rayon::pool_stats();
+    let t_sweep = std::time::Instant::now();
     let mut table = Table::new(
         "protocol_matrix",
         format!(
@@ -231,6 +244,13 @@ pub fn run(cfg: &Config) -> Table {
     let points: Vec<ProtocolPoint> = cells.iter().map(|c| c.point.clone()).collect();
     let results = harness::run_protocol_sweep(&points, cfg.trials);
     for (cell, outcomes) in cells.iter().zip(&results) {
+        // Deterministic sweep totals: u64 sums over outcomes, identical
+        // no matter how the pool scheduled the trials.
+        reg.add("matrix.cells", 1);
+        reg.add("matrix.trials", outcomes.len() as u64);
+        reg.add("matrix.rounds", outcomes.iter().map(|o| o.rounds).sum());
+        reg.add("matrix.migrations", outcomes.iter().map(|o| o.migrations).sum());
+        reg.add("matrix.completed_trials", outcomes.iter().filter(|o| o.completed).count() as u64);
         let rounds: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
         let migs: Vec<f64> = outcomes.iter().map(|o| o.migrations as f64).collect();
         let completed =
@@ -250,7 +270,15 @@ pub fn run(cfg: &Config) -> Table {
             format!("{completed:.2}"),
         ]);
     }
-    table
+    reg.record_ns("matrix.sweep_ns", t_sweep.elapsed().as_nanos() as u64);
+    let pool = rayon::pool_stats();
+    reg.set_exec("pool.threads", pool.threads as u64);
+    reg.set_exec("pool.batches", pool.batches.saturating_sub(pool_base.batches));
+    reg.set_exec(
+        "pool.chunks_claimed",
+        pool.chunks_claimed.saturating_sub(pool_base.chunks_claimed),
+    );
+    (table, reg.snapshot())
 }
 
 #[cfg(test)]
@@ -284,6 +312,23 @@ mod tests {
     fn matrix_runs_are_deterministic() {
         let cfg = Config::quick();
         assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn obs_counters_aggregate_the_sweep_deterministically() {
+        let cfg = Config::quick();
+        let (table, obs) = run_obs(&cfg);
+        assert_eq!(obs.counters["matrix.cells"], table.rows.len() as u64);
+        assert_eq!(obs.counters["matrix.trials"], (table.rows.len() * cfg.trials) as u64);
+        assert!(obs.counters["matrix.rounds"] > 0);
+        assert!(obs.counters["matrix.migrations"] > 0);
+        assert!(obs.counters["matrix.completed_trials"] <= obs.counters["matrix.trials"]);
+        assert!(obs.timings.contains_key("matrix.sweep_ns"));
+        // The deterministic subtree is byte-stable run to run; the table
+        // itself must be unchanged by the instrumentation.
+        let (again_table, again) = run_obs(&cfg);
+        assert_eq!(again_table, table);
+        assert_eq!(again.counters_json(), obs.counters_json());
     }
 
     #[test]

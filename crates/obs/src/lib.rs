@@ -1,0 +1,573 @@
+//! `tlb-obs`: a lightweight metrics layer for the threshold
+//! load-balancing stack — atomic counters, gauges, log2-bucketed duration
+//! histograms, and span-style phase timers behind a [`Registry`] that
+//! snapshots to a serializable [`ObsReport`].
+//!
+//! # The counters-vs-timings split
+//!
+//! Every metric lands in exactly one of three report subtrees, and the
+//! split is a *contract*, not a convention:
+//!
+//! - **`counters`** — deterministic event counts (walk steps, fused-word
+//!   draws, migrations, cohort sizes, epoch totals). These are pure
+//!   functions of the configuration and seed: they never read a clock,
+//!   never touch an RNG stream, and are accumulated shard-locally and
+//!   merged in shard order at round boundaries — so the rendered
+//!   `counters` subtree is **byte-identical** across `RAYON_NUM_THREADS`
+//!   and shard counts. CI diffs it byte-for-byte across a thread×shard
+//!   grid.
+//! - **`timings`** — wall-clock phase durations ([`TimingStat`]: count,
+//!   total/max nanoseconds, log2 buckets). Inherently non-deterministic;
+//!   deterministic-output comparisons and `bench_compare` exclude this
+//!   subtree (`--ignore timings`).
+//! - **`exec`** — execution-layout diagnostics: how the work was
+//!   scheduled (rayon-shim pool batch/chunk/claim counts, per-shard
+//!   handoff counts). Deterministic only for a fixed thread count and
+//!   shard layout, so it is likewise excluded from cross-grid diffs.
+//!
+//! # Zero overhead when off
+//!
+//! The hot layers do not consult a global flag per event. Observability
+//! is *structurally* off: the simulation engines hold an
+//! `Option<ObsState>` and skip every `Instant::now()` when it is `None`,
+//! and the per-round deterministic counters are a handful of integer
+//! adds of already-computed lengths. The rayon-shim pool keeps a few
+//! per-batch/per-chunk relaxed atomics unconditionally (the same pattern
+//! as its existing `worker_spawn_count`), which is noise next to the
+//! work a chunk performs. The CI budget for obs-*on* runs is ≤3%
+//! epochs/sec, checked by an advisory `bench_compare` step.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::value::{Number, Value};
+use serde::Serialize;
+
+/// A monotonically increasing event count (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `v` to the count.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the count (for counters mirrored from an external tally).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / running-max gauge (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: index 0 holds exact zeros; index `b >= 1` holds values
+/// in `[2^(b-1), 2^b)`.
+const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    total: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The log2 bucket index of `v`: 0 for 0, else `floor(log2(v)) + 1`.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Freeze into the serializable per-phase statistic.
+    pub fn stat(&self) -> TimingStat {
+        let buckets = (0..HIST_BUCKETS)
+            .filter_map(|b| {
+                let c = self.buckets[b].load(Ordering::Relaxed);
+                (c > 0).then_some((b as u8, c))
+            })
+            .collect();
+        TimingStat { count: self.count(), total_ns: self.total(), max_ns: self.max(), buckets }
+    }
+}
+
+/// A span-style timer: created against a phase histogram, records the
+/// elapsed nanoseconds on drop.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Timer {
+    /// Start a span against `hist`.
+    pub fn start(hist: Arc<Histogram>) -> Self {
+        Timer { hist, start: Instant::now() }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+    }
+}
+
+/// A frozen histogram: sample count, total and max nanoseconds, and the
+/// non-empty log2 buckets as `(bucket_index, count)` pairs (bucket `b`
+/// covers `[2^(b-1), 2^b)`; bucket 0 is exact zeros).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimingStat {
+    /// Spans recorded.
+    pub count: u64,
+    /// Sum of span durations in nanoseconds.
+    pub total_ns: u64,
+    /// Longest span in nanoseconds.
+    pub max_ns: u64,
+    /// Sparse log2 buckets, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// A named-metric registry. Get-or-create handles are `Arc`s, so hot
+/// code resolves a name once and then touches only the atomic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    exec: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().expect("obs registry poisoned");
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Add `v` to counter `name`.
+    pub fn add(&self, name: &str, v: u64) {
+        self.counter(name).add(v);
+    }
+
+    /// Overwrite counter `name` with `v` (mirror an external tally).
+    pub fn set(&self, name: &str, v: u64) {
+        self.counter(name).set(v);
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().expect("obs registry poisoned");
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.hists.lock().expect("obs registry poisoned");
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Record `ns` nanoseconds against phase `name`.
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        self.histogram(name).record(ns);
+    }
+
+    /// Start a span against phase `name`; it records on drop.
+    pub fn timer(&self, name: &str) -> Timer {
+        Timer::start(self.histogram(name))
+    }
+
+    /// Set execution-layout diagnostic `name` (pool/shard-layout values;
+    /// excluded from cross-grid determinism diffs).
+    pub fn set_exec(&self, name: &str, v: u64) {
+        let mut m = self.exec.lock().expect("obs registry poisoned");
+        m.insert(name.to_string(), v);
+    }
+
+    /// Add to an execution-layout diagnostic, creating it at zero.
+    pub fn add_exec(&self, name: &str, v: u64) {
+        let mut m = self.exec.lock().expect("obs registry poisoned");
+        *m.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Freeze every metric into an [`ObsReport`]. Gauges land in the
+    /// `counters` subtree (they are deterministic values too).
+    pub fn snapshot(&self) -> ObsReport {
+        let counters = {
+            let m = self.counters.lock().expect("obs registry poisoned");
+            let mut out: BTreeMap<String, u64> =
+                m.iter().map(|(k, c)| (k.clone(), c.get())).collect();
+            let g = self.gauges.lock().expect("obs registry poisoned");
+            out.extend(g.iter().map(|(k, v)| (k.clone(), v.get())));
+            out
+        };
+        let timings = {
+            let m = self.hists.lock().expect("obs registry poisoned");
+            m.iter().map(|(k, h)| (k.clone(), h.stat())).collect()
+        };
+        let exec = self.exec.lock().expect("obs registry poisoned").clone();
+        ObsReport { counters, timings, exec }
+    }
+}
+
+/// A frozen registry snapshot: the three subtrees of the obs contract
+/// (see the crate docs). Renders to byte-stable JSON — `BTreeMap` key
+/// order plus fixed field order — so equal reports serialize to equal
+/// bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsReport {
+    /// Deterministic counters: byte-diffable across thread and shard
+    /// counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Wall-clock phase statistics. Excluded from determinism diffs and
+    /// `bench_compare` classification (`--ignore timings`).
+    pub timings: BTreeMap<String, TimingStat>,
+    /// Execution-layout diagnostics (pool scheduling, shard layout).
+    /// Deterministic only for a fixed grid cell.
+    pub exec: BTreeMap<String, u64>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn u64_map_json(m: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in m.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+    out
+}
+
+impl TimingStat {
+    /// Byte-stable JSON object for one phase.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"total_ns\":{},\"max_ns\":{},\"buckets\":[",
+            self.count, self.total_ns, self.max_ns
+        );
+        for (i, (b, c)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{b},{c}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl ObsReport {
+    /// The deterministic `counters` subtree as a byte-stable JSON object
+    /// — the unit CI byte-diffs across the thread×shard grid.
+    pub fn counters_json(&self) -> String {
+        u64_map_json(&self.counters)
+    }
+
+    /// The wall-clock `timings` subtree as a JSON object.
+    pub fn timings_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, t)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            out.push_str(&t.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    /// The `exec` subtree as a JSON object.
+    pub fn exec_json(&self) -> String {
+        u64_map_json(&self.exec)
+    }
+
+    /// The whole report as one JSON object:
+    /// `{"counters":…,"timings":…,"exec":…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"counters\":{},\"timings\":{},\"exec\":{}}}",
+            self.counters_json(),
+            self.timings_json(),
+            self.exec_json()
+        )
+    }
+
+    /// Fold another report into this one: counters and exec values add,
+    /// timing stats merge (counts/totals add, maxes max, buckets add).
+    pub fn merge(&mut self, other: &ObsReport) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.exec {
+            *self.exec.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, t) in &other.timings {
+            let slot = self.timings.entry(k.clone()).or_default();
+            slot.count += t.count;
+            slot.total_ns += t.total_ns;
+            slot.max_ns = slot.max_ns.max(t.max_ns);
+            let mut merged: BTreeMap<u8, u64> = slot.buckets.iter().copied().collect();
+            for &(b, c) in &t.buckets {
+                *merged.entry(b).or_insert(0) += c;
+            }
+            slot.buckets = merged.into_iter().collect();
+        }
+    }
+}
+
+impl Serialize for TimingStat {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_string(), Value::Number(Number::U(self.count))),
+            ("total_ns".to_string(), Value::Number(Number::U(self.total_ns))),
+            ("max_ns".to_string(), Value::Number(Number::U(self.max_ns))),
+            (
+                "buckets".to_string(),
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|&(b, c)| {
+                            Value::Array(vec![
+                                Value::Number(Number::U(u64::from(b))),
+                                Value::Number(Number::U(c)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Serialize for ObsReport {
+    fn to_value(&self) -> Value {
+        let nums = |m: &BTreeMap<String, u64>| {
+            Value::Object(
+                m.iter().map(|(k, &v)| (k.clone(), Value::Number(Number::U(v)))).collect(),
+            )
+        };
+        Value::Object(vec![
+            ("counters".to_string(), nums(&self.counters)),
+            (
+                "timings".to_string(),
+                Value::Object(
+                    self.timings.iter().map(|(k, t)| (k.clone(), t.to_value())).collect(),
+                ),
+            ),
+            ("exec".to_string(), nums(&self.exec)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 4);
+        c.set(10);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::new();
+        g.record_max(5);
+        g.record_max(2);
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        let s = h.stat();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_ns, 1030);
+        assert_eq!(s.max_ns, 1024);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (11, 1)]);
+    }
+
+    #[test]
+    fn timer_records_a_span() {
+        let reg = Registry::new();
+        {
+            let _t = reg.timer("phase.unit");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.timings["phase.unit"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_renders_sorted_byte_stable_json() {
+        let reg = Registry::new();
+        reg.add("b_count", 2);
+        reg.add("a_count", 1);
+        reg.gauge("m_max").record_max(9);
+        reg.set_exec("pool.batches", 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters_json(), "{\"a_count\":1,\"b_count\":2,\"m_max\":9}");
+        assert_eq!(snap.exec_json(), "{\"pool.batches\":7}");
+        // Same contents => same bytes, regardless of insertion order.
+        let reg2 = Registry::new();
+        reg2.gauge("m_max").set(9);
+        reg2.add("a_count", 1);
+        reg2.add("b_count", 2);
+        reg2.set_exec("pool.batches", 7);
+        assert_eq!(reg2.snapshot().to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let reg = Registry::new();
+        reg.add("x_count", 1);
+        reg.record_ns("p", 2);
+        reg.set_exec("e", 3);
+        let mut a = reg.snapshot();
+        a.merge(&reg.snapshot());
+        assert_eq!(a.counters["x_count"], 2);
+        assert_eq!(a.timings["p"].count, 2);
+        assert_eq!(a.timings["p"].total_ns, 4);
+        assert_eq!(a.exec["e"], 6);
+    }
+
+    #[test]
+    fn report_serializes_through_serde() {
+        let reg = Registry::new();
+        reg.add("n_count", 5);
+        reg.record_ns("p", 1);
+        let snap = reg.snapshot();
+        let v = snap.to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "counters");
+        assert_eq!(obj[1].0, "timings");
+        assert_eq!(obj[2].0, "exec");
+    }
+
+    #[test]
+    fn json_escapes_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("a\"b".to_string(), 1);
+        assert_eq!(u64_map_json(&m), "{\"a\\\"b\":1}");
+    }
+}

@@ -31,6 +31,21 @@
 //! counts (see `crate::shard` for the law and its chi-square pin).
 //! Mixed/baseline passes consume the epoch RNG sequentially, exactly as
 //! before the split.
+//!
+//! ## Observability
+//!
+//! [`OnlineSim::enable_obs`] turns on a per-run [`tlb_obs::Registry`]
+//! fed every epoch: deterministic protocol counters (arrivals, ejection
+//! cohorts, walk draws — identical across thread and shard counts),
+//! wall-clock phase timings (churn / arrivals / rebalance / record), and
+//! execution-layout diagnostics (rayon pool deltas, cross-shard
+//! handoffs). With obs off the loop takes no timestamps and keeps no
+//! tallies; with it on, nothing touches any RNG stream, so records and
+//! snapshots stay bit-identical either way. While obs is on, lifecycle
+//! transitions (obs start, checkpoint, reconfigure) also emit one-line
+//! JSON events on stderr.
+
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +58,7 @@ use tlb_core::stack::ResourceStack;
 use tlb_core::threshold::ThresholdPolicy;
 use tlb_graphs::DynamicGraph;
 use tlb_graphs::Graph;
+use tlb_obs::{ObsReport, Registry};
 use tlb_walks::WalkKind;
 
 use crate::arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
@@ -201,6 +217,15 @@ impl Default for SimConfig {
     }
 }
 
+/// Observability state of a run: the registry every epoch feeds, plus
+/// the pool-statistics baseline captured at enable time so the report
+/// carries this run's deltas rather than process-lifetime totals.
+#[derive(Debug)]
+struct ObsState {
+    reg: Registry,
+    pool_base: rayon::PoolStats,
+}
+
 /// The online simulation: a [`SimState`] plus the epoch scheduler
 /// driving it (see the module docs for the split).
 #[derive(Debug)]
@@ -221,6 +246,9 @@ pub struct OnlineSim {
     buffer_records: bool,
     /// Optional streaming destination for every epoch record.
     sink: Option<Box<dyn MetricsSink>>,
+    /// Per-run observability; `None` (the default) keeps the epoch loop
+    /// on its uninstrumented path.
+    obs: Option<ObsState>,
 }
 
 impl OnlineSim {
@@ -246,6 +274,7 @@ impl OnlineSim {
             summary: RunningSummary::default(),
             buffer_records: true,
             sink: None,
+            obs: None,
         }
     }
 
@@ -335,6 +364,7 @@ impl OnlineSim {
         anyhow::ensure!(self.cfg.tenants == cfg.tenants, "tenant classes cannot change mid-run");
         Self::try_validate(&cfg).map_err(anyhow::Error::msg)?;
         self.cfg = cfg;
+        self.obs_event("reconfigure");
         Ok(())
     }
 
@@ -390,6 +420,60 @@ impl OnlineSim {
         self.buffer_records = on;
         if !on {
             self.records = Vec::new();
+        }
+    }
+
+    /// Turn on observability for this run (idempotent). Captures the
+    /// rayon pool-statistics baseline (so [`obs_report`](Self::obs_report)
+    /// carries deltas), starts the registry the epoch loop feeds, and
+    /// emits an `obs_start` event line on stderr. After a
+    /// [`restore`](Self::restore), call this again on the resumed
+    /// engine — the event's `epoch` field records the resume point.
+    ///
+    /// Determinism-neutral: nothing here or in the instrumented loop
+    /// touches an RNG stream, so records, snapshots, and reports are
+    /// bit-identical to an obs-off run.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(ObsState { reg: Registry::new(), pool_base: rayon::pool_stats() });
+            self.obs_event("obs_start");
+        }
+    }
+
+    /// Snapshot the observability report, if
+    /// [`enable_obs`](Self::enable_obs) was called: deterministic
+    /// protocol counters, wall-clock phase timings, and execution-layout
+    /// diagnostics including the pool-statistics delta since enable (see
+    /// `tlb-obs` for the three-way split).
+    pub fn obs_report(&self) -> Option<ObsReport> {
+        let obs = self.obs.as_ref()?;
+        let pool = rayon::pool_stats();
+        let base = &obs.pool_base;
+        obs.reg.set_exec("pool.threads", pool.threads as u64);
+        obs.reg.set_exec("pool.workers_spawned", pool.workers_spawned as u64);
+        obs.reg.set_exec("pool.batches", pool.batches.saturating_sub(base.batches));
+        obs.reg.set_exec(
+            "pool.chunks_claimed",
+            pool.chunks_claimed.saturating_sub(base.chunks_claimed),
+        );
+        obs.reg
+            .set_exec("pool.inline_nested", pool.inline_nested.saturating_sub(base.inline_nested));
+        obs.reg.set_exec(
+            "pool.inline_contended",
+            pool.inline_contended.saturating_sub(base.inline_contended),
+        );
+        Some(obs.reg.snapshot())
+    }
+
+    /// One structured JSON event line on stderr — only while obs is on.
+    fn obs_event(&self, kind: &str) {
+        if self.obs.is_some() {
+            eprintln!(
+                "{{\"tlb_obs_event\":\"{kind}\",\"epoch\":{},\"live_tasks\":{},\"active_resources\":{}}}",
+                self.epoch,
+                self.state.live,
+                self.state.dg.num_active()
+            );
         }
     }
 
@@ -452,6 +536,7 @@ impl OnlineSim {
         if let Some(sink) = self.sink.as_mut() {
             sink.flush()?;
         }
+        self.obs_event("checkpoint");
         Ok(SimSnapshot {
             version: SNAPSHOT_VERSION,
             config: self.cfg.clone(),
@@ -549,6 +634,7 @@ impl OnlineSim {
             summary: snap.summary,
             buffer_records: true,
             sink: None,
+            obs: None,
         })
     }
 
@@ -567,6 +653,8 @@ impl OnlineSim {
     /// # Errors
     /// If the attached metrics sink fails to record.
     pub fn try_run_epoch(&mut self) -> anyhow::Result<()> {
+        let obs_on = self.obs.is_some();
+        let t_start = obs_on.then(Instant::now);
         let mut rng = SmallRng::seed_from_u64(epoch_seed(self.cfg.seed, self.epoch));
         let state = &mut self.state;
         let mut drained = 0u64;
@@ -597,6 +685,7 @@ impl OnlineSim {
         if topology_changed {
             state.refresh_walk_graph(self.cfg.compact_after_ops);
         }
+        let t_churn = obs_on.then(Instant::now);
 
         // --- 2. departures: every live task flips an independent coin.
         let departures = state.depart_bernoulli(self.cfg.departure_prob, &mut rng);
@@ -629,6 +718,7 @@ impl OnlineSim {
         // --- 5. incremental rebalancing pass.
         let mut rebalance_rounds = 0u64;
         let mut migrations = 0u64;
+        let t_arrivals = obs_on.then(Instant::now);
         if state.live > 0 && !is_balanced(&state.stacks, threshold) {
             match self.cfg.rebalance {
                 RebalancePolicy::Resource { walk } => {
@@ -644,6 +734,9 @@ impl OnlineSim {
                         walk,
                         self.cfg.rounds_per_epoch,
                     );
+                    if obs_on {
+                        engine.enable_obs();
+                    }
                     engine.run(
                         &state.walk_graph,
                         &state.weights,
@@ -651,6 +744,17 @@ impl OnlineSim {
                     );
                     rebalance_rounds = engine.rounds();
                     migrations = engine.migrations();
+                    if let (Some(obs), Some(s)) = (&self.obs, engine.obs()) {
+                        let reg = &obs.reg;
+                        // Shard-count-invariant (counters subtree).
+                        reg.add("rebalance.ejected", s.ejected);
+                        reg.gauge("rebalance.max_round_cohort").record_max(s.max_round_cohort);
+                        // Layout-dependent (exec) and wall clock (timings).
+                        obs.reg.add_exec("shard.cross_shard_handoffs", s.cross_shard_handoffs);
+                        reg.record_ns("shard.eject_walk_ns", s.eject_walk_ns);
+                        reg.record_ns("shard.route_ns", s.route_ns);
+                        reg.record_ns("shard.apply_ns", s.apply_ns);
+                    }
                     state.stacks = engine.into_parts();
                 }
                 _ => {
@@ -669,10 +773,21 @@ impl OnlineSim {
                     stepper.run(&state.walk_graph, &mut rng);
                     rebalance_rounds = stepper.rounds();
                     migrations = stepper.migrations();
+                    if let Some(obs) = &self.obs {
+                        let s = stepper.obs_stats();
+                        let reg = &obs.reg;
+                        reg.add("rebalance.walk_steps", s.walk_steps);
+                        reg.add("rebalance.fused_word_draws", s.fused_word_draws);
+                        reg.add("rebalance.regular_fast_path_hits", s.regular_fast_path_hits);
+                        reg.add("rebalance.uniform_jump_draws", s.uniform_jump_draws);
+                        reg.gauge("rebalance.max_round_cohort").record_max(s.max_round_cohort);
+                    }
                     (state.stacks, state.weights) = stepper.into_parts();
                 }
             }
         }
+
+        let t_rebalance = obs_on.then(Instant::now);
 
         // --- 6. metrics snapshot.
         let max_load = max_load(&state.stacks);
@@ -706,6 +821,27 @@ impl OnlineSim {
         }
         if self.buffer_records {
             self.records.push(record);
+        }
+        if let Some(obs) = &self.obs {
+            let reg = &obs.reg;
+            reg.add("sim.epochs", 1);
+            reg.add("sim.arrivals", arrivals);
+            reg.add("sim.departures", departures);
+            reg.add("sim.drained", drained);
+            reg.add("sim.migrations", migrations);
+            reg.add("sim.rebalance_rounds", rebalance_rounds);
+            if balanced {
+                reg.add("sim.balanced_epochs", 1);
+            }
+            let t_end = Instant::now();
+            let span = |a: Option<Instant>, b: Instant| {
+                (b - a.expect("obs boundaries exist while obs is on")).as_nanos() as u64
+            };
+            reg.record_ns("epoch.churn_ns", span(t_start, t_churn.unwrap()));
+            reg.record_ns("epoch.arrivals_ns", span(t_churn, t_arrivals.unwrap()));
+            reg.record_ns("epoch.rebalance_ns", span(t_arrivals, t_rebalance.unwrap()));
+            reg.record_ns("epoch.record_ns", span(t_rebalance, t_end));
+            reg.record_ns("epoch.total_ns", span(t_start, t_end));
         }
         self.epoch += 1;
         Ok(())
@@ -1033,6 +1169,67 @@ mod tests {
         assert_eq!(report.balanced_fraction.to_bits(), buffered.balanced_fraction.to_bits());
         assert_eq!(report.peak_load.to_bits(), buffered.peak_load.to_bits());
         assert_eq!(report.tenant_violation_rates, buffered.tenant_violation_rates);
+    }
+
+    #[test]
+    fn obs_is_off_by_default_and_determinism_neutral_when_on() {
+        let mut cfg = quick_cfg("obs");
+        cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 };
+        let plain = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+
+        let run_obs = |shards: usize| {
+            let mut cfg = cfg.clone();
+            cfg.shards = shards;
+            let mut sim = OnlineSim::new(torus2d(4, 4), cfg);
+            assert!(sim.obs_report().is_none(), "obs must be opt-in");
+            sim.enable_obs();
+            let report = sim.run();
+            (report, sim.obs_report().expect("obs was enabled"))
+        };
+        let (report, obs) = run_obs(1);
+        // Neutrality: the instrumented run's records are bit-identical.
+        assert_eq!(report, plain);
+        // Counter semantics against the run-level report.
+        assert_eq!(obs.counters["sim.epochs"], plain.epochs);
+        assert_eq!(obs.counters["sim.arrivals"], plain.total_arrivals);
+        assert_eq!(obs.counters["sim.migrations"], plain.total_migrations);
+        assert_eq!(obs.counters["rebalance.ejected"], plain.total_migrations);
+        assert!(obs.counters["rebalance.max_round_cohort"] > 0);
+        assert!(obs.timings.contains_key("epoch.total_ns"));
+        assert!(obs.timings.contains_key("shard.route_ns"));
+        assert!(obs.exec.contains_key("pool.threads"));
+        assert_eq!(obs.exec["shard.cross_shard_handoffs"], 0);
+
+        // The counters subtree is byte-identical across shard counts;
+        // exec (layout diagnostics) legitimately differs.
+        for shards in [2usize, 5] {
+            let (sharded_report, sharded_obs) = run_obs(shards);
+            assert_eq!(sharded_report, plain, "shard count {shards} diverged");
+            assert_eq!(
+                sharded_obs.counters_json(),
+                obs.counters_json(),
+                "obs counters diverged at shard count {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_policy_obs_counts_walk_draws() {
+        let mut cfg = quick_cfg("obs-mixed");
+        cfg.rebalance = RebalancePolicy::Mixed {
+            departure: Departure::Bernoulli,
+            alpha: 1.0,
+            walk: WalkKind::Lazy,
+        };
+        let mut sim = OnlineSim::new(complete(12), cfg);
+        sim.enable_obs();
+        let report = sim.run();
+        let obs = sim.obs_report().unwrap();
+        assert_eq!(obs.counters["rebalance.walk_steps"], report.total_migrations);
+        assert_eq!(
+            obs.counters["rebalance.fused_word_draws"], obs.counters["rebalance.walk_steps"],
+            "the lazy walk fuses its coin and neighbour draws"
+        );
     }
 
     #[test]

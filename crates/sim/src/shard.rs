@@ -42,6 +42,8 @@
 //! across `RAYON_NUM_THREADS` *and* across shard counts; the engine at
 //! `shards = 1` is the reference sequential semantics.
 
+use std::time::Instant;
+
 use rayon::prelude::*;
 use tlb_core::fragment::StackFragment;
 use tlb_core::stack::ResourceStack;
@@ -117,6 +119,44 @@ pub fn walk_dest(g: &Graph, kind: WalkKind, v: NodeId, word: u64) -> NodeId {
     }
 }
 
+/// Per-pass observability for the sharded engine, collected only when
+/// [`ShardedEngine::enable_obs`] was called (a pass with obs off never
+/// reads a clock and skips every tally).
+///
+/// The split follows the obs contract (`tlb-obs` crate docs):
+///
+/// * `ejected` / `max_round_cohort` are **deterministic and
+///   shard-count-invariant** — pure functions of the pass inputs,
+///   accumulated shard-locally and merged in shard order at the round's
+///   sequential route barrier;
+/// * `cross_shard_handoffs` is deterministic **for a fixed shard
+///   layout** (one shard has none by construction) — an execution-layout
+///   diagnostic;
+/// * the `*_ns` fields are wall clock: total and per-shard time inside
+///   each of the three round phases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardPassStats {
+    /// Tasks ejected over the pass (equals `migrations()`).
+    pub ejected: u64,
+    /// Largest single-round global cohort.
+    pub max_round_cohort: u64,
+    /// Handoffs whose destination lay on a different shard than their
+    /// source.
+    pub cross_shard_handoffs: u64,
+    /// Wall time inside the parallel eject+walk phase, summed over
+    /// shards.
+    pub eject_walk_ns: u64,
+    /// Wall time of the sequential route barrier.
+    pub route_ns: u64,
+    /// Wall time inside the parallel apply+balance phase, summed over
+    /// shards.
+    pub apply_ns: u64,
+    /// Per-shard eject+walk wall time (index = shard).
+    pub per_shard_eject_walk_ns: Vec<u64>,
+    /// Per-shard apply+balance wall time (index = shard).
+    pub per_shard_apply_ns: Vec<u64>,
+}
+
 /// A resumable sharded rebalancing pass: the resource-controlled
 /// protocol's round loop over fragment-partitioned stacks. Construct
 /// from live stepper state with [`ShardedEngine::from_parts`], drive
@@ -134,6 +174,7 @@ pub struct ShardedEngine {
     rounds: u64,
     migrations: u64,
     balanced: bool,
+    obs: Option<Box<ShardPassStats>>,
 }
 
 impl ShardedEngine {
@@ -161,7 +202,27 @@ impl ShardedEngine {
             rounds: 0,
             migrations: 0,
             balanced,
+            obs: None,
         }
+    }
+
+    /// Turn on per-pass observability (idempotent). Off by default: a
+    /// pass without it takes no timestamps and keeps no tallies.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            let shards = self.partition.num_shards();
+            self.obs = Some(Box::new(ShardPassStats {
+                per_shard_eject_walk_ns: vec![0; shards],
+                per_shard_apply_ns: vec![0; shards],
+                ..ShardPassStats::default()
+            }));
+        }
+    }
+
+    /// The pass statistics, if [`enable_obs`](Self::enable_obs) was
+    /// called.
+    pub fn obs(&self) -> Option<&ShardPassStats> {
+        self.obs.as_deref()
     }
 
     /// Run rounds until balanced or the round budget is spent. `weights`
@@ -176,14 +237,20 @@ impl ShardedEngine {
 
     /// One three-phase round (see the module docs).
     fn round(&mut self, g: &Graph, weights: &[f64], round_seed: u64) {
+        /// Phase-1 result per shard: the fragment handed back, its outbox
+        /// of `(task, destination)` walk handoffs, and the eject+walk
+        /// wall time in ns (always 0 when obs is off — no clock is read).
+        type EjectedShard = (StackFragment, Vec<(TaskId, NodeId)>, u64);
         let threshold = self.threshold;
         let walk = self.walk;
         // Phase 1: eject + walk, one pool task per shard. Each outbox is
         // in ascending (node, slot) order within its shard.
+        let timed = self.obs.is_some();
         let fragments = std::mem::take(&mut self.fragments);
-        let ejected: Vec<(StackFragment, Vec<(TaskId, NodeId)>)> = fragments
+        let ejected: Vec<EjectedShard> = fragments
             .into_par_iter()
             .map(|mut frag| {
+                let t0 = timed.then(Instant::now);
                 let mut cohort: Vec<TaskId> = Vec::new();
                 let mut sources: Vec<NodeId> = Vec::new();
                 frag.eject_overloaded(threshold, weights, &mut cohort, &mut sources);
@@ -196,34 +263,61 @@ impl ShardedEngine {
                     let dest = walk_dest(g, walk, v, walk_word(round_seed, v, slot));
                     outbox.push((t, dest));
                 }
-                (frag, outbox)
+                let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (frag, outbox, ns)
             })
             .collect();
         // Phase 2: route handoffs. Iterating shards in order keeps each
         // inbox in canonical global cohort order, so the apply phase
         // stacks arrivals exactly as the sequential stepper would.
+        let t_route = timed.then(Instant::now);
         let mut inboxes: Vec<Vec<(TaskId, NodeId)>> = vec![Vec::new(); self.partition.num_shards()];
-        for (_, outbox) in &ejected {
+        for (_, outbox, _) in &ejected {
             self.migrations += outbox.len() as u64;
             for &(t, dest) in outbox {
                 inboxes[self.partition.shard_of(dest)].push((t, dest));
             }
         }
+        // Obs tallies walk the same shard order as the route loop, so the
+        // deterministic counters merge identically for every shard count.
+        let partition = &self.partition;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            let mut round_cohort = 0u64;
+            for (shard, (_, outbox, ns)) in ejected.iter().enumerate() {
+                round_cohort += outbox.len() as u64;
+                obs.cross_shard_handoffs +=
+                    outbox.iter().filter(|&&(_, dest)| partition.shard_of(dest) != shard).count()
+                        as u64;
+                obs.per_shard_eject_walk_ns[shard] += ns;
+                obs.eject_walk_ns += ns;
+            }
+            obs.ejected += round_cohort;
+            obs.max_round_cohort = obs.max_round_cohort.max(round_cohort);
+            obs.route_ns += t_route.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        }
         // Phase 3: apply inboxes and check balance per shard.
         let work: Vec<(StackFragment, Vec<(TaskId, NodeId)>)> =
-            ejected.into_iter().map(|(f, _)| f).zip(inboxes).collect();
-        let applied: Vec<(StackFragment, bool)> = work
+            ejected.into_iter().map(|(f, _, _)| f).zip(inboxes).collect();
+        let applied: Vec<(StackFragment, bool, u64)> = work
             .into_par_iter()
             .map(|(mut frag, inbox)| {
+                let t0 = timed.then(Instant::now);
                 for (t, dest) in inbox {
                     frag.push(dest, t, weights[t as usize]);
                 }
                 let balanced = frag.is_balanced(threshold);
-                (frag, balanced)
+                let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (frag, balanced, ns)
             })
             .collect();
-        self.balanced = applied.iter().all(|&(_, ok)| ok);
-        self.fragments = applied.into_iter().map(|(f, _)| f).collect();
+        if let Some(obs) = self.obs.as_deref_mut() {
+            for (shard, &(_, _, ns)) in applied.iter().enumerate() {
+                obs.per_shard_apply_ns[shard] += ns;
+                obs.apply_ns += ns;
+            }
+        }
+        self.balanced = applied.iter().all(|&(_, ok, _)| ok);
+        self.fragments = applied.into_iter().map(|(f, _, _)| f).collect();
         self.rounds += 1;
     }
 
@@ -365,6 +459,43 @@ mod tests {
             assert_eq!(run_at(k), reference, "shard count {k} diverged");
         }
         assert!(reference.2, "reference run should balance on the torus");
+    }
+
+    #[test]
+    fn obs_counters_are_shard_count_invariant_and_off_by_default() {
+        let g = torus2d(6, 6);
+        let (stacks, weights) = loaded_stacks(36, &[(0, 40), (17, 25), (35, 10)]);
+        let run_at = |k: usize, obs: bool| {
+            let p = Partition::contiguous(36, k);
+            let mut eng =
+                ShardedEngine::from_parts(stacks.clone(), p, 5.0, WalkKind::MaxDegree, 64);
+            if obs {
+                eng.enable_obs();
+            }
+            eng.run(&g, &weights, 0xFEED);
+            let stats = eng.obs().cloned();
+            (eng.rounds(), eng.migrations(), eng.into_parts(), stats)
+        };
+        // Obs off: no stats, and the pass output matches the obs-on runs.
+        let (rounds, migrations, parts, none) = run_at(1, false);
+        assert_eq!(none, None, "obs must be opt-in");
+        let reference = run_at(1, true);
+        assert_eq!((reference.0, reference.1, &reference.2), (rounds, migrations, &parts));
+        let ref_stats = reference.3.expect("obs was enabled");
+        assert_eq!(ref_stats.ejected, migrations);
+        assert!(ref_stats.max_round_cohort > 0);
+        assert!(ref_stats.max_round_cohort <= migrations);
+        assert_eq!(ref_stats.cross_shard_handoffs, 0, "one shard has no handoffs");
+        for k in [2usize, 3, 8] {
+            let run = run_at(k, true);
+            assert_eq!((run.0, run.1, &run.2), (rounds, migrations, &parts));
+            let stats = run.3.expect("obs was enabled");
+            assert_eq!(stats.ejected, ref_stats.ejected, "shard count {k}");
+            assert_eq!(stats.max_round_cohort, ref_stats.max_round_cohort, "shard count {k}");
+            assert_eq!(stats.per_shard_eject_walk_ns.len(), k);
+            assert_eq!(stats.per_shard_apply_ns.len(), k);
+            assert!(stats.cross_shard_handoffs <= stats.ejected);
+        }
     }
 
     #[test]

@@ -225,6 +225,63 @@ proptest! {
         prop_assert_eq!(sim.summary().epochs, epochs);
     }
 
+    /// The obs determinism contract, part 1: the `counters` subtree of
+    /// the observability report is byte-identical across shard counts on
+    /// a churned expander (CI crosses the same property over
+    /// `RAYON_NUM_THREADS` 1 vs 4 via `scale_sweep --obs-det-out`).
+    #[test]
+    fn obs_counters_are_byte_identical_across_shard_counts(
+        walk in prop_oneof![Just(WalkKind::MaxDegree), Just(WalkKind::Lazy)],
+        n in 16usize..40,
+        shards in prop_oneof![Just(4usize), 2usize..12],
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let run = |k: usize| {
+            let mut sim = OnlineSim::new(g.clone(), churned_cfg(walk, seed, 6, k));
+            sim.enable_obs();
+            sim.run();
+            sim.obs_report().expect("obs was enabled")
+        };
+        let reference = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(sharded.counters_json(), reference.counters_json());
+        // Sanity: the subtree is not trivially empty.
+        prop_assert!(reference.counters["sim.epochs"] == 6);
+    }
+
+    /// The obs determinism contract, part 2: turning obs on changes no
+    /// observable output — the `EpochRecord` stream and the snapshot a
+    /// `checkpoint()` writes are byte-identical to the obs-off run's.
+    #[test]
+    fn obs_leaves_records_and_snapshots_byte_identical(
+        n in 16usize..40,
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+        seed in any::<u64>(),
+    ) {
+        let epochs = 6u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let cfg = churned_cfg(WalkKind::MaxDegree, seed, epochs, shards);
+
+        let run = |obs: bool| {
+            let mut sim = OnlineSim::new(g.clone(), cfg.clone());
+            if obs {
+                sim.enable_obs();
+            }
+            sim.run();
+            let snapshot = sim.checkpoint().unwrap().to_json().unwrap();
+            let records: Vec<String> =
+                sim.records().iter().map(|r| serde_json::to_string(r).unwrap()).collect();
+            (records, snapshot)
+        };
+        let (plain_records, plain_snapshot) = run(false);
+        let (obs_records, obs_snapshot) = run(true);
+        prop_assert_eq!(obs_records, plain_records);
+        prop_assert_eq!(obs_snapshot, plain_snapshot);
+    }
+
     /// Running a sharded pass conserves the task multiset and total
     /// weight regardless of the partition.
     #[test]

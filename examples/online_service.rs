@@ -26,6 +26,11 @@
 //! tight tier degrading first during the crowd and both recovering in the
 //! wind-down.
 //!
+//! Both service engines run with observability on (`tlb-obs`), and the
+//! day ends with the engine's phase-time breakdown — while the
+//! uninterrupted replay runs obs-*off*, so the final bit-identity check
+//! doubles as proof that instrumentation never perturbs a trajectory.
+//!
 //! ```text
 //! cargo run --release --example online_service
 //! ```
@@ -155,6 +160,7 @@ fn main() {
     // --- The service day: one engine, phases via reconfigure(), with a
     // checkpoint/restart mid-crowd.
     let mut morning_engine = OnlineSim::new(torus2d(side, side), base.clone());
+    morning_engine.enable_obs();
     run_day(&mut morning_engine, &base, &phases, restart_at);
     let snapshot = morning_engine.checkpoint().expect("checkpoint at an epoch boundary");
     let snapshot_json = snapshot.to_json().expect("snapshot serializes");
@@ -164,6 +170,7 @@ fn main() {
     let restored = SimSnapshot::from_json(&snapshot_json).expect("snapshot parses");
     let mut evening_engine =
         OnlineSim::restore(restored, torus2d(side, side)).expect("snapshot restores");
+    evening_engine.enable_obs(); // obs does not survive a restart; re-arm
     println!(
         "(balancer restarted at epoch {}: {} bytes of snapshot, resumed mid-flash-crowd)\n",
         evening_engine.epoch(),
@@ -184,6 +191,26 @@ fn main() {
         last.balanced, last.max_load, last.threshold
     );
     assert!(last.balanced, "the fabric must converge once traffic stops");
+
+    // --- Where the afternoon went: the evening engine's observability
+    // report (epoch-loop phase timers plus the deterministic protocol
+    // counters the run accumulated since the restart).
+    let obs = evening_engine.obs_report().expect("obs was enabled");
+    println!("\nafternoon phase breakdown ({} epochs since the restart):", total - restart_at);
+    for phase in ["churn", "arrivals", "rebalance", "record"] {
+        let t = &obs.timings[&format!("epoch.{phase}_ns")];
+        println!(
+            "  {phase:<9} mean {:>7.1} us/epoch  peak {:>8.1} us",
+            t.total_ns as f64 / t.count.max(1) as f64 / 1_000.0,
+            t.max_ns as f64 / 1_000.0,
+        );
+    }
+    println!(
+        "  protocol: {} tasks ejected over {} rebalance rounds (largest single-round cohort {})",
+        obs.counters["rebalance.ejected"],
+        obs.counters["sim.rebalance_rounds"],
+        obs.counters["rebalance.max_round_cohort"],
+    );
 
     // --- The service-mode contract: the restarted day is bit-identical
     // to the same day run without the restart.

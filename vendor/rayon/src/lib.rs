@@ -42,6 +42,19 @@ pub fn worker_spawn_count() -> usize {
     pool::worker_spawn_count()
 }
 
+pub use pool::PoolStats;
+
+/// Diagnostic: snapshot the pool's cumulative scheduling tallies — batches
+/// submitted, per-executor chunk claims off the self-scheduling cursor,
+/// and inline-run counts (nested and contended fallbacks). Process-global
+/// and monotone, so per-phase figures come from snapshot deltas. Reading
+/// never forces pool creation and nothing in the pool ever consults these
+/// values: the surface is strictly observational (consumed by the
+/// workspace's obs layer; not part of real rayon's API).
+pub fn pool_stats() -> PoolStats {
+    pool::stats()
+}
+
 /// Chunks handed to the pool per thread. More chunks than threads is what
 /// lets fast executors claim extra chunks when per-item cost is uneven —
 /// the dynamic self-scheduling that replaces work stealing in this shim.
@@ -82,9 +95,12 @@ where
     let len = items.len();
     // Resolve the pool only for calls that could actually use it; nested
     // or tiny calls run inline.
-    let threads =
-        if len <= 1 || pool::in_parallel_call() { 1 } else { pool::global().threads().min(len) };
+    let nested = pool::in_parallel_call();
+    let threads = if len <= 1 || nested { 1 } else { pool::global().threads().min(len) };
     if threads <= 1 {
+        if nested && len > 1 {
+            pool::note_inline_nested();
+        }
         return items.into_iter().map(f).collect();
     }
     let pool = pool::global();
@@ -196,12 +212,12 @@ pub trait ParallelIterator: Sized {
         let len = items.len();
         // Resolve the pool only for calls that could actually use it;
         // nested or tiny calls run inline.
-        let threads = if len <= 1 || pool::in_parallel_call() {
-            1
-        } else {
-            pool::global().threads().min(len)
-        };
+        let nested = pool::in_parallel_call();
+        let threads = if len <= 1 || nested { 1 } else { pool::global().threads().min(len) };
         if threads <= 1 {
+            if nested && len > 1 {
+                pool::note_inline_nested();
+            }
             let mut state = init;
             for item in items {
                 f(&mut state, item);
@@ -359,6 +375,36 @@ mod tests {
         for (k, out) in results.iter().enumerate() {
             let expected: Vec<u64> = (0u64..400).map(|x| x * (k as u64 + 1)).collect();
             assert_eq!(out, &expected, "caller {k}");
+        }
+    }
+
+    #[test]
+    fn pool_stats_tally_batches_claims_and_nested_inlines() {
+        let before = crate::pool_stats();
+        let _: Vec<u64> = (0u64..400)
+            .into_par_iter()
+            .map(|x| (0u64..x % 5 + 2).into_par_iter().map(|y| y + x).sum::<u64>())
+            .collect();
+        let after = crate::pool_stats();
+        assert_eq!(after.threads, crate::current_num_threads());
+        assert_eq!(after.claims.len(), after.threads);
+        assert_eq!(after.chunks_claimed, after.claims.iter().sum::<u64>());
+        if after.threads > 1 {
+            // The outer call either submitted a batch or (racing another
+            // test's batch) fell back to the contended inline path.
+            assert!(
+                after.batches + after.inline_contended > before.batches + before.inline_contended,
+                "outer call is tallied as a batch or a contended inline run"
+            );
+            assert!(after.inline_nested > before.inline_nested, "inner calls ran inline");
+            if after.batches > before.batches {
+                assert!(after.chunks_claimed > before.chunks_claimed, "chunks were claimed");
+            }
+        } else {
+            // A single-thread pool runs every call inline: nothing is
+            // ever submitted or claimed.
+            assert_eq!(after.batches, before.batches);
+            assert_eq!(after.chunks_claimed, before.chunks_claimed);
         }
     }
 

@@ -34,7 +34,7 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Lock, recovering from poisoning: every critical section in this module
@@ -48,6 +48,11 @@ thread_local! {
     /// True while this thread executes inside a parallel call, as a pool
     /// worker or as the submitting caller.
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+
+    /// This thread's slot in the per-executor claim tally: 0 for
+    /// submitting callers (all of them share the slot), `i + 1` for pool
+    /// worker `i`. Set once per worker at spawn.
+    static EXECUTOR_SLOT: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Whether the current thread is already inside a parallel call (nested
@@ -75,6 +80,63 @@ static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
 
 pub(crate) fn worker_spawn_count() -> usize {
     WORKERS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Diagnostic tallies behind [`crate::pool_stats`] — the same pattern as
+/// `WORKERS_SPAWNED`. Written with relaxed atomics on coarse events (one
+/// per batch, chunk, or inline call); read only by the stats snapshot,
+/// never by any scheduling decision.
+static BATCHES_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+static INLINE_NESTED: AtomicU64 = AtomicU64::new(0);
+static INLINE_CONTENDED: AtomicU64 = AtomicU64::new(0);
+
+/// Per-executor chunk-claim tally: slot 0 aggregates submitting callers,
+/// slot `i + 1` is worker `i`. Sized once at pool creation.
+static CLAIMS: OnceLock<Box<[AtomicU64]>> = OnceLock::new();
+
+/// Tally a parallel call that ran inline because the calling thread was
+/// already inside a parallel call (workers and re-entrant callers).
+pub(crate) fn note_inline_nested() {
+    INLINE_NESTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the pool's diagnostic counters (see [`crate::pool_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool thread count (0 if the pool was never created).
+    pub threads: usize,
+    /// Worker threads spawned since process start.
+    pub workers_spawned: usize,
+    /// Batches submitted to the pool (one per non-inline parallel call).
+    pub batches: u64,
+    /// Chunks claimed and executed across all batches (`claims` summed).
+    pub chunks_claimed: u64,
+    /// Parallel calls run inline because the caller was already inside a
+    /// parallel call.
+    pub inline_nested: u64,
+    /// Parallel calls run inline because another thread's batch held the
+    /// pool (the deadlock-avoiding contended fallback).
+    pub inline_contended: u64,
+    /// Per-executor chunk claims: index 0 aggregates submitting callers,
+    /// index `i + 1` is worker `i`. Empty if the pool was never created.
+    pub claims: Vec<u64>,
+}
+
+/// Snapshot the tallies without forcing pool creation.
+pub(crate) fn stats() -> PoolStats {
+    let claims: Vec<u64> = CLAIMS
+        .get()
+        .map(|slots| slots.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+        .unwrap_or_default();
+    PoolStats {
+        threads: claims.len(),
+        workers_spawned: worker_spawn_count(),
+        batches: BATCHES_SUBMITTED.load(Ordering::Relaxed),
+        chunks_claimed: claims.iter().sum(),
+        inline_nested: INLINE_NESTED.load(Ordering::Relaxed),
+        inline_contended: INLINE_CONTENDED.load(Ordering::Relaxed),
+        claims,
+    }
 }
 
 /// Lifetime-erased pointer to a borrowed per-chunk job closure.
@@ -111,6 +173,9 @@ impl Batch {
             let chunk = self.next.fetch_add(1, Ordering::Relaxed);
             if chunk >= self.chunks {
                 return;
+            }
+            if let Some(claims) = CLAIMS.get() {
+                claims[EXECUTOR_SLOT.with(Cell::get)].fetch_add(1, Ordering::Relaxed);
             }
             if !self.panicked.load(Ordering::Relaxed) {
                 // SAFETY: `chunk < self.chunks` was claimed exactly once,
@@ -157,12 +222,13 @@ impl Pool {
     fn new() -> Pool {
         let threads = configured_thread_count();
         let shared = Arc::new(Shared { slot: Mutex::new(None), work_ready: Condvar::new() });
+        CLAIMS.get_or_init(|| (0..threads).map(|_| AtomicU64::new(0)).collect());
         for i in 0..threads.saturating_sub(1) {
             let shared = Arc::clone(&shared);
             WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
             std::thread::Builder::new()
                 .name(format!("rayon-shim-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i + 1))
                 .expect("failed to spawn rayon shim worker");
         }
         Pool { threads, shared, submit: Mutex::new(()) }
@@ -191,6 +257,7 @@ impl Pool {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
             Err(std::sync::TryLockError::WouldBlock) => {
+                INLINE_CONTENDED.fetch_add(1, Ordering::Relaxed);
                 IN_PARALLEL.with(|f| f.set(true));
                 let inline = catch_unwind(AssertUnwindSafe(|| {
                     for chunk in 0..chunks {
@@ -221,6 +288,7 @@ impl Pool {
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
         });
+        BATCHES_SUBMITTED.fetch_add(1, Ordering::Relaxed);
         *lock(&self.shared.slot) = Some(Arc::clone(&batch));
         self.shared.work_ready.notify_all();
         // Participate: the caller claims chunks alongside the workers.
@@ -242,10 +310,11 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, claim_slot: usize) {
     // Everything a worker ever runs is pool work, so nested parallel
     // calls from inside a job must always go inline.
     IN_PARALLEL.with(|f| f.set(true));
+    EXECUTOR_SLOT.with(|s| s.set(claim_slot));
     loop {
         let batch = {
             let mut slot = lock(&shared.slot);

@@ -30,7 +30,12 @@ fn bench_online_engine(c: &mut Criterion) {
     group.bench_function("churn_100_epochs_torus8x8", |b| {
         b.iter(|| {
             let mut cfg = base_cfg("churn");
-            cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.2, random_up: 0.3 };
+            cfg.churn = ChurnProcess {
+                scripted: vec![],
+                random_down: 0.2,
+                random_up: 0.3,
+                ..Default::default()
+            };
             OnlineSim::new(torus2d(8, 8), cfg).run()
         })
     });

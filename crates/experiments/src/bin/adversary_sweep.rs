@@ -1,0 +1,81 @@
+//! R1: the robustness sweep — adaptive adversaries vs oblivious arrival
+//! streams (overload gap) and admission-control recovery from a
+//! whole-domain outage (the `BENCH_adversary` CI artifact).
+//!
+//! Flags: `--quick` (CI scale), `--shards N` (rebalance shard count —
+//! output-invariant), `--out DIR` (table artifacts), `--bench-out PATH`
+//! (the deterministic `BENCH_adversary.json` snapshot: no wall-clock
+//! field, byte-identical across `RAYON_NUM_THREADS` and shard counts).
+//!
+//! Under `--quick` the driver also enforces the acceptance properties
+//! inline (the same ones `tlb_experiments::figures::adversary` pins in
+//! its tests), so a CI run that produces a snapshot has already proved
+//! the snapshot says what the robustness layer claims.
+
+use std::path::PathBuf;
+
+use tlb_experiments::figures::adversary::{self, Config};
+
+fn main() {
+    let mut cfg = Config::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut bench_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = Config { shards: cfg.shards, ..Config::quick() },
+            "--shards" => {
+                cfg.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a positive integer");
+            }
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a value")),
+            "--bench-out" => {
+                bench_out = Some(PathBuf::from(args.next().expect("--bench-out needs a value")));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: adversary_sweep [--quick] [--shards N] [--out DIR] [--bench-out PATH]"
+                );
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let report = adversary::run(&cfg);
+    let table = report.table();
+    print!("{}", table.render());
+    let path = table.save(&out_dir).expect("write results");
+    eprintln!("saved {}", path.display());
+
+    if cfg.quick {
+        // The acceptance properties, enforced at the scale CI runs.
+        let adaptive = report.gap.iter().find(|r| r.adversary == "adaptive").unwrap();
+        for r in report.gap.iter().filter(|r| r.oblivious) {
+            assert!(
+                adaptive.peak_gap > r.peak_gap,
+                "adaptive peak gap {:.4} did not exceed {} at {:.4}",
+                adaptive.peak_gap,
+                r.adversary,
+                r.peak_gap
+            );
+        }
+        let shed = report.recovery.iter().find(|r| r.admission == "load_shed").unwrap();
+        let recovered = shed.recovery_epochs.expect("load_shed run must recover");
+        assert!(recovered <= 30, "load-shed recovery took {recovered} epochs (bound 30)");
+        eprintln!(
+            "acceptance: adaptive peak gap {:.4} beats every oblivious stream; \
+             load-shed recovery in {recovered} epochs (shed {:.2}%)",
+            adaptive.peak_gap,
+            shed.shed_fraction * 100.0
+        );
+    }
+
+    if let Some(bench_out) = bench_out {
+        std::fs::write(&bench_out, report.to_bench_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", bench_out.display()));
+        eprintln!("saved {}", bench_out.display());
+    }
+}

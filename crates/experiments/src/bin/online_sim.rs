@@ -6,7 +6,7 @@
 //! Usage: `online_sim [--quick] [--scenario NAME] [--epochs N] [--seed S]
 //! [--out PATH] [--checkpoint-every N] [--checkpoint PATH]
 //! [--restore PATH] [--metrics-out PATH] [--bench-out PATH]
-//! [--obs-out PATH]`
+//! [--obs-out PATH] [--obs-every N]`
 //!
 //! `--obs-out PATH` enables the engine's observability registry (see
 //! `tlb-obs`) and writes the final report — deterministic counters,
@@ -14,6 +14,14 @@
 //! RNG stream, so every other artifact stays byte-identical to an
 //! obs-free run; lifecycle events (obs start, checkpoints, soak
 //! reconfigurations) additionally log one JSON line each to stderr.
+//!
+//! `--obs-every N` (requires `--obs-out`) switches the obs artifact to
+//! an NDJSON *stream*: one `{"epoch": E, "report": {...}}` line every
+//! `N` epochs plus a final line at run end, so a long soak exposes its
+//! counter trajectory — not just the end state — without touching the
+//! deterministic metrics stream. Reports carry wall-clock phase
+//! timings, so the obs stream is *not* a byte-diff artifact; CI checks
+//! its cadence (line count), never its bytes.
 //!
 //! Scenarios:
 //!
@@ -73,6 +81,7 @@ struct Args {
     metrics_out: Option<String>,
     bench_out: Option<String>,
     obs_out: Option<String>,
+    obs_every: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +97,7 @@ fn parse_args() -> Args {
         metrics_out: None,
         bench_out: None,
         obs_out: None,
+        obs_every: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -120,12 +130,20 @@ fn parse_args() -> Args {
             }
             "--bench-out" => args.bench_out = Some(it.next().expect("--bench-out needs a path")),
             "--obs-out" => args.obs_out = Some(it.next().expect("--obs-out needs a path")),
+            "--obs-every" => {
+                args.obs_every = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .expect("--obs-every needs a positive integer"),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: online_sim [--quick] [--scenario steady|churn|cdn-day|soak] \
                      [--epochs N] [--seed S] [--out PATH] [--checkpoint-every N] \
                      [--checkpoint PATH] [--restore PATH] [--metrics-out PATH] \
-                     [--bench-out PATH] [--obs-out PATH]"
+                     [--bench-out PATH] [--obs-out PATH] [--obs-every N]"
                 );
                 std::process::exit(0);
             }
@@ -181,6 +199,7 @@ fn scenario(name: &str, quick: bool, epochs: Option<u64>, seed: u64) -> (SimConf
                     ],
                     random_down: 0.05,
                     random_up: 0.10,
+                    ..Default::default()
                 },
                 tenants: two_tenants(),
                 rounds_per_epoch: 24,
@@ -215,7 +234,12 @@ fn scenario(name: &str, quick: bool, epochs: Option<u64>, seed: u64) -> (SimConf
                 seed,
                 arrivals: ArrivalProcess::Poisson { rate: 6.0 * scale as f64 },
                 departure_prob: 0.05,
-                churn: ChurnProcess { scripted: vec![], random_down: 0.03, random_up: 0.06 },
+                churn: ChurnProcess {
+                    scripted: vec![],
+                    random_down: 0.03,
+                    random_up: 0.06,
+                    ..Default::default()
+                },
                 tenants: two_tenants(),
                 rounds_per_epoch: 16,
                 ..Default::default()
@@ -286,6 +310,20 @@ fn peak_rss_bytes() -> u64 {
     0
 }
 
+/// One line of the periodic obs stream: the epoch plus the full report.
+fn write_obs_line(
+    stream: &mut std::io::BufWriter<std::fs::File>,
+    epoch: u64,
+    sim: &OnlineSim,
+) -> anyhow::Result<()> {
+    let obs = sim.obs_report().expect("obs was enabled");
+    std::io::Write::write_all(
+        stream,
+        format!("{{\"epoch\": {epoch}, \"report\": {}}}\n", obs.to_json()).as_bytes(),
+    )?;
+    Ok(())
+}
+
 fn main() -> anyhow::Result<()> {
     let args = parse_args();
     let (cfg, base) = scenario(&args.scenario, args.quick, args.epochs, args.seed);
@@ -310,6 +348,15 @@ fn main() -> anyhow::Result<()> {
         // After a restore this logs the resume epoch in its start event.
         sim.enable_obs();
     }
+    let mut obs_stream = match (&args.obs_every, &args.obs_out) {
+        (Some(_), Some(path)) => Some(
+            std::fs::File::create(path)
+                .map(std::io::BufWriter::new)
+                .map_err(|e| anyhow::anyhow!("cannot create {path}: {e}"))?,
+        ),
+        (Some(_), None) => anyhow::bail!("--obs-every requires --obs-out"),
+        _ => None,
+    };
 
     let started = std::time::Instant::now();
     let start_epoch = sim.epoch();
@@ -330,6 +377,12 @@ fn main() -> anyhow::Result<()> {
             if done % every == 0 && done < total {
                 sim.checkpoint()?.save(&args.checkpoint)?;
                 println!("checkpoint at epoch {done} -> {}", args.checkpoint);
+            }
+        }
+        if let (Some(every), Some(stream)) = (args.obs_every, obs_stream.as_mut()) {
+            let done = sim.epoch();
+            if done.is_multiple_of(every) && done < total {
+                write_obs_line(stream, done, &sim)?;
             }
         }
     }
@@ -396,10 +449,23 @@ fn main() -> anyhow::Result<()> {
     }
 
     if let Some(obs_out) = &args.obs_out {
-        let obs = sim.obs_report().expect("obs was enabled");
-        std::fs::write(obs_out, format!("{}\n", obs.to_json()))
-            .map_err(|e| anyhow::anyhow!("cannot write {obs_out}: {e}"))?;
-        println!("wrote {obs_out} (obs report: counters / timings / exec)");
+        match obs_stream.as_mut() {
+            // Streaming mode: close the cadence with a final line.
+            Some(stream) => {
+                write_obs_line(stream, sim.epoch(), &sim)?;
+                std::io::Write::flush(stream)?;
+                println!(
+                    "wrote {obs_out} (obs NDJSON stream, every {} epochs)",
+                    args.obs_every.unwrap_or(0)
+                );
+            }
+            None => {
+                let obs = sim.obs_report().expect("obs was enabled");
+                std::fs::write(obs_out, format!("{}\n", obs.to_json()))
+                    .map_err(|e| anyhow::anyhow!("cannot write {obs_out}: {e}"))?;
+                println!("wrote {obs_out} (obs report: counters / timings / exec)");
+            }
+        }
     }
 
     // The convergence contract of the churn scenario: after arrivals stop

@@ -15,7 +15,9 @@
 //! | A7 | [`mixed`] | Section-8 future work: mixed protocol |
 //! | A8 | [`related_work`] | Section-3 related-work allocators |
 //! | M1 | [`protocol_matrix`] | every protocol × graph × arrival scenario |
+//! | R1 | [`adversary`] | robustness: adaptive adversaries, failure domains, admission control |
 
+pub mod adversary;
 pub mod alpha_sweep;
 pub mod diffusion_expt;
 pub mod epsilon_sweep;

@@ -123,6 +123,32 @@ pub enum ArrivalPlacement {
     /// Every arrival hits the currently most-loaded active resource
     /// (ties to the lowest id) — a worst-case adaptive adversary.
     MostLoaded,
+    /// The *online* adaptive adversary: observes the per-resource loads
+    /// as they stood at the **end of the previous epoch** (after that
+    /// epoch's rebalancing pass — exactly what a monitoring scrape
+    /// would show) and spreads this epoch's arrivals round-robin over
+    /// the `spread` most-loaded resources still active, ties to the
+    /// lowest id. Unlike [`MostLoaded`](Self::MostLoaded) it cannot see
+    /// its own within-epoch placements, so it models a real adversary
+    /// reacting to published metrics rather than an oracle. Consumes no
+    /// RNG.
+    Adaptive {
+        /// How many top-loaded resources the arrivals are spread over
+        /// (`>= 1`; `1` concentrates everything on the single worst).
+        spread: usize,
+    },
+}
+
+impl ArrivalPlacement {
+    /// Check the parameters (see [`ArrivalProcess::validate`]).
+    ///
+    /// # Panics
+    /// If an adaptive spread is zero.
+    pub fn validate(&self) {
+        if let ArrivalPlacement::Adaptive { spread } = *self {
+            assert!(spread >= 1, "adaptive spread must be >= 1");
+        }
+    }
 }
 
 /// Weight distribution of arriving tasks (all respect the paper's

@@ -4,11 +4,19 @@
 //! schedule, while individual machines flap at random. [`ChurnProcess`]
 //! models both: a scripted event list (rack drains, scale-ups — the
 //! operator's calendar) plus per-epoch random deactivate/reactivate
-//! probabilities (failures and recoveries). The engine applies scripted
-//! events first, then the stochastic draws, all with its per-epoch RNG.
+//! probabilities (failures and recoveries). On top of that sit
+//! *failure domains* ([`crate::domains`]): named node ranges that fail
+//! as a unit with power-law outage durations and scheduled recovery —
+//! correlated churn, steered blindly or adversarially
+//! ([`DomainSteering`]). Each epoch the engine applies, in order:
+//! due domain recoveries, scripted events in list order, the stochastic
+//! domain-outage draw, then the independent down/up draws — all with
+//! its per-epoch RNG.
 
 use serde::{Deserialize, Serialize};
 use tlb_graphs::NodeId;
+
+use crate::domains::{DomainSpec, DomainSteering, OutageDuration};
 
 /// One scripted topology change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,6 +59,17 @@ pub enum ChurnEvent {
         /// The other endpoint.
         NodeId,
     ),
+    /// Take a whole failure domain down for `duration` epochs — the
+    /// scripted form of the stochastic domain-outage process. The
+    /// domain recovers (whole range reactivated) at the start of epoch
+    /// `outage_epoch + duration`. If the domain is already down the
+    /// deadline extends to the later of the two.
+    DomainOutage {
+        /// Index into [`ChurnProcess::domains`].
+        domain: u32,
+        /// Outage length in epochs (`>= 1`).
+        duration: u64,
+    },
 }
 
 /// The churn configuration of a run.
@@ -64,8 +83,23 @@ pub struct ChurnProcess {
     /// active resource down.
     pub random_down: f64,
     /// Per-epoch probability of one random recovery (reactivate a
-    /// uniformly random inactive resource).
+    /// uniformly random inactive resource). When failure domains are
+    /// configured, nodes inside a currently-down domain are excluded —
+    /// a dead rack does not resurrect one machine at a time.
     pub random_up: f64,
+    /// Failure domains (racks/zones) over the node-id space; empty
+    /// means no correlated churn. Scripted [`ChurnEvent::DomainOutage`]
+    /// events and the stochastic `domain_outage` draw index into this
+    /// list, and the engine carries one recovery deadline per entry.
+    pub domains: Vec<DomainSpec>,
+    /// Per-epoch probability of one domain outage (a whole healthy
+    /// domain goes down; duration drawn from `outage`). Requires a
+    /// non-empty `domains` list to have any effect.
+    pub domain_outage: f64,
+    /// Outage-duration distribution for stochastic domain outages.
+    pub outage: OutageDuration,
+    /// Victim selection for stochastic domain outages.
+    pub steering: DomainSteering,
 }
 
 impl ChurnProcess {
@@ -84,9 +118,13 @@ impl ChurnProcess {
         self.scripted.iter().filter(move |(e, _)| *e == epoch).map(|&(_, ev)| ev)
     }
 
-    /// Whether any churn (scripted anywhere or stochastic) is configured.
+    /// Whether any churn (scripted anywhere or stochastic, independent
+    /// or domain-correlated) is configured.
     pub fn is_active(&self) -> bool {
-        !self.scripted.is_empty() || self.random_down > 0.0 || self.random_up > 0.0
+        !self.scripted.is_empty()
+            || self.random_down > 0.0
+            || self.random_up > 0.0
+            || (!self.domains.is_empty() && self.domain_outage > 0.0)
     }
 }
 
@@ -112,5 +150,9 @@ mod tests {
         assert!(!ChurnProcess::none().is_active());
         assert!(ChurnProcess::scripted(vec![(0, ChurnEvent::Deactivate(0))]).is_active());
         assert!(ChurnProcess { random_down: 0.01, ..Default::default() }.is_active());
+        // A domain list alone is inert; it needs an outage probability.
+        let domains = vec![DomainSpec::new("rack0", 0, 4)];
+        assert!(!ChurnProcess { domains: domains.clone(), ..Default::default() }.is_active());
+        assert!(ChurnProcess { domains, domain_outage: 0.05, ..Default::default() }.is_active());
     }
 }

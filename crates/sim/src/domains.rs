@@ -1,0 +1,225 @@
+//! Failure domains: correlated rack/zone outages over node-id ranges.
+//!
+//! Independent per-node churn ([`crate::ChurnProcess::random_down`])
+//! models machine flap; real fleets also lose whole *racks* — a switch
+//! dies and every node behind it goes with it, for a duration that is
+//! heavy-tailed in practice (most outages are a quick reboot, a few are
+//! multi-hour hardware swaps). A [`DomainSpec`] names one such blast
+//! radius as a contiguous id range over the `DynamicGraph`; the engine
+//! takes a whole domain down at once, samples how long it stays down
+//! from a truncated power law ([`OutageDuration`]), and schedules the
+//! recovery — deterministic given `(seed, epoch)`, like every other
+//! draw. [`DomainSteering`] picks *which* healthy domain fails: blind
+//! ([`DomainSteering::Oblivious`]) or the adversarial counterpart that
+//! always shoots the most-loaded domain
+//! ([`DomainSteering::Adaptive`]).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tlb_graphs::NodeId;
+
+/// One failure domain: a named contiguous node-id range `[from, to)`
+/// that fails and recovers as a unit (a rack behind one switch, a zone
+/// behind one feed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Display name (report/obs key).
+    pub name: String,
+    /// First node id in the domain (inclusive).
+    pub from: NodeId,
+    /// One past the last node id in the domain.
+    pub to: NodeId,
+}
+
+impl DomainSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, from: NodeId, to: NodeId) -> Self {
+        DomainSpec { name: name.into(), from, to }
+    }
+
+    /// Whether `v` falls inside this domain.
+    pub fn contains(&self, v: NodeId) -> bool {
+        (self.from..self.to).contains(&v)
+    }
+
+    /// Nodes in the domain.
+    pub fn len(&self) -> usize {
+        (self.to - self.from) as usize
+    }
+
+    /// Whether the range is empty (rejected by validation).
+    pub fn is_empty(&self) -> bool {
+        self.to <= self.from
+    }
+}
+
+/// How the stochastic domain-outage process picks its victim among the
+/// currently healthy domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DomainSteering {
+    /// Uniformly random healthy domain — correlated but blind failures.
+    #[default]
+    Oblivious,
+    /// The adversary: always the healthy domain carrying the most load
+    /// at the moment of the outage draw (ties to the lowest domain
+    /// index). Maximizes the drained mass the survivors must absorb.
+    /// Consumes no extra RNG — the choice is a pure function of the
+    /// current stacks.
+    Adaptive,
+}
+
+/// Truncated power-law (Pareto) outage duration in epochs.
+///
+/// `sample` draws `min_epochs · (1 − u)^(−1/alpha)` for uniform `u`,
+/// capped at `max_epochs` — the classic heavy-tailed repair-time model:
+/// mass near `min_epochs`, occasional outages pinned to the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageDuration {
+    /// Tail exponent (`> 0`); smaller is heavier.
+    pub alpha: f64,
+    /// Shortest outage, in epochs (`>= 1` so an outage always spans at
+    /// least the epoch it starts in).
+    pub min_epochs: u64,
+    /// Truncation cap, in epochs (`>= min_epochs`).
+    pub max_epochs: u64,
+}
+
+impl Default for OutageDuration {
+    fn default() -> Self {
+        OutageDuration { alpha: 1.5, min_epochs: 2, max_epochs: 64 }
+    }
+}
+
+impl OutageDuration {
+    /// Check the parameters.
+    ///
+    /// # Errors
+    /// If the shape is non-positive/non-finite or the bounds are
+    /// inverted or zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(format!("outage alpha must be positive and finite, got {}", self.alpha));
+        }
+        if self.min_epochs < 1 {
+            return Err("outage min_epochs must be >= 1".to_string());
+        }
+        if self.max_epochs < self.min_epochs {
+            return Err(format!(
+                "outage max_epochs {} below min_epochs {}",
+                self.max_epochs, self.min_epochs
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sample one outage duration in epochs (one uniform draw).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let d = self.min_epochs as f64 * (1.0 - u).powf(-1.0 / self.alpha);
+        (d.floor() as u64).clamp(self.min_epochs, self.max_epochs)
+    }
+}
+
+/// Static (node-count-independent) checks over a domain list: non-empty
+/// ranges, no overlaps. Domain indices elsewhere in the config point
+/// into this list, so the engine validates it before anything runs.
+///
+/// # Errors
+/// Describing the first offending domain (or pair).
+pub fn validate_domain_list(domains: &[DomainSpec]) -> Result<(), String> {
+    for d in domains {
+        if d.is_empty() {
+            return Err(format!("domain {:?} has an empty range [{}, {})", d.name, d.from, d.to));
+        }
+    }
+    for (i, a) in domains.iter().enumerate() {
+        for b in &domains[i + 1..] {
+            if a.from < b.to && b.from < a.to {
+                return Err(format!(
+                    "domains {:?} [{}, {}) and {:?} [{}, {}) overlap",
+                    a.name, a.from, a.to, b.name, b.from, b.to
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Node-count-dependent check: every domain fits inside the graph.
+///
+/// # Errors
+/// Naming the out-of-range domain.
+pub fn validate_domains_against_graph(domains: &[DomainSpec], n: usize) -> Result<(), String> {
+    for d in domains {
+        if d.to as usize > n {
+            return Err(format!(
+                "domain {:?} [{}, {}) exceeds the {n}-node graph",
+                d.name, d.from, d.to
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contains_respects_half_open_range() {
+        let d = DomainSpec::new("rack0", 4, 8);
+        assert!(!d.contains(3));
+        assert!(d.contains(4));
+        assert!(d.contains(7));
+        assert!(!d.contains(8));
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn durations_stay_in_bounds_and_are_heavy_tailed() {
+        let o = OutageDuration { alpha: 1.2, min_epochs: 2, max_epochs: 50 };
+        o.validate().unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples: Vec<u64> = (0..4000).map(|_| o.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&d| (2..=50).contains(&d)));
+        // Power law: the mode sits at the minimum, but the tail reaches
+        // the cap — both ends must appear in a few thousand draws.
+        let at_min = samples.iter().filter(|&&d| d == 2).count();
+        let deep_tail = samples.iter().filter(|&&d| d >= 20).count();
+        assert!(at_min > samples.len() / 3, "min-duration mass {at_min}");
+        assert!(deep_tail > 0, "no deep-tail outages in {} draws", samples.len());
+    }
+
+    #[test]
+    fn duration_validation_rejects_bad_parameters() {
+        assert!(OutageDuration { alpha: 0.0, ..Default::default() }.validate().is_err());
+        assert!(OutageDuration { alpha: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(OutageDuration { min_epochs: 0, ..Default::default() }.validate().is_err());
+        assert!(OutageDuration { min_epochs: 9, max_epochs: 3, alpha: 1.0 }.validate().is_err());
+        assert!(OutageDuration::default().validate().is_ok());
+    }
+
+    #[test]
+    fn domain_list_validation_catches_overlap_and_empties() {
+        let ok = vec![DomainSpec::new("a", 0, 4), DomainSpec::new("b", 4, 8)];
+        assert!(validate_domain_list(&ok).is_ok());
+        let empty = vec![DomainSpec::new("z", 5, 5)];
+        assert!(validate_domain_list(&empty).is_err());
+        let overlap = vec![DomainSpec::new("a", 0, 5), DomainSpec::new("b", 4, 8)];
+        assert!(validate_domain_list(&overlap).is_err());
+        assert!(validate_domains_against_graph(&ok, 8).is_ok());
+        assert!(validate_domains_against_graph(&ok, 7).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let o = OutageDuration::default();
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..32).map(|_| o.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+    }
+}

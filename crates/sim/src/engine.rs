@@ -61,8 +61,10 @@ use tlb_graphs::Graph;
 use tlb_obs::{ObsReport, Registry};
 use tlb_walks::WalkKind;
 
+use crate::admission::AdmissionPolicy;
 use crate::arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
 use crate::churn::{ChurnEvent, ChurnProcess};
+use crate::domains::{validate_domain_list, validate_domains_against_graph, DomainSteering};
 use crate::metrics::{EpochRecord, RunningSummary, SimReport};
 use crate::shard::{rebalance_seed, ShardedEngine};
 use crate::sink::MetricsSink;
@@ -170,8 +172,12 @@ pub struct SimConfig {
     pub arrival_weights: ArrivalWeights,
     /// Per-task per-epoch departure probability (`0 ≤ p < 1`).
     pub departure_prob: f64,
-    /// Resource churn.
+    /// Resource churn (independent flap, scripted events, and
+    /// correlated failure-domain outages).
     pub churn: ChurnProcess,
+    /// Admission policy gating arrivals before placement (RNG-free
+    /// decisions; see [`crate::admission`]).
+    pub admission: AdmissionPolicy,
     /// Tenant classes (arrival shares and per-tenant SLO policies).
     pub tenants: Vec<TenantSpec>,
     /// Global threshold policy the rebalancing pass enforces, recomputed
@@ -203,6 +209,7 @@ impl Default for SimConfig {
             arrival_weights: ArrivalWeights::Unit,
             departure_prob: 0.0,
             churn: ChurnProcess::none(),
+            admission: AdmissionPolicy::None,
             tenants: vec![TenantSpec::new(
                 "default",
                 ThresholdPolicy::AboveAverage { epsilon: 0.2 },
@@ -263,12 +270,18 @@ impl OnlineSim {
         let n = base.num_nodes();
         assert!(n > 0, "need at least one resource");
         Self::validate(&cfg);
+        if let Err(msg) = validate_domains_against_graph(&cfg.churn.domains, n) {
+            panic!("{msg}");
+        }
         let tenants = TenantSet::new(cfg.tenants.clone());
+        let mut state = SimState::new(base.clone());
+        state.domain_down_until = vec![0; cfg.churn.domains.len()];
+        state.admission_tokens = cfg.admission.initial_tokens(tenants.len());
         OnlineSim {
             cfg,
             tenants,
-            base: base.clone(),
-            state: SimState::new(base),
+            base,
+            state,
             epoch: 0,
             records: Vec::new(),
             summary: RunningSummary::default(),
@@ -288,15 +301,37 @@ impl OnlineSim {
         if !(0.0..1.0).contains(&cfg.departure_prob) {
             return Err(format!("departure_prob must be in [0, 1), got {}", cfg.departure_prob));
         }
-        for (name, p) in
-            [("random_down", cfg.churn.random_down), ("random_up", cfg.churn.random_up)]
-        {
+        for (name, p) in [
+            ("random_down", cfg.churn.random_down),
+            ("random_up", cfg.churn.random_up),
+            ("domain_outage", cfg.churn.domain_outage),
+        ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("churn {name} must be in [0, 1], got {p}"));
             }
         }
+        validate_domain_list(&cfg.churn.domains)?;
+        cfg.churn.outage.validate()?;
+        for (epoch, ev) in &cfg.churn.scripted {
+            if let ChurnEvent::DomainOutage { domain, duration } = ev {
+                if *domain as usize >= cfg.churn.domains.len() {
+                    return Err(format!(
+                        "scripted DomainOutage at epoch {epoch} names domain {domain}, but only \
+                         {} domains are configured",
+                        cfg.churn.domains.len()
+                    ));
+                }
+                if *duration == 0 {
+                    return Err(format!(
+                        "scripted DomainOutage at epoch {epoch} must last >= 1 epoch"
+                    ));
+                }
+            }
+        }
+        cfg.admission.validate()?;
         cfg.arrivals.validate();
         cfg.arrival_weights.validate();
+        cfg.arrival_placement.validate();
         if cfg.shards == 0 {
             return Err("shards must be >= 1".to_string());
         }
@@ -340,9 +375,7 @@ impl OnlineSim {
     ///
     /// Panicking builder form of [`reconfigure`](Self::reconfigure).
     pub fn with_config(mut self, cfg: SimConfig) -> Self {
-        assert_eq!(self.cfg.tenants, cfg.tenants, "tenant classes cannot change mid-run");
-        Self::validate(&cfg);
-        self.cfg = cfg;
+        self.reconfigure(cfg).unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
@@ -353,16 +386,30 @@ impl OnlineSim {
     ///
     /// * a changed tenant list — task→tenant assignments are indices
     ///   into it;
+    /// * a changed failure-domain list — the recovery deadlines index
+    ///   into it (swapping outage probability/duration/steering is
+    ///   fine);
     /// * any config [`try_validate`](Self::try_validate) rejects, which
     ///   includes the swaps that would corrupt the deterministic stream
     ///   contract — e.g. `shards > 1` onto a sequential (mixed/baseline)
     ///   policy, or `WalkKind::Simple` onto a churned graph.
     ///
+    /// Swapping the *admission* policy resets its token balances to the
+    /// new policy's initial state (an unchanged policy keeps mid-bucket
+    /// state, so a pure phase swap stays bit-identical).
+    ///
     /// # Errors
     /// As above; the current configuration stays in force on error.
     pub fn reconfigure(&mut self, cfg: SimConfig) -> anyhow::Result<()> {
         anyhow::ensure!(self.cfg.tenants == cfg.tenants, "tenant classes cannot change mid-run");
+        anyhow::ensure!(
+            self.cfg.churn.domains == cfg.churn.domains,
+            "failure domains cannot change mid-run (recovery deadlines index into them)"
+        );
         Self::try_validate(&cfg).map_err(anyhow::Error::msg)?;
+        if self.cfg.admission != cfg.admission {
+            self.state.admission_tokens = cfg.admission.initial_tokens(self.tenants.len());
+        }
         self.cfg = cfg;
         self.obs_event("reconfigure");
         Ok(())
@@ -547,6 +594,8 @@ impl OnlineSim {
             tenant_of: self.state.tenant_of.clone(),
             free_ids: self.state.free_ids.clone(),
             live: self.state.live,
+            domain_down_until: self.state.domain_down_until.clone(),
+            admission_tokens: self.state.admission_tokens.clone(),
             summary: self.summary.clone(),
         })
     }
@@ -578,6 +627,30 @@ impl OnlineSim {
         Self::try_validate(&snap.config).map_err(anyhow::Error::msg)?;
         let n = base.num_nodes();
         anyhow::ensure!(n > 0, "need at least one resource");
+        validate_domains_against_graph(&snap.config.churn.domains, n)
+            .map_err(anyhow::Error::msg)?;
+        anyhow::ensure!(
+            snap.domain_down_until.len() == snap.config.churn.domains.len(),
+            "snapshot carries {} domain deadlines for {} configured domains",
+            snap.domain_down_until.len(),
+            snap.config.churn.domains.len()
+        );
+        let expected_tokens = match snap.config.admission {
+            AdmissionPolicy::TokenBucket { .. } => snap.config.tenants.len(),
+            _ => 0,
+        };
+        anyhow::ensure!(
+            snap.admission_tokens.len() == expected_tokens,
+            "snapshot carries {} admission token balances, expected {expected_tokens} for the \
+             configured policy",
+            snap.admission_tokens.len()
+        );
+        if let AdmissionPolicy::TokenBucket { burst, .. } = snap.config.admission {
+            anyhow::ensure!(
+                snap.admission_tokens.iter().all(|t| t.is_finite() && (0.0..=burst).contains(t)),
+                "admission token balance outside [0, {burst}]"
+            );
+        }
         let dg = DynamicGraph::from_delta(base.clone(), &snap.graph)
             .map_err(|e| anyhow::anyhow!("snapshot graph delta does not apply: {e}"))?;
         anyhow::ensure!(
@@ -624,6 +697,8 @@ impl OnlineSim {
         state.tenant_of = snap.tenant_of;
         state.free_ids = snap.free_ids;
         state.live = snap.live;
+        state.domain_down_until = snap.domain_down_until;
+        state.admission_tokens = snap.admission_tokens;
         Ok(OnlineSim {
             cfg: snap.config,
             tenants,
@@ -659,11 +734,69 @@ impl OnlineSim {
         let state = &mut self.state;
         let mut drained = 0u64;
         let mut topology_changed = false;
+        let epoch = self.epoch;
+        let domains = &self.cfg.churn.domains;
 
-        // --- 1. churn: scripted events in list order, then stochastic.
-        let events: Vec<ChurnEvent> = self.cfg.churn.events_at(self.epoch).collect();
+        // The adaptive arrival adversary reacts to the loads as last
+        // epoch's rebalancing pass left them — capture the ranking
+        // before this epoch's churn/departures disturb it. Every branch
+        // below is feature-gated, so configs without the new knobs draw
+        // the exact RNG sequence they always did.
+        let adaptive_ranking =
+            matches!(self.cfg.arrival_placement, ArrivalPlacement::Adaptive { .. })
+                .then(|| state.load_ranking());
+
+        // --- 1. churn: due domain recoveries (scheduled, no RNG), then
+        // scripted events in list order, then the stochastic domain
+        // outage, then independent down/up flaps.
+        if !domains.is_empty() {
+            state.recover_due_domains(domains, epoch, &mut topology_changed);
+        }
+        let events: Vec<ChurnEvent> = self.cfg.churn.events_at(epoch).collect();
         for ev in events {
-            drained += state.apply_event(ev, &mut rng, &mut topology_changed);
+            drained += match ev {
+                ChurnEvent::DomainOutage { domain, duration } => state.domain_outage(
+                    domains,
+                    domain as usize,
+                    epoch + duration,
+                    &mut rng,
+                    &mut topology_changed,
+                ),
+                ev => state.apply_event(ev, &mut rng, &mut topology_changed),
+            };
+        }
+        if !domains.is_empty()
+            && self.cfg.churn.domain_outage > 0.0
+            && rng.gen_bool(self.cfg.churn.domain_outage)
+        {
+            let healthy: Vec<usize> =
+                (0..domains.len()).filter(|&d| state.domain_down_until[d] == 0).collect();
+            if !healthy.is_empty() {
+                let d = match self.cfg.churn.steering {
+                    DomainSteering::Oblivious => healthy[rng.gen_range(0..healthy.len())],
+                    // The adversary shoots the most-loaded healthy
+                    // domain — a pure function of the stacks, no draw.
+                    DomainSteering::Adaptive => healthy
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            state
+                                .domain_load(domains, a)
+                                .partial_cmp(&state.domain_load(domains, b))
+                                .expect("loads are finite")
+                                .then(b.cmp(&a))
+                        })
+                        .expect("healthy is non-empty"),
+                };
+                let duration = self.cfg.churn.outage.sample(&mut rng);
+                drained += state.domain_outage(
+                    domains,
+                    d,
+                    epoch + duration,
+                    &mut rng,
+                    &mut topology_changed,
+                );
+            }
         }
         if self.cfg.churn.random_down > 0.0 && rng.gen_bool(self.cfg.churn.random_down) {
             let active = state.active_ids();
@@ -674,8 +807,13 @@ impl OnlineSim {
             }
         }
         if self.cfg.churn.random_up > 0.0 && rng.gen_bool(self.cfg.churn.random_up) {
+            // A down domain recovers as a unit on its deadline — its
+            // nodes are not eligible for one-at-a-time resurrection.
             let inactive: Vec<tlb_graphs::NodeId> = (0..state.dg.num_nodes() as tlb_graphs::NodeId)
-                .filter(|&v| !state.dg.is_active(v))
+                .filter(|&v| {
+                    !state.dg.is_active(v)
+                        && (domains.is_empty() || !state.in_down_domain(domains, v, epoch))
+                })
                 .collect();
             if !inactive.is_empty() {
                 let v = inactive[rng.gen_range(0..inactive.len())];
@@ -690,18 +828,71 @@ impl OnlineSim {
         // --- 2. departures: every live task flips an independent coin.
         let departures = state.depart_bernoulli(self.cfg.departure_prob, &mut rng);
 
-        // --- 3. arrivals.
+        // --- 3. arrivals, gated by admission. The offered stream
+        // (tenant + weight draws) is identical whatever the policy
+        // decides, and the decisions themselves consume no RNG, so the
+        // only stream difference a policy makes is the destination
+        // draws it skips for rejected tasks.
         let mut arrivals = 0u64;
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut tenant_admitted = vec![0u64; self.tenants.len()];
+        let mut tenant_rejected = vec![0u64; self.tenants.len()];
+        self.cfg.admission.refill(&mut state.admission_tokens);
         let in_window = self.cfg.arrival_window.is_none_or(|w| self.epoch < w);
         if in_window {
             let count = self.cfg.arrivals.sample_count(self.epoch, &mut rng);
             let active = state.active_ids();
+            // The adaptive adversary's targets for this whole epoch:
+            // last epoch's `spread` most-loaded resources still active.
+            let adaptive_targets: Option<Vec<tlb_graphs::NodeId>> =
+                adaptive_ranking.as_ref().map(|ranking| {
+                    let spread = match self.cfg.arrival_placement {
+                        ArrivalPlacement::Adaptive { spread } => spread,
+                        _ => unreachable!("ranking only captured for adaptive placement"),
+                    };
+                    ranking
+                        .iter()
+                        .copied()
+                        .filter(|&v| state.dg.is_active(v))
+                        .take(spread)
+                        .collect()
+                });
+            // Projected total live weight, tracked incrementally for
+            // the load-shedding decision (unused by the other policies,
+            // so their epochs skip the O(n) sum).
+            let mut projected_weight = match self.cfg.admission {
+                AdmissionPolicy::LoadShed { .. } => state.total_weight(),
+                _ => 0.0,
+            };
             for _ in 0..count {
                 let tenant = self.tenants.pick(rng.gen::<f64>());
                 let weight = self.cfg.arrival_weights.sample(&mut rng);
-                let dest = state.arrival_destination(self.cfg.arrival_placement, &active, &mut rng);
-                state.admit(weight, tenant, dest);
                 arrivals += 1;
+                let admit = self.cfg.admission.admit(
+                    tenant,
+                    weight,
+                    state.live,
+                    projected_weight,
+                    active.len(),
+                    &mut state.admission_tokens,
+                );
+                if !admit {
+                    rejected += 1;
+                    tenant_rejected[tenant as usize] += 1;
+                    continue;
+                }
+                let dest = match &adaptive_targets {
+                    // Round-robin over the targets by admitted index.
+                    Some(targets) => targets[admitted as usize % targets.len()],
+                    None => {
+                        state.arrival_destination(self.cfg.arrival_placement, &active, &mut rng)
+                    }
+                };
+                state.admit(weight, tenant, dest);
+                projected_weight += weight;
+                admitted += 1;
+                tenant_admitted[tenant as usize] += 1;
             }
         }
 
@@ -793,11 +984,26 @@ impl OnlineSim {
         let max_load = max_load(&state.stacks);
         let overloaded = num_overloaded(&state.stacks, threshold);
         let balanced = overloaded == 0;
+        let tenant_violations =
+            self.tenants
+                .violations(&state.stacks, &state.weights, &state.tenant_of, n_active);
+        if let Some(obs) = &self.obs {
+            // Per-tenant SLO ledger, inside the deterministic counters
+            // subtree: violated vs rejected vs admitted work.
+            let reg = &obs.reg;
+            for (c, spec) in self.tenants.specs().iter().enumerate() {
+                reg.add(&format!("tenant.{}.violations", spec.name), tenant_violations[c]);
+                reg.add(&format!("tenant.{}.admitted", spec.name), tenant_admitted[c]);
+                reg.add(&format!("tenant.{}.rejected", spec.name), tenant_rejected[c]);
+            }
+        }
         let record = EpochRecord {
             epoch: self.epoch,
             live_tasks: state.live,
             active_resources: n_active,
             arrivals,
+            admitted,
+            rejected,
             departures,
             drained,
             rebalance_rounds,
@@ -808,12 +1014,9 @@ impl OnlineSim {
             overload_fraction: if n_active > 0 { overloaded as f64 / n_active as f64 } else { 0.0 },
             potential: total_potential(&state.stacks, threshold, &state.weights),
             balanced,
-            tenant_violations: self.tenants.violations(
-                &state.stacks,
-                &state.weights,
-                &state.tenant_of,
-                n_active,
-            ),
+            tenant_violations,
+            tenant_admitted,
+            tenant_rejected,
         };
         self.summary.observe(&record);
         if let Some(sink) = self.sink.as_mut() {
@@ -826,6 +1029,8 @@ impl OnlineSim {
             let reg = &obs.reg;
             reg.add("sim.epochs", 1);
             reg.add("sim.arrivals", arrivals);
+            reg.add("sim.admitted", admitted);
+            reg.add("sim.rejected", rejected);
             reg.add("sim.departures", departures);
             reg.add("sim.drained", drained);
             reg.add("sim.migrations", migrations);
@@ -851,6 +1056,7 @@ impl OnlineSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domains::OutageDuration;
     use tlb_graphs::generators::{complete, torus2d};
 
     fn quick_cfg(name: &str) -> SimConfig {
@@ -891,7 +1097,12 @@ mod tests {
         // reports (every record field, bit for bit) are independent of
         // the shard count.
         let mut cfg = quick_cfg("shards");
-        cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 };
+        cfg.churn = ChurnProcess {
+            scripted: vec![],
+            random_down: 0.05,
+            random_up: 0.08,
+            ..Default::default()
+        };
         let reference = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
         for shards in [2usize, 3, 7, 16] {
             cfg.shards = shards;
@@ -1072,7 +1283,12 @@ mod tests {
         // vs the uninterrupted run: every post-restore record and the
         // whole-run summary must match bit for bit.
         let mut cfg = quick_cfg("ckpt");
-        cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 };
+        cfg.churn = ChurnProcess {
+            scripted: vec![],
+            random_down: 0.05,
+            random_up: 0.08,
+            ..Default::default()
+        };
         let full = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
 
         let mut first = OnlineSim::new(torus2d(4, 4), cfg.clone());
@@ -1174,7 +1390,12 @@ mod tests {
     #[test]
     fn obs_is_off_by_default_and_determinism_neutral_when_on() {
         let mut cfg = quick_cfg("obs");
-        cfg.churn = ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 };
+        cfg.churn = ChurnProcess {
+            scripted: vec![],
+            random_down: 0.05,
+            random_up: 0.08,
+            ..Default::default()
+        };
         let plain = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
 
         let run_obs = |shards: usize| {
@@ -1230,6 +1451,274 @@ mod tests {
             obs.counters["rebalance.fused_word_draws"], obs.counters["rebalance.walk_steps"],
             "the lazy walk fuses its coin and neighbour draws"
         );
+    }
+
+    fn two_rack_cfg(name: &str) -> SimConfig {
+        let mut cfg = quick_cfg(name);
+        cfg.churn.domains = vec![
+            crate::domains::DomainSpec::new("rack-a", 0, 8),
+            crate::domains::DomainSpec::new("rack-b", 8, 16),
+        ];
+        cfg
+    }
+
+    #[test]
+    fn scripted_domain_outage_drops_the_rack_and_recovers_on_schedule() {
+        let mut cfg = two_rack_cfg("dom-script");
+        cfg.epochs = 20;
+        cfg.churn.scripted = vec![(5, ChurnEvent::DomainOutage { domain: 0, duration: 4 })];
+        let report = OnlineSim::new(torus2d(4, 4), cfg).run();
+        // Epochs 5..9 run with rack-a (8 nodes) down; the recovery fires
+        // at the start of epoch 9.
+        for e in 0..20usize {
+            let expect = if (5..9).contains(&e) { 8 } else { 16 };
+            assert_eq!(
+                report.records[e].active_resources, expect,
+                "epoch {e}: {:?}",
+                report.records[e]
+            );
+        }
+        // Draining moved the rack's tasks to the survivors, never lost them.
+        let r = &report.records[5];
+        assert_eq!(r.arrivals, r.admitted + r.rejected);
+    }
+
+    #[test]
+    fn stochastic_domain_outages_are_deterministic_and_bounded() {
+        let mut cfg = two_rack_cfg("dom-stoch");
+        cfg.epochs = 80;
+        cfg.churn.domain_outage = 0.2;
+        cfg.churn.outage = OutageDuration { alpha: 1.5, min_epochs: 2, max_epochs: 6 };
+        let a = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+        let b = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+        assert_eq!(a, b);
+        // Some epoch must actually have lost a rack...
+        assert!(a.records.iter().any(|r| r.active_resources <= 8), "no outage in 80 epochs");
+        // ...and with both racks coverable the engine never takes the
+        // last one down (the heal-side guard keeps >= 1 resource active).
+        assert!(a.records.iter().all(|r| r.active_resources >= 1));
+        // Sharding does not disturb the domain draws.
+        cfg.shards = 4;
+        let sharded = OnlineSim::new(torus2d(4, 4), cfg).run();
+        assert_eq!(sharded, a);
+    }
+
+    #[test]
+    fn domain_list_alone_is_rng_neutral() {
+        // Configuring domains without an outage probability must not
+        // shift any stream: the run is bit-identical to the no-domain run.
+        let plain = OnlineSim::new(torus2d(4, 4), quick_cfg("dom-inert")).run();
+        let with_domains = OnlineSim::new(torus2d(4, 4), two_rack_cfg("dom-inert")).run();
+        assert_eq!(with_domains, plain);
+    }
+
+    #[test]
+    fn adaptive_steering_shoots_the_loaded_rack() {
+        // All load starts on rack-a (hot-spot arrivals onto node 2, no
+        // rebalance): the adaptive adversary shoots the loaded rack
+        // first, so its drained mass keeps sloshing between racks.
+        let mut cfg = two_rack_cfg("dom-adapt");
+        cfg.epochs = 60;
+        cfg.arrival_placement = ArrivalPlacement::HotSpot(2);
+        cfg.rounds_per_epoch = 0;
+        cfg.departure_prob = 0.0;
+        cfg.churn.domain_outage = 0.3;
+        cfg.churn.outage = OutageDuration { alpha: 2.0, min_epochs: 2, max_epochs: 4 };
+        cfg.churn.steering = DomainSteering::Adaptive;
+        let mut sim = OnlineSim::new(torus2d(4, 4), cfg.clone());
+        let report = sim.run();
+        assert!(report.records.iter().any(|r| r.active_resources < 16), "no outage fired");
+        // The drained hot-spot tasks land on rack-b during the outage and
+        // stay there (no rebalancing); conservation holds throughout.
+        for r in &report.records {
+            assert_eq!(r.arrivals, r.admitted + r.rejected, "epoch {}", r.epoch);
+        }
+        // Determinism incl. the RNG-free victim choice.
+        assert_eq!(OnlineSim::new(torus2d(4, 4), cfg).run(), report);
+    }
+
+    #[test]
+    fn adaptive_placement_piles_onto_the_most_loaded_resource() {
+        // The placement adversary with spread 1 and no rebalancing: the
+        // epoch-0 ranking ties to node 0, and every later ranking keeps
+        // node 0 on top, so the whole stream lands there.
+        let mut cfg = quick_cfg("adapt-place");
+        cfg.arrival_placement = ArrivalPlacement::Adaptive { spread: 1 };
+        cfg.rounds_per_epoch = 0;
+        cfg.departure_prob = 0.0;
+        cfg.epochs = 6;
+        let mut sim = OnlineSim::new(complete(8), cfg.clone());
+        let report = sim.run();
+        assert!(report.total_arrivals > 0);
+        let elsewhere: usize =
+            sim.stacks().iter().skip(1).map(tlb_core::stack::ResourceStack::num_tasks).sum();
+        assert_eq!(elsewhere, 0, "adaptive spread-1 placement leaked off the top slot");
+        assert_eq!(sim.stacks()[0].num_tasks() as u64, report.total_arrivals);
+        // Spread 2 round-robins over exactly the top two slots.
+        cfg.arrival_placement = ArrivalPlacement::Adaptive { spread: 2 };
+        let mut sim2 = OnlineSim::new(complete(8), cfg);
+        sim2.run();
+        let nonempty = sim2.stacks().iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    fn static_cap_admission_bounds_the_live_population() {
+        let mut cfg = quick_cfg("cap");
+        cfg.admission = AdmissionPolicy::StaticCap { max_live: 20 };
+        cfg.departure_prob = 0.02;
+        cfg.epochs = 80;
+        let report = OnlineSim::new(complete(8), cfg).run();
+        assert!(report.records.iter().all(|r| r.live_tasks <= 20));
+        assert!(report.total_rejected > 0, "a 20-task cap must shed at this rate");
+        assert_eq!(report.total_admitted + report.total_rejected, report.total_arrivals);
+        assert!(report.shed_fraction > 0.0 && report.shed_fraction < 1.0);
+    }
+
+    #[test]
+    fn token_bucket_admission_rate_limits_per_tenant() {
+        let mut cfg = quick_cfg("bucket");
+        cfg.tenants = vec![
+            TenantSpec::new("gold", ThresholdPolicy::AboveAverage { epsilon: 0.2 }, 1.0),
+            TenantSpec::new("bronze", ThresholdPolicy::AboveAverage { epsilon: 0.2 }, 1.0),
+        ];
+        cfg.admission = AdmissionPolicy::TokenBucket { rate: 2.0, burst: 6.0 };
+        cfg.epochs = 100;
+        let report = OnlineSim::new(complete(8), cfg).run();
+        // Each tenant can admit at most burst + rate per elapsed epoch.
+        let budget = (6.0 + 2.0 * 100.0) as u64;
+        for (c, name) in report.tenants.iter().enumerate() {
+            assert!(
+                report.tenant_admitted_totals[c] <= budget,
+                "tenant {name} admitted {} > budget {budget}",
+                report.tenant_admitted_totals[c]
+            );
+        }
+        assert!(report.total_rejected > 0, "a 2/epoch bucket must reject at a 12/epoch rate");
+        assert_eq!(report.total_admitted + report.total_rejected, report.total_arrivals);
+        let tenant_sum: u64 = report.tenant_admitted_totals.iter().sum();
+        assert_eq!(tenant_sum, report.total_admitted);
+    }
+
+    #[test]
+    fn load_shed_admission_keeps_mean_load_under_the_cap() {
+        let mut cfg = quick_cfg("shed");
+        cfg.admission = AdmissionPolicy::LoadShed { max_mean_load: 2.0 };
+        cfg.departure_prob = 0.02;
+        cfg.epochs = 80;
+        let report = OnlineSim::new(complete(8), cfg).run();
+        // No churn: the active set is fixed at 8, so the admission-time
+        // bound is exactly the recorded mean.
+        assert!(
+            report.records.iter().all(|r| r.mean_load <= 2.0 + 1e-9),
+            "mean load exceeded the shed cap"
+        );
+        assert!(report.total_rejected > 0);
+        assert_eq!(report.total_admitted + report.total_rejected, report.total_arrivals);
+    }
+
+    #[test]
+    fn admission_off_admits_everything_and_preserves_legacy_streams() {
+        let report = OnlineSim::new(complete(16), quick_cfg("steady")).run();
+        assert_eq!(report.total_admitted, report.total_arrivals);
+        assert_eq!(report.total_rejected, 0);
+        assert_eq!(report.shed_fraction, 0.0);
+    }
+
+    #[test]
+    fn robustness_features_checkpoint_restore_bit_identically() {
+        // Pause at epoch 10 — *inside* the scripted rack outage — with
+        // admission and stochastic domain churn live, and resume.
+        let mut cfg = two_rack_cfg("dom-ckpt");
+        cfg.epochs = 40;
+        cfg.churn.scripted = vec![(8, ChurnEvent::DomainOutage { domain: 1, duration: 6 })];
+        cfg.churn.domain_outage = 0.1;
+        cfg.admission = AdmissionPolicy::TokenBucket { rate: 5.0, burst: 10.0 };
+        let full = OnlineSim::new(torus2d(4, 4), cfg.clone()).run();
+
+        let mut first = OnlineSim::new(torus2d(4, 4), cfg.clone());
+        for _ in 0..10 {
+            first.run_epoch();
+        }
+        let snap = first.checkpoint().unwrap();
+        assert!(snap.domain_down_until.iter().any(|&u| u > 10), "pause must be mid-outage");
+        let json = snap.to_json().unwrap();
+        let back = SimSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        let mut resumed = OnlineSim::restore(back, torus2d(4, 4)).unwrap();
+        for _ in 10..40 {
+            resumed.run_epoch();
+        }
+        assert_eq!(resumed.records(), &full.records[10..]);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_robustness_state() {
+        let mut cfg = two_rack_cfg("dom-corrupt");
+        cfg.admission = AdmissionPolicy::TokenBucket { rate: 1.0, burst: 4.0 };
+        let mut sim = OnlineSim::new(torus2d(4, 4), cfg);
+        for _ in 0..3 {
+            sim.run_epoch();
+        }
+        let snap = sim.checkpoint().unwrap();
+
+        let mut wrong_domains = snap.clone();
+        wrong_domains.domain_down_until.push(0);
+        assert!(OnlineSim::restore(wrong_domains, torus2d(4, 4)).is_err());
+
+        let mut wrong_tokens = snap.clone();
+        wrong_tokens.admission_tokens.pop();
+        assert!(OnlineSim::restore(wrong_tokens, torus2d(4, 4)).is_err());
+
+        let mut over_full = snap.clone();
+        over_full.admission_tokens[0] = 99.0;
+        assert!(OnlineSim::restore(over_full, torus2d(4, 4)).is_err());
+
+        assert!(OnlineSim::restore(snap, torus2d(4, 4)).is_ok());
+    }
+
+    #[test]
+    fn reconfigure_rejects_domain_list_changes() {
+        let mut sim = OnlineSim::new(torus2d(4, 4), two_rack_cfg("dom-reconf"));
+        for _ in 0..3 {
+            sim.run_epoch();
+        }
+        // Changing the domain list is rejected (deadlines index into it).
+        let mut bad = quick_cfg("dom-reconf");
+        bad.churn.domains = vec![crate::domains::DomainSpec::new("other", 0, 16)];
+        assert!(sim.reconfigure(bad).is_err());
+        // Swapping outage knobs over the same list is a legal phase swap.
+        let mut ok = two_rack_cfg("dom-reconf");
+        ok.churn.domain_outage = 0.05;
+        ok.churn.steering = DomainSteering::Adaptive;
+        sim.reconfigure(ok).unwrap();
+    }
+
+    #[test]
+    fn per_tenant_obs_counters_match_the_report_ledger() {
+        let mut cfg = quick_cfg("obs-tenant");
+        cfg.tenants = vec![
+            TenantSpec::new("gold", ThresholdPolicy::AboveAverage { epsilon: 0.2 }, 1.0),
+            TenantSpec::new("bronze", ThresholdPolicy::Tight, 1.0),
+        ];
+        cfg.admission = AdmissionPolicy::StaticCap { max_live: 30 };
+        cfg.departure_prob = 0.02;
+        let mut sim = OnlineSim::new(complete(8), cfg);
+        sim.enable_obs();
+        let report = sim.run();
+        let obs = sim.obs_report().unwrap();
+        for (c, name) in report.tenants.iter().enumerate() {
+            assert_eq!(
+                obs.counters[&format!("tenant.{name}.admitted")],
+                report.tenant_admitted_totals[c]
+            );
+            assert_eq!(
+                obs.counters[&format!("tenant.{name}.rejected")],
+                report.tenant_rejected_totals[c]
+            );
+        }
+        assert_eq!(obs.counters["sim.admitted"], report.total_admitted);
+        assert_eq!(obs.counters["sim.rejected"], report.total_rejected);
     }
 
     #[test]

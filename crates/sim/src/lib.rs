@@ -87,8 +87,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod arrivals;
 pub mod churn;
+pub mod domains;
 pub mod engine;
 pub mod metrics;
 pub mod shard;
@@ -97,8 +99,10 @@ pub mod snapshot;
 pub mod state;
 pub mod tenants;
 
+pub use admission::AdmissionPolicy;
 pub use arrivals::{ArrivalPlacement, ArrivalProcess, ArrivalWeights};
 pub use churn::{ChurnEvent, ChurnProcess};
+pub use domains::{DomainSpec, DomainSteering, OutageDuration};
 pub use engine::{epoch_seed, OnlineSim, RebalancePolicy, SimConfig};
 pub use metrics::{EpochRecord, RunningSummary, SimReport};
 pub use shard::ShardedEngine;

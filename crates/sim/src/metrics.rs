@@ -25,8 +25,15 @@ pub struct EpochRecord {
     pub live_tasks: usize,
     /// Active resources after churn.
     pub active_resources: usize,
-    /// Tasks that arrived this epoch.
+    /// Tasks the arrival process *offered* this epoch (admitted +
+    /// rejected).
     pub arrivals: u64,
+    /// Offered tasks the admission policy accepted and placed this
+    /// epoch (equals `arrivals` under `AdmissionPolicy::None`).
+    pub admitted: u64,
+    /// Offered tasks the admission policy rejected this epoch (never
+    /// placed; they are *not* SLO violations).
+    pub rejected: u64,
     /// Tasks that departed this epoch.
     pub departures: u64,
     /// Tasks forcibly relocated off deactivated resources this epoch.
@@ -51,6 +58,11 @@ pub struct EpochRecord {
     /// Per-tenant count of resources violating the tenant's own
     /// threshold (index = tenant, order of the configured tenant list).
     pub tenant_violations: Vec<u64>,
+    /// Per-tenant admitted arrivals this epoch (same indexing).
+    pub tenant_admitted: Vec<u64>,
+    /// Per-tenant rejected arrivals this epoch (same indexing) — the
+    /// SLO ledger's "refused" column, disjoint from `tenant_violations`.
+    pub tenant_rejected: Vec<u64>,
 }
 
 /// A whole run: configuration echo, per-epoch series, and summaries.
@@ -66,8 +78,15 @@ pub struct SimReport {
     pub tenants: Vec<String>,
     /// The per-epoch series.
     pub records: Vec<EpochRecord>,
-    /// Total arrivals over the run.
+    /// Total offered arrivals over the run.
     pub total_arrivals: u64,
+    /// Total admitted arrivals over the run.
+    pub total_admitted: u64,
+    /// Total rejected arrivals over the run.
+    pub total_rejected: u64,
+    /// Fraction of offered arrivals the admission policy shed
+    /// (`total_rejected / total_arrivals`; 0 for an arrival-free run).
+    pub shed_fraction: f64,
     /// Total departures over the run.
     pub total_departures: u64,
     /// Total rebalancing migrations over the run.
@@ -76,6 +95,10 @@ pub struct SimReport {
     pub balanced_fraction: f64,
     /// Per-tenant fraction of epochs with at least one SLO violation.
     pub tenant_violation_rates: Vec<f64>,
+    /// Per-tenant total admitted arrivals.
+    pub tenant_admitted_totals: Vec<u64>,
+    /// Per-tenant total rejected arrivals.
+    pub tenant_rejected_totals: Vec<u64>,
     /// Maximum load seen in any epoch.
     pub peak_load: f64,
 }
@@ -89,7 +112,11 @@ impl SimReport {
         records: Vec<EpochRecord>,
     ) -> Self {
         let epochs = records.len() as u64;
-        let total_arrivals = records.iter().map(|r| r.arrivals).sum();
+        let total_arrivals: u64 = records.iter().map(|r| r.arrivals).sum();
+        let total_admitted: u64 = records.iter().map(|r| r.admitted).sum();
+        let total_rejected: u64 = records.iter().map(|r| r.rejected).sum();
+        let shed_fraction =
+            if total_arrivals == 0 { 0.0 } else { total_rejected as f64 / total_arrivals as f64 };
         let total_departures = records.iter().map(|r| r.departures).sum();
         let total_migrations = records.iter().map(|r| r.migrations).sum();
         let balanced = records.iter().filter(|r| r.balanced).count();
@@ -103,6 +130,13 @@ impl SimReport {
                 violated as f64 / epochs as f64
             })
             .collect();
+        let per_tenant = |field: fn(&EpochRecord) -> &Vec<u64>| -> Vec<u64> {
+            (0..tenants.len())
+                .map(|c| records.iter().map(|r| field(r).get(c).copied().unwrap_or(0)).sum())
+                .collect()
+        };
+        let tenant_admitted_totals = per_tenant(|r| &r.tenant_admitted);
+        let tenant_rejected_totals = per_tenant(|r| &r.tenant_rejected);
         let peak_load = records.iter().map(|r| r.max_load).fold(0.0, f64::max);
         SimReport {
             scenario: scenario.into(),
@@ -111,10 +145,15 @@ impl SimReport {
             tenants,
             records,
             total_arrivals,
+            total_admitted,
+            total_rejected,
+            shed_fraction,
             total_departures,
             total_migrations,
             balanced_fraction,
             tenant_violation_rates,
+            tenant_admitted_totals,
+            tenant_rejected_totals,
             peak_load,
         }
     }
@@ -148,8 +187,12 @@ impl SimReport {
 pub struct RunningSummary {
     /// Epochs observed.
     pub epochs: u64,
-    /// Total arrivals over the run.
+    /// Total offered arrivals over the run.
     pub total_arrivals: u64,
+    /// Total admitted arrivals over the run.
+    pub total_admitted: u64,
+    /// Total rejected arrivals over the run.
+    pub total_rejected: u64,
     /// Total departures over the run.
     pub total_departures: u64,
     /// Total rebalancing migrations over the run.
@@ -158,6 +201,10 @@ pub struct RunningSummary {
     pub balanced_epochs: u64,
     /// Per-tenant count of epochs with at least one SLO violation.
     pub violated_epochs: Vec<u64>,
+    /// Per-tenant total admitted arrivals.
+    pub tenant_admitted_tasks: Vec<u64>,
+    /// Per-tenant total rejected arrivals.
+    pub tenant_rejected_tasks: Vec<u64>,
     /// Maximum load seen in any epoch.
     pub peak_load: f64,
 }
@@ -168,8 +215,16 @@ impl RunningSummary {
         if self.violated_epochs.is_empty() && !r.tenant_violations.is_empty() {
             self.violated_epochs = vec![0; r.tenant_violations.len()];
         }
+        if self.tenant_admitted_tasks.is_empty() && !r.tenant_admitted.is_empty() {
+            self.tenant_admitted_tasks = vec![0; r.tenant_admitted.len()];
+        }
+        if self.tenant_rejected_tasks.is_empty() && !r.tenant_rejected.is_empty() {
+            self.tenant_rejected_tasks = vec![0; r.tenant_rejected.len()];
+        }
         self.epochs += 1;
         self.total_arrivals += r.arrivals;
+        self.total_admitted += r.admitted;
+        self.total_rejected += r.rejected;
         self.total_departures += r.departures;
         self.total_migrations += r.migrations;
         if r.balanced {
@@ -179,6 +234,12 @@ impl RunningSummary {
             if v > 0 {
                 *slot += 1;
             }
+        }
+        for (slot, &a) in self.tenant_admitted_tasks.iter_mut().zip(&r.tenant_admitted) {
+            *slot += a;
+        }
+        for (slot, &x) in self.tenant_rejected_tasks.iter_mut().zip(&r.tenant_rejected) {
+            *slot += x;
         }
         self.peak_load = self.peak_load.max(r.max_load);
     }
@@ -205,6 +266,16 @@ impl RunningSummary {
                 violated as f64 / self.epochs as f64
             })
             .collect();
+        let shed_fraction = if self.total_arrivals == 0 {
+            0.0
+        } else {
+            self.total_rejected as f64 / self.total_arrivals as f64
+        };
+        let pad = |v: &Vec<u64>| -> Vec<u64> {
+            (0..tenants.len()).map(|c| v.get(c).copied().unwrap_or(0)).collect()
+        };
+        let tenant_admitted_totals = pad(&self.tenant_admitted_tasks);
+        let tenant_rejected_totals = pad(&self.tenant_rejected_tasks);
         SimReport {
             scenario: scenario.into(),
             seed,
@@ -212,10 +283,15 @@ impl RunningSummary {
             tenants,
             records: Vec::new(),
             total_arrivals: self.total_arrivals,
+            total_admitted: self.total_admitted,
+            total_rejected: self.total_rejected,
+            shed_fraction,
             total_departures: self.total_departures,
             total_migrations: self.total_migrations,
             balanced_fraction,
             tenant_violation_rates,
+            tenant_admitted_totals,
+            tenant_rejected_totals,
             peak_load: self.peak_load,
         }
     }
@@ -226,11 +302,14 @@ mod tests {
     use super::*;
 
     fn record(epoch: u64, balanced: bool, violations: Vec<u64>) -> EpochRecord {
+        let tenants = violations.len();
         EpochRecord {
             epoch,
             live_tasks: 10,
             active_resources: 4,
             arrivals: 2,
+            admitted: 1,
+            rejected: 1,
             departures: 1,
             drained: 0,
             rebalance_rounds: 3,
@@ -242,6 +321,8 @@ mod tests {
             potential: if balanced { 0.0 } else { 2.0 },
             balanced,
             tenant_violations: violations,
+            tenant_admitted: vec![1; tenants],
+            tenant_rejected: vec![0; tenants],
         }
     }
 
@@ -260,10 +341,15 @@ mod tests {
         );
         assert_eq!(report.epochs, 4);
         assert_eq!(report.total_arrivals, 8);
+        assert_eq!(report.total_admitted, 4);
+        assert_eq!(report.total_rejected, 4);
+        assert_eq!(report.shed_fraction, 0.5);
         assert_eq!(report.total_departures, 4);
         assert_eq!(report.total_migrations, 20);
         assert_eq!(report.balanced_fraction, 0.75);
         assert_eq!(report.tenant_violation_rates, vec![0.5, 0.25]);
+        assert_eq!(report.tenant_admitted_totals, vec![4, 4]);
+        assert_eq!(report.tenant_rejected_totals, vec![0, 0]);
         assert_eq!(report.peak_load, 6.0);
         assert_eq!(report.last().unwrap().epoch, 3);
     }
@@ -297,10 +383,15 @@ mod tests {
         let streamed = summary.to_report("unit", 7, tenants);
         assert_eq!(streamed.epochs, buffered.epochs);
         assert_eq!(streamed.total_arrivals, buffered.total_arrivals);
+        assert_eq!(streamed.total_admitted, buffered.total_admitted);
+        assert_eq!(streamed.total_rejected, buffered.total_rejected);
+        assert_eq!(streamed.shed_fraction.to_bits(), buffered.shed_fraction.to_bits());
         assert_eq!(streamed.total_departures, buffered.total_departures);
         assert_eq!(streamed.total_migrations, buffered.total_migrations);
         assert_eq!(streamed.balanced_fraction.to_bits(), buffered.balanced_fraction.to_bits());
         assert_eq!(streamed.tenant_violation_rates, buffered.tenant_violation_rates);
+        assert_eq!(streamed.tenant_admitted_totals, buffered.tenant_admitted_totals);
+        assert_eq!(streamed.tenant_rejected_totals, buffered.tenant_rejected_totals);
         assert_eq!(streamed.peak_load.to_bits(), buffered.peak_load.to_bits());
         assert!(streamed.records.is_empty());
     }

@@ -155,6 +155,8 @@ mod tests {
             live_tasks: 1,
             active_resources: 1,
             arrivals: 0,
+            admitted: 0,
+            rejected: 0,
             departures: 0,
             drained: 0,
             rebalance_rounds: 0,
@@ -166,6 +168,8 @@ mod tests {
             potential: 0.0,
             balanced: true,
             tenant_violations: vec![0],
+            tenant_admitted: vec![0],
+            tenant_rejected: vec![0],
         }
     }
 

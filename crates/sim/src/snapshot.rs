@@ -21,8 +21,23 @@
 //!
 //! The format is JSON with a leading `version` field, checked on load;
 //! see the "Service mode" section of the README for the restart recipe.
+//!
+//! ## Version history
+//!
+//! * **v1** (PR 7): config, epoch, graph delta, stacks, task tables,
+//!   summary.
+//! * **v2** (robustness layer): adds the failure-domain recovery
+//!   deadlines (`domain_down_until`) and the per-tenant admission token
+//!   balances (`admission_tokens`); the config gained `admission` and
+//!   the churn block gained `domains`/`domain_outage`/`outage`/
+//!   `steering`; the summary gained the admitted/rejected ledger.
+//!   [`SimSnapshot::from_json`] upgrades v1 documents in place —
+//!   missing robustness state defaults to "feature off" (no domains,
+//!   admit everything, every offered arrival counted as admitted),
+//!   which is exactly what a v1 engine did.
 
 use serde::{Deserialize, Serialize};
+use serde_json::{Number, Value};
 use tlb_core::stack::ResourceStack;
 use tlb_core::task::TaskId;
 use tlb_graphs::DynamicDelta;
@@ -34,8 +49,9 @@ use crate::metrics::RunningSummary;
 
 /// Current snapshot format version. Bumped whenever the serialized
 /// layout or the determinism contract it relies on changes; `load`
-/// rejects mismatches instead of misinterpreting old state.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// rejects mismatches instead of misinterpreting old state (known old
+/// versions upgrade through a shim — see the module docs).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A versioned, serializable checkpoint of an online run at an epoch
 /// boundary (see the module docs for what is and is not captured).
@@ -61,6 +77,13 @@ pub struct SimSnapshot {
     pub free_ids: Vec<TaskId>,
     /// Live task count.
     pub live: usize,
+    /// Per failure domain (index = config's domain list): the epoch at
+    /// whose start the domain recovers, 0 when healthy. Parallel to
+    /// `config.churn.domains`. (v2)
+    pub domain_down_until: Vec<u64>,
+    /// Per-tenant admission token balances (token-bucket policy only;
+    /// empty otherwise). (v2)
+    pub admission_tokens: Vec<f64>,
     /// Streaming run-level aggregates up to the checkpoint.
     pub summary: RunningSummary,
 }
@@ -75,20 +98,32 @@ impl SimSnapshot {
             .map_err(|e| anyhow::anyhow!("snapshot serializes: {e:?}"))
     }
 
-    /// Parse a snapshot, rejecting version mismatches.
+    /// Parse a snapshot, upgrading known old versions through the
+    /// compatibility shim and rejecting unknown ones.
     ///
     /// # Errors
-    /// If the JSON is malformed or the `version` field is not
-    /// [`SNAPSHOT_VERSION`].
+    /// If the JSON is malformed or the `version` field is neither
+    /// [`SNAPSHOT_VERSION`] nor an upgradable older version.
     pub fn from_json(text: &str) -> anyhow::Result<Self> {
-        let snap: SimSnapshot =
+        let mut value: Value =
             serde_json::from_str(text).map_err(|e| anyhow::anyhow!("snapshot parse: {e:?}"))?;
-        anyhow::ensure!(
-            snap.version == SNAPSHOT_VERSION,
-            "snapshot version {} unsupported (this build reads version {})",
-            snap.version,
-            SNAPSHOT_VERSION
-        );
+        let version = value
+            .as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == "version"))
+            .and_then(|(_, v)| v.as_u64());
+        match version {
+            Some(1) => {
+                upgrade_v1(&mut value).map_err(|e| anyhow::anyhow!("snapshot v1 upgrade: {e}"))?;
+            }
+            Some(v) if v == u64::from(SNAPSHOT_VERSION) => {}
+            other => anyhow::bail!(
+                "snapshot version {} unsupported (this build reads versions 1..={})",
+                other.map_or_else(|| "missing".to_owned(), |v| v.to_string()),
+                SNAPSHOT_VERSION
+            ),
+        }
+        let snap = <SimSnapshot as Deserialize>::from_value(&value)
+            .map_err(|e| anyhow::anyhow!("snapshot parse: {e}"))?;
         Ok(snap)
     }
 
@@ -113,4 +148,64 @@ impl SimSnapshot {
         SimSnapshot::from_json(&text)
             .map_err(|e| anyhow::anyhow!("parsing snapshot {}: {e}", path.display()))
     }
+}
+
+/// The pairs of an object `Value`, or an error naming the site.
+fn object_mut<'a>(v: &'a mut Value, what: &str) -> Result<&'a mut Vec<(String, Value)>, String> {
+    match v {
+        Value::Object(pairs) => Ok(pairs),
+        other => Err(format!("{what} must be an object, found {}", other.kind())),
+    }
+}
+
+/// Mutable lookup inside an object's pairs.
+fn field_mut<'a>(
+    pairs: &'a mut [(String, Value)],
+    key: &str,
+    what: &str,
+) -> Result<&'a mut Value, String> {
+    pairs
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("{what} is missing field {key:?}"))
+}
+
+/// Insert `key: value` unless the key already exists (an upgrade must
+/// never clobber data a field-bearing document carries).
+fn insert_missing(pairs: &mut Vec<(String, Value)>, key: &str, value: Value) {
+    if !pairs.iter().any(|(k, _)| k == key) {
+        pairs.push((key.to_string(), value));
+    }
+}
+
+/// In-place v1 → v2 upgrade of a parsed snapshot document. The added
+/// state all defaults to "robustness features off", which is exactly
+/// the v1 engine's behaviour: no failure domains (so no recovery
+/// deadlines), `AdmissionPolicy::None` (so every offered arrival was
+/// admitted — the summary's new admitted total equals its arrival
+/// total), and empty per-tenant admission ledgers (the engine sizes
+/// them lazily on the next epoch).
+fn upgrade_v1(value: &mut Value) -> Result<(), String> {
+    let root = object_mut(value, "snapshot")?;
+    insert_missing(root, "domain_down_until", Value::Array(Vec::new()));
+    insert_missing(root, "admission_tokens", Value::Array(Vec::new()));
+
+    let config = object_mut(field_mut(root, "config", "snapshot")?, "config")?;
+    insert_missing(config, "admission", Value::String("None".to_string()));
+    let churn = object_mut(field_mut(config, "churn", "config")?, "config.churn")?;
+    insert_missing(churn, "domains", Value::Array(Vec::new()));
+    insert_missing(churn, "domain_outage", Value::Number(Number::F(0.0)));
+    insert_missing(churn, "outage", crate::domains::OutageDuration::default().to_value());
+    insert_missing(churn, "steering", Value::String("Oblivious".to_string()));
+
+    let summary = object_mut(field_mut(root, "summary", "snapshot")?, "summary")?;
+    let admitted = field_mut(summary, "total_arrivals", "summary")?.clone();
+    insert_missing(summary, "total_admitted", admitted);
+    insert_missing(summary, "total_rejected", Value::Number(Number::U(0)));
+    insert_missing(summary, "tenant_admitted_tasks", Value::Array(Vec::new()));
+    insert_missing(summary, "tenant_rejected_tasks", Value::Array(Vec::new()));
+
+    *field_mut(root, "version", "snapshot")? = Value::Number(Number::U(2));
+    Ok(())
 }

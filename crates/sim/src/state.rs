@@ -18,6 +18,7 @@ use tlb_graphs::{DynamicGraph, Graph, NodeId};
 
 use crate::arrivals::ArrivalPlacement;
 use crate::churn::ChurnEvent;
+use crate::domains::DomainSpec;
 
 /// All state an online simulation owns between epochs (see the module
 /// docs for the state/scheduler split).
@@ -40,6 +41,14 @@ pub struct SimState {
     pub(crate) live: usize,
     /// Reused per-epoch buffer for departure draws.
     pub(crate) departed: Vec<TaskId>,
+    /// Per failure domain (index = position in the config's domain
+    /// list): the epoch at whose start the domain recovers, or 0 when
+    /// the domain is healthy. Non-RNG persistent state — it travels in
+    /// the snapshot so a restored run replays the same recoveries.
+    pub(crate) domain_down_until: Vec<u64>,
+    /// Per-tenant admission token balances (token-bucket policy only;
+    /// empty otherwise). Snapshot state, like `domain_down_until`.
+    pub(crate) admission_tokens: Vec<f64>,
 }
 
 impl SimState {
@@ -57,6 +66,8 @@ impl SimState {
             free_ids: Vec::new(),
             live: 0,
             departed: Vec::new(),
+            domain_down_until: Vec::new(),
+            admission_tokens: Vec::new(),
         }
     }
 
@@ -120,7 +131,83 @@ impl SimState {
                 }
                 0
             }
+            ChurnEvent::DomainOutage { .. } => {
+                // The scheduler resolves this against the config's domain
+                // list (it owns the recovery deadlines) and applies the
+                // range deactivation via `domain_outage` below.
+                unreachable!("DomainOutage is resolved by the scheduler")
+            }
         }
+    }
+
+    /// Take failure domain `d` down until epoch `until`: record the
+    /// recovery deadline (extending any outage already in force) and
+    /// drain the whole range. Returns the number of drained tasks.
+    pub(crate) fn domain_outage<R: Rng + ?Sized>(
+        &mut self,
+        domains: &[DomainSpec],
+        d: usize,
+        until: u64,
+        rng: &mut R,
+        topology_changed: &mut bool,
+    ) -> u64 {
+        self.domain_down_until[d] = self.domain_down_until[d].max(until);
+        let DomainSpec { from, to, .. } = domains[d];
+        self.apply_event(ChurnEvent::DeactivateRange { from, to }, rng, topology_changed)
+    }
+
+    /// Recover every domain whose outage deadline has arrived:
+    /// reactivate the whole range (no RNG) and clear the deadline.
+    /// Returns the number of domains recovered.
+    pub(crate) fn recover_due_domains(
+        &mut self,
+        domains: &[DomainSpec],
+        epoch: u64,
+        topology_changed: &mut bool,
+    ) -> u64 {
+        let mut recovered = 0;
+        for (deadline, spec) in self.domain_down_until.iter_mut().zip(domains) {
+            if *deadline != 0 && *deadline <= epoch {
+                *deadline = 0;
+                recovered += 1;
+                for v in spec.from..spec.to {
+                    if self.dg.activate(v) {
+                        *topology_changed = true;
+                    }
+                }
+            }
+        }
+        recovered
+    }
+
+    /// Whether `v` belongs to a domain currently down (deadline still in
+    /// the future of `epoch`).
+    pub(crate) fn in_down_domain(&self, domains: &[DomainSpec], v: NodeId, epoch: u64) -> bool {
+        self.domain_down_until
+            .iter()
+            .zip(domains)
+            .any(|(&until, dom)| until > epoch && dom.contains(v))
+    }
+
+    /// Total stacked load inside domain `d` (drained domains report 0).
+    pub(crate) fn domain_load(&self, domains: &[DomainSpec], d: usize) -> f64 {
+        let DomainSpec { from, to, .. } = domains[d];
+        self.stacks[from as usize..to as usize].iter().map(ResourceStack::load).sum()
+    }
+
+    /// Every node id ranked by current stack load, heaviest first, ties
+    /// to the lowest id — the adversary's view of last epoch's loads
+    /// when taken before this epoch's churn runs.
+    pub(crate) fn load_ranking(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.dg.num_nodes() as NodeId).collect();
+        ids.sort_by(|&a, &b| {
+            self.stacks[b as usize]
+                .load()
+                .partial_cmp(&self.stacks[a as usize].load())
+                .expect("loads are finite")
+                .then(a.cmp(&b))
+        });
+        ids
     }
 
     fn deactivate_one<R: Rng + ?Sized>(
@@ -234,6 +321,12 @@ impl SimState {
                         .then(b.cmp(&a))
                 })
                 .expect("at least one active resource"),
+            ArrivalPlacement::Adaptive { .. } => {
+                // Needs the pre-churn load ranking, which only the
+                // scheduler holds; `OnlineSim` resolves it before
+                // calling into the state.
+                unreachable!("adaptive placement is resolved by the scheduler")
+            }
         }
     }
 

@@ -22,8 +22,8 @@ use tlb_core::stack::ResourceStack;
 use tlb_graphs::generators::random_regular;
 use tlb_graphs::Partition;
 use tlb_sim::{
-    ArrivalProcess, ChurnEvent, ChurnProcess, MemorySink, OnlineSim, RebalancePolicy,
-    ShardedEngine, SimConfig, SimSnapshot,
+    AdmissionPolicy, ArrivalProcess, ChurnEvent, ChurnProcess, DomainSpec, MemorySink, OnlineSim,
+    RebalancePolicy, ShardedEngine, SimConfig, SimSnapshot,
 };
 use tlb_walks::WalkKind;
 
@@ -44,12 +44,39 @@ fn churned_cfg(walk: WalkKind, seed: u64, epochs: u64, shards: usize) -> SimConf
             ],
             random_down: 0.3,
             random_up: 0.4,
+            ..Default::default()
         },
         rebalance: RebalancePolicy::Resource { walk },
         rounds_per_epoch: 24,
         shards,
         ..Default::default()
     }
+}
+
+/// The churned scenario with the robustness layer switched on: the node
+/// set split into two failure domains, stochastic domain outages on top
+/// of the per-node flap, a scripted whole-domain outage mid-run, and an
+/// admission policy in front of the arrivals.
+fn robust_cfg(
+    n: usize,
+    admission: AdmissionPolicy,
+    seed: u64,
+    epochs: u64,
+    shards: usize,
+) -> SimConfig {
+    let mut cfg = churned_cfg(WalkKind::MaxDegree, seed, epochs, shards);
+    cfg.churn.domains = vec![
+        DomainSpec::new("left", 0, (n / 2) as u32),
+        DomainSpec::new("right", (n / 2) as u32, n as u32),
+    ];
+    cfg.churn.domain_outage = 0.15;
+    // The left half goes down at epoch 2 for 6 epochs, so epochs 2..8
+    // run degraded — pause points in that span checkpoint mid-outage.
+    cfg.churn
+        .scripted
+        .push((2, ChurnEvent::DomainOutage { domain: 0, duration: 6 }));
+    cfg.admission = admission;
+    cfg
 }
 
 /// Arbitrary per-node stacks (task ids are globally unique; weights in
@@ -280,6 +307,92 @@ proptest! {
         let (obs_records, obs_snapshot) = run(true);
         prop_assert_eq!(obs_records, plain_records);
         prop_assert_eq!(obs_snapshot, plain_snapshot);
+    }
+
+    /// Task conservation through the admission gate: under domain
+    /// outages and any admission policy, every epoch's offered arrivals
+    /// split exactly into admitted + rejected, the per-tenant ledgers
+    /// sum to the global ones, and the run-level totals agree with the
+    /// per-epoch series.
+    #[test]
+    fn admission_conserves_offered_arrivals_under_outages(
+        n in 16usize..40,
+        admission_ix in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let admission = [
+            AdmissionPolicy::None,
+            AdmissionPolicy::StaticCap { max_live: 40 },
+            AdmissionPolicy::TokenBucket { rate: 8.0, burst: 16.0 },
+            AdmissionPolicy::LoadShed { max_mean_load: 3.0 },
+        ][admission_ix];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let report = OnlineSim::new(g, robust_cfg(n, admission, seed, 12, 1)).run();
+        let (mut arrivals, mut admitted, mut rejected) = (0u64, 0u64, 0u64);
+        for r in &report.records {
+            prop_assert_eq!(r.arrivals, r.admitted + r.rejected, "epoch {}", r.epoch);
+            prop_assert_eq!(r.admitted, r.tenant_admitted.iter().sum::<u64>());
+            prop_assert_eq!(r.rejected, r.tenant_rejected.iter().sum::<u64>());
+            arrivals += r.arrivals;
+            admitted += r.admitted;
+            rejected += r.rejected;
+        }
+        prop_assert_eq!(report.total_arrivals, arrivals);
+        prop_assert_eq!(report.total_admitted, admitted);
+        prop_assert_eq!(report.total_rejected, rejected);
+        if admission == AdmissionPolicy::None {
+            prop_assert_eq!(report.total_rejected, 0);
+        }
+    }
+
+    /// The robustness acceptance property: with failure domains,
+    /// stochastic + scripted domain outages, and admission all live, a
+    /// run paused at a random epoch *during* the scripted whole-domain
+    /// outage and resumed from snapshot JSON is bit-identical to the
+    /// uninterrupted run at shard counts 1 and 4.
+    #[test]
+    fn checkpoint_restore_is_bit_identical_mid_outage(
+        n in 16usize..40,
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+        pause in 3u64..8,
+        admission_ix in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let admission = [
+            AdmissionPolicy::None,
+            AdmissionPolicy::TokenBucket { rate: 8.0, burst: 16.0 },
+            AdmissionPolicy::LoadShed { max_mean_load: 3.0 },
+        ][admission_ix];
+        let epochs = 12u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_regular(n, 4, &mut rng).unwrap();
+        let cfg = robust_cfg(n, admission, seed, epochs, shards);
+
+        let full = OnlineSim::new(g.clone(), cfg.clone()).run();
+
+        let mut first = OnlineSim::new(g.clone(), cfg.clone());
+        for _ in 0..pause {
+            first.run_epoch();
+        }
+        let snap = first.checkpoint().unwrap();
+        prop_assert!(
+            snap.domain_down_until.iter().any(|&u| u > pause),
+            "pause at {} must land inside the scripted outage", pause
+        );
+        let json = snap.to_json().unwrap();
+        let parsed = SimSnapshot::from_json(&json).unwrap();
+        prop_assert_eq!(&parsed, &snap, "snapshot must survive serde");
+
+        let mut resumed = OnlineSim::restore(parsed, g).unwrap();
+        while resumed.epoch() < epochs {
+            resumed.run_epoch();
+        }
+        prop_assert_eq!(resumed.records(), &full.records[pause as usize..]);
+        let report = resumed.summary().to_report("prop", seed, full.tenants.clone());
+        prop_assert_eq!(report.total_admitted, full.total_admitted);
+        prop_assert_eq!(report.total_rejected, full.total_rejected);
+        prop_assert_eq!(report.shed_fraction.to_bits(), full.shed_fraction.to_bits());
     }
 
     /// Running a sharded pass conserves the task multiset and total

@@ -33,6 +33,7 @@ fn churn_plus_arrivals_converges_after_arrivals_stop() {
             ],
             random_down: 0.03,
             random_up: 0.05,
+            ..Default::default()
         },
         rounds_per_epoch: 32,
         ..Default::default()
@@ -82,7 +83,12 @@ fn online_runs_are_bit_identical_across_runs() {
         seed: 31337,
         arrivals: ArrivalProcess::Bursty { base: 5.0, burst: 60.0, period: 25, burst_len: 4 },
         departure_prob: 0.05,
-        churn: ChurnProcess { scripted: vec![], random_down: 0.05, random_up: 0.08 },
+        churn: ChurnProcess {
+            scripted: vec![],
+            random_down: 0.05,
+            random_up: 0.08,
+            ..Default::default()
+        },
         tenants: vec![
             TenantSpec::new("a", ThresholdPolicy::Tight, 0.5),
             TenantSpec::new("b", ThresholdPolicy::AboveAverage { epsilon: 0.5 }, 0.5),
@@ -116,7 +122,12 @@ fn resource_policy_online_trajectory_is_pinned() {
         seed: 4242,
         arrivals: ArrivalProcess::Poisson { rate: 12.0 },
         departure_prob: 0.05,
-        churn: ChurnProcess { scripted: vec![], random_down: 0.04, random_up: 0.06 },
+        churn: ChurnProcess {
+            scripted: vec![],
+            random_down: 0.04,
+            random_up: 0.06,
+            ..Default::default()
+        },
         rounds_per_epoch: 32,
         ..Default::default()
     };

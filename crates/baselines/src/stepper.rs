@@ -26,7 +26,6 @@
 //! source and retries next round — the `r`-round retry structure of Adler
 //! et al. \[4\], with the round cap playing the "give up" bound.
 
-use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use tlb_core::placement::Placement;
@@ -368,16 +367,20 @@ fn place_parallel_wave<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     let threshold = eng.threshold();
-    // `pending` carries (cohort slot, drawn bin); the slot index (not the
-    // task id) is stored so a rejected task can find its source in
-    // `positions` after the shuffle.
-    eng.pending.clear();
+    // The pending arrays carry (cohort slot, drawn bin) pairs; the slot
+    // index (not the task id) is stored so a rejected task can find its
+    // source in `positions` after the shuffle. `shuffle_paired` applies
+    // one permutation to both parallel arrays with exactly the words the
+    // old tuple shuffle drew, so the SoA split moved no stream.
+    eng.pending_tasks.clear();
+    eng.pending_dests.clear();
     for slot in 0..eng.cohort.len() {
-        eng.pending.push((slot as u32, cands[rng.gen_range(0..cands.len())]));
+        eng.pending_tasks.push(slot as u32);
+        eng.pending_dests.push(cands[rng.gen_range(0..cands.len())]);
     }
-    eng.pending.shuffle(rng);
+    rand::seq::shuffle_paired(&mut eng.pending_tasks, &mut eng.pending_dests, rng);
     let mut migrated = 0u64;
-    for &(slot, dest) in &eng.pending {
+    for (&slot, &dest) in eng.pending_tasks.iter().zip(&eng.pending_dests) {
         let t = eng.cohort[slot as usize];
         let w = eng.weights[t as usize];
         if eng.stacks[dest as usize].load() + w <= threshold {

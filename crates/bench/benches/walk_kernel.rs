@@ -4,13 +4,22 @@
 //! (maximal degree skew) — at several degrees.
 //!
 //! Throughput is reported per walker step. The batched kernel's win comes
-//! from bulk RNG generation (register-resident xoshiro fill) plus the
-//! branch-light Lemire mapping pass; the scalar path pays one generator
-//! round-trip per step.
+//! from bulk RNG generation (register-resident xoshiro fill for the
+//! regular fast path, the 8-lane striped [`WideRng`] block for the lazy
+//! walk) plus the gather-style two-pass Lemire mapping over the flat CSR
+//! arena; the scalar path pays one generator round-trip per step.
+//!
+//! The lazy group carries a third variant, `fused`, replaying the
+//! previous single-stream fused kernel verbatim
+//! ([`tlb_bench::workloads::step_lazy_fused_reference`]: one inline
+//! `SmallRng` word per walker, affine gather, branchless select) so the
+//! wide-lane win over the old kernel — not just over scalar — stays
+//! measured.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use tlb_bench::workloads::step_lazy_fused_reference;
 use tlb_graphs::generators::{cycle, random_regular, star};
 use tlb_graphs::{Graph, NodeId};
 use tlb_walks::batch::step_batch_scalar;
@@ -58,6 +67,17 @@ fn bench_walk_kernel(c: &mut Criterion) {
                     positions[0]
                 })
             });
+            if kind == WalkKind::Lazy {
+                // The pre-wide-lane fused kernel, replayed verbatim.
+                group.bench_with_input(BenchmarkId::new("fused", &name), &g, |b, g| {
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    let mut positions = starts.clone();
+                    b.iter(|| {
+                        step_lazy_fused_reference(g, &mut positions, &mut rng);
+                        positions[0]
+                    })
+                });
+            }
         }
         group.finish();
     }

@@ -137,13 +137,14 @@ pub mod prelude {
         RoundEngine,
     };
     pub use crate::resource_protocol::{
-        run_resource_controlled, ResourceControlledConfig, ResourceControlledOutcome,
-        ResourceControlledStepper,
+        run_resource_controlled, run_resource_controlled_with_stats, ResourceControlledConfig,
+        ResourceControlledOutcome, ResourceControlledStepper,
     };
     pub use crate::task::{TaskId, TaskSet};
     pub use crate::threshold::ThresholdPolicy;
     pub use crate::user_protocol::{
-        run_user_controlled, UserControlledConfig, UserControlledOutcome, UserControlledStepper,
+        run_user_controlled, run_user_controlled_with_stats, UserControlledConfig,
+        UserControlledOutcome, UserControlledStepper,
     };
     pub use crate::weights::WeightSpec;
 }

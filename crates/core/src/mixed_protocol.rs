@@ -252,6 +252,12 @@ impl MixedStepper {
             }
             eng.positions.resize(eng.cohort.len(), r);
         }
+        // Degree-bucket the cohort for the kernel's benefit — Lazy only,
+        // for the same stream reasons as the resource stepper (lane
+        // words are index-assigned; MaxDegree keeps scalar parity).
+        if self.cfg.walk == WalkKind::Lazy {
+            eng.sort_cohort_by_degree(g);
+        }
         eng.walker.step_batch(g, self.cfg.walk, &mut eng.positions, rng);
         eng.note_walk_batch(g, self.cfg.walk);
         // Arrival phase straight off the stepped cohort — the mixed

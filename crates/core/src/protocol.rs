@@ -183,9 +183,20 @@ pub struct RoundEngine {
     /// Round buffer parallel to `cohort`: source positions going in, walk
     /// destinations after a batched step. Cleared by `begin_round`.
     pub positions: Vec<NodeId>,
-    /// Round buffer: zipped `(task, destination)` arrivals, for variants
-    /// that materialize (and possibly shuffle) the arrival order.
-    pub pending: Vec<(TaskId, NodeId)>,
+    /// Round buffer: arrival task ids, parallel to
+    /// [`pending_dests`](Self::pending_dests), for variants that
+    /// materialize (and possibly shuffle) the arrival order. Stored as
+    /// two flat parallel arrays rather than a `Vec<(TaskId, NodeId)>`:
+    /// the arrival loop reads ids and destinations in separate streams,
+    /// and the structure-of-arrays form keeps each stream dense (8 B per
+    /// entry per array instead of one padded 8 B tuple holding both) —
+    /// shuffling applies one permutation to both via
+    /// [`rand::seq::shuffle_paired`], which draws the exact words the
+    /// tuple shuffle drew.
+    pub pending_tasks: Vec<TaskId>,
+    /// Round buffer: arrival destinations, parallel to
+    /// [`pending_tasks`](Self::pending_tasks).
+    pub pending_dests: Vec<NodeId>,
     /// Round buffer: bulk-generated destination words (user-style uniform
     /// re-placement).
     pub dest_words: Vec<u64>,
@@ -198,6 +209,12 @@ pub struct RoundEngine {
     potential_series: Vec<f64>,
     trace: Option<RoundTrace>,
     completed: bool,
+    /// Counting-sort scratch for [`sort_cohort_by_degree`]
+    /// (bucket cursors, then the sorted copies); reused across rounds so
+    /// steady-state sorting allocates nothing.
+    sort_counts: Vec<usize>,
+    sort_tasks: Vec<TaskId>,
+    sort_positions: Vec<NodeId>,
 }
 
 impl RoundEngine {
@@ -227,7 +244,8 @@ impl RoundEngine {
             walker: BatchWalker::new(),
             cohort: Vec::new(),
             positions: Vec::new(),
-            pending: Vec::new(),
+            pending_tasks: Vec::new(),
+            pending_dests: Vec::new(),
             dest_words: Vec::new(),
             threshold,
             max_rounds,
@@ -238,7 +256,56 @@ impl RoundEngine {
             potential_series,
             trace,
             completed,
+            sort_counts: Vec::new(),
+            sort_tasks: Vec::new(),
+            sort_positions: Vec::new(),
         }
+    }
+
+    /// Reorder the round cohort (and its parallel source positions) by
+    /// ascending source degree — a stable counting sort, so entries
+    /// within one degree bucket keep their ejection order. On irregular
+    /// graphs this groups the batched kernel's work into
+    /// near-regular runs: the `slot < deg(v)` self-loop test in the lazy
+    /// path becomes predictable per bucket instead of per walker, and
+    /// neighbour-list lengths stop alternating between cache lines.
+    ///
+    /// On a regular graph (one bucket) the sort is the identity, so the
+    /// method returns without touching the buffers. Callers only invoke
+    /// it for [`WalkKind::Lazy`]: the lazy stream assigns lane words by
+    /// cohort *index*, so reordering moves which word each task gets —
+    /// fine under the re-pinned lazy stream, but it would break the
+    /// MaxDegree/Simple scalar-parity goldens, whose cohorts therefore
+    /// stay in ejection order.
+    pub fn sort_cohort_by_degree(&mut self, g: &Graph) {
+        debug_assert_eq!(self.cohort.len(), self.positions.len());
+        if g.is_regular() || self.cohort.len() <= 1 {
+            return;
+        }
+        let buckets = g.max_degree() as usize + 1;
+        self.sort_counts.clear();
+        self.sort_counts.resize(buckets, 0);
+        for &v in &self.positions {
+            self.sort_counts[g.degree(v)] += 1;
+        }
+        // Prefix sums turn the histogram into per-bucket write cursors.
+        let mut acc = 0usize;
+        for c in self.sort_counts.iter_mut() {
+            let n = *c;
+            *c = acc;
+            acc += n;
+        }
+        self.sort_tasks.resize(self.cohort.len(), 0);
+        self.sort_positions.resize(self.positions.len(), 0);
+        for i in 0..self.cohort.len() {
+            let v = self.positions[i];
+            let slot = self.sort_counts[g.degree(v)];
+            self.sort_counts[g.degree(v)] += 1;
+            self.sort_tasks[slot] = self.cohort[i];
+            self.sort_positions[slot] = v;
+        }
+        std::mem::swap(&mut self.cohort, &mut self.sort_tasks);
+        std::mem::swap(&mut self.positions, &mut self.sort_positions);
     }
 
     /// Whether every load is at most the threshold.

@@ -22,7 +22,6 @@
 //! * Theorem 3 — above-average thresholds: `O(τ(G)·log m)` rounds w.h.p.
 //! * Theorem 7 — tight threshold `W/n + 2w_max`: expected `O(H(G)·ln W)`.
 
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tlb_graphs::{Graph, NodeId};
@@ -230,19 +229,31 @@ impl ResourceControlledStepper {
                 eng.positions.resize(eng.cohort.len(), r);
             }
         }
+        // Cache-conscious layout: group the cohort by source degree so
+        // the batched kernel's irregular path runs in near-regular
+        // bucket runs. Lazy only — its lane words are assigned by cohort
+        // index under the re-pinned wide stream; MaxDegree/Simple keep
+        // ejection order so their scalar-parity goldens stay
+        // byte-identical.
+        if self.cfg.walk == WalkKind::Lazy {
+            eng.sort_cohort_by_degree(g);
+        }
         // Walk phase: the whole cohort takes one batched step.
         eng.walker.step_batch(g, self.cfg.walk, &mut eng.positions, rng);
         eng.note_walk_batch(g, self.cfg.walk);
-        eng.pending.clear();
-        eng.pending
-            .extend(eng.cohort.iter().copied().zip(eng.positions.iter().copied()));
+        eng.pending_tasks.clear();
+        eng.pending_tasks.extend_from_slice(&eng.cohort);
+        eng.pending_dests.clear();
+        eng.pending_dests.extend_from_slice(&eng.positions);
         if self.cfg.shuffle_arrivals {
-            eng.pending.shuffle(rng);
+            // One permutation over both parallel arrays — draws exactly
+            // the words the old tuple shuffle drew.
+            rand::seq::shuffle_paired(&mut eng.pending_tasks, &mut eng.pending_dests, rng);
         }
         // Arrival phase: stack in (possibly shuffled) order; acceptance is
         // implicit in the stack heights.
-        let migrated = eng.pending.len() as u64;
-        for &(t, dest) in &eng.pending {
+        let migrated = eng.pending_tasks.len() as u64;
+        for (&t, &dest) in eng.pending_tasks.iter().zip(&eng.pending_dests) {
             eng.stacks[dest as usize].push(t, eng.weights[t as usize]);
         }
         eng.finish_round(migrated)
@@ -278,9 +289,25 @@ pub fn run_resource_controlled<R: Rng + ?Sized>(
     cfg: &ResourceControlledConfig,
     rng: &mut R,
 ) -> ResourceControlledOutcome {
+    run_resource_controlled_with_stats(g, tasks, placement, cfg, rng).0
+}
+
+/// [`run_resource_controlled`] plus the engine's deterministic
+/// observability counters — the sweep drivers aggregate these per sweep
+/// without holding a stepper across the harness fan-out. Reading the
+/// counters touches no RNG, so both entry points consume the identical
+/// stream.
+pub fn run_resource_controlled_with_stats<R: Rng + ?Sized>(
+    g: &Graph,
+    tasks: &TaskSet,
+    placement: Placement,
+    cfg: &ResourceControlledConfig,
+    rng: &mut R,
+) -> (ResourceControlledOutcome, EngineStats) {
     let mut stepper = ResourceControlledStepper::new(g, tasks, placement, cfg, rng);
     stepper.run(g, rng);
-    stepper.into_outcome()
+    let stats = stepper.obs_stats();
+    (stepper.into_outcome(), stats)
 }
 
 #[cfg(test)]

@@ -280,9 +280,24 @@ pub fn run_user_controlled<R: Rng + ?Sized>(
     cfg: &UserControlledConfig,
     rng: &mut R,
 ) -> UserControlledOutcome {
+    run_user_controlled_with_stats(n, tasks, placement, cfg, rng).0
+}
+
+/// [`run_user_controlled`] plus the engine's deterministic observability
+/// counters — the sweep drivers aggregate these per sweep without
+/// holding a stepper across the harness fan-out. Reading the counters
+/// touches no RNG, so both entry points consume the identical stream.
+pub fn run_user_controlled_with_stats<R: Rng + ?Sized>(
+    n: usize,
+    tasks: &TaskSet,
+    placement: Placement,
+    cfg: &UserControlledConfig,
+    rng: &mut R,
+) -> (UserControlledOutcome, EngineStats) {
     let mut stepper = UserControlledStepper::new(n, tasks, placement, cfg, rng);
     while !stepper.round(rng) {}
-    stepper.into_outcome()
+    let stats = stepper.obs_stats();
+    (stepper.into_outcome(), stats)
 }
 
 #[cfg(test)]

@@ -1,4 +1,9 @@
 //! A3: balancing time vs alpha (how conservative is the analysis alpha?).
+//!
+//! `--obs-out PATH` additionally writes the sweep's observability
+//! report (deterministic counters + wall timings + pool diagnostics;
+//! see `tlb-obs`). The table artifacts are byte-identical with or
+//! without it.
 
 use tlb_experiments::cli::Options;
 use tlb_experiments::figures::alpha_sweep;
@@ -15,8 +20,13 @@ fn main() {
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }
-    let table = alpha_sweep::run(&cfg);
+    let (table, obs) = alpha_sweep::run_obs(&cfg);
     print!("{}", table.render());
     let path = table.save(&opts.out_dir).expect("write results");
     eprintln!("saved {}", path.display());
+    if let Some(obs_out) = &opts.obs_out {
+        std::fs::write(obs_out, format!("{}\n", obs.to_json()))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", obs_out.display()));
+        eprintln!("saved {}", obs_out.display());
+    }
 }

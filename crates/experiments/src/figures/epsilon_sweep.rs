@@ -9,9 +9,11 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlb_core::placement::Placement;
+use tlb_core::protocol::EngineStats;
 use tlb_core::threshold::ThresholdPolicy;
-use tlb_core::user_protocol::{run_user_controlled, UserControlledConfig};
+use tlb_core::user_protocol::{run_user_controlled_with_stats, UserControlledConfig};
 use tlb_core::weights::WeightSpec;
+use tlb_obs::{ObsReport, Registry};
 
 use crate::harness;
 use crate::output::Table;
@@ -95,6 +97,19 @@ struct Point {
 /// per-point loop, so results are bit-identical to it (and to any run of
 /// this version at any thread count).
 pub fn run(cfg: &Config) -> Table {
+    run_obs(cfg).0
+}
+
+/// [`run`], also returning the sweep's observability report: the
+/// `counters` subtree aggregates the deterministic per-point totals and
+/// the engine's [`EngineStats`] across every trial (bit-identical across
+/// thread counts), `timings` carries the sweep wall time, and `exec` the
+/// rayon pool deltas the sweep caused — the same shape
+/// `protocol_matrix` already reports.
+pub fn run_obs(cfg: &Config) -> (Table, ObsReport) {
+    let reg = Registry::new();
+    let pool_base = rayon::pool_stats();
+    let t_sweep = std::time::Instant::now();
     let mut table = Table::new(
         "epsilon_sweep",
         format!(
@@ -127,14 +142,24 @@ pub fn run(cfg: &Config) -> Table {
     }
     let seeds: Vec<u64> = points.iter().map(|p| p.seed).collect();
     let n = cfg.n;
-    let results = harness::run_sweep(&seeds, cfg.trials, |i, s| {
+    let results = harness::run_sweep_map(&seeds, cfg.trials, |i, s| {
         let p = &points[i];
         let mut rng = SmallRng::seed_from_u64(s);
         let tasks = p.spec.generate(&mut rng);
-        run_user_controlled(n, &tasks, Placement::AllOnOne(0), &p.proto, &mut rng).rounds as f64
+        let (out, stats) =
+            run_user_controlled_with_stats(n, &tasks, Placement::AllOnOne(0), &p.proto, &mut rng);
+        (out.rounds as f64, stats)
     });
+    let mut merged = EngineStats::default();
     for (p, samples) in points.iter().zip(&results) {
-        let s = Summary::of(samples);
+        reg.add("epsilon.points", 1);
+        reg.add("epsilon.trials", samples.len() as u64);
+        reg.add("epsilon.rounds", samples.iter().map(|(r, _)| *r as u64).sum());
+        for (_, stats) in samples {
+            merged.merge(stats);
+        }
+        let rounds: Vec<f64> = samples.iter().map(|(r, _)| *r).collect();
+        let s = Summary::of(&rounds);
         table.push_row(vec![
             format!("{:.0}", p.w_max),
             format!("{}", p.eps),
@@ -143,7 +168,16 @@ pub fn run(cfg: &Config) -> Table {
             format!("{:.2}", s.ci95),
         ]);
     }
-    table
+    super::record_engine_stats(&reg, "epsilon", &merged);
+    reg.record_ns("epsilon.sweep_ns", t_sweep.elapsed().as_nanos() as u64);
+    let pool = rayon::pool_stats();
+    reg.set_exec("pool.threads", pool.threads as u64);
+    reg.set_exec("pool.batches", pool.batches.saturating_sub(pool_base.batches));
+    reg.set_exec(
+        "pool.chunks_claimed",
+        pool.chunks_claimed.saturating_sub(pool_base.chunks_claimed),
+    );
+    (table, reg.snapshot())
 }
 
 #[cfg(test)]
@@ -170,5 +204,21 @@ mod tests {
         let t = run(&cfg);
         assert_eq!(t.rows.len(), cfg.epsilons.len() * cfg.w_maxes.len());
         assert!(t.rows[0][2].contains("tight"));
+    }
+
+    #[test]
+    fn obs_counters_aggregate_the_sweep_deterministically() {
+        let cfg = Config { trials: 3, ..Config::quick() };
+        let (table, obs) = run_obs(&cfg);
+        assert_eq!(obs.counters["epsilon.points"], table.rows.len() as u64);
+        assert_eq!(obs.counters["epsilon.trials"], (table.rows.len() * cfg.trials) as u64);
+        assert!(obs.counters["epsilon.rounds"] > 0);
+        assert!(obs.counters["epsilon.uniform_jump_draws"] > 0);
+        assert!(obs.timings.contains_key("epsilon.sweep_ns"));
+        // The deterministic subtree is byte-stable run to run; the table
+        // itself must be unchanged by the instrumentation.
+        let (again_table, again) = run_obs(&cfg);
+        assert_eq!(again_table, table);
+        assert_eq!(again.counters_json(), obs.counters_json());
     }
 }

@@ -17,6 +17,23 @@
 //! | M1 | [`protocol_matrix`] | every protocol × graph × arrival scenario |
 //! | R1 | [`adversary`] | robustness: adaptive adversaries, failure domains, admission control |
 
+use tlb_core::protocol::EngineStats;
+use tlb_obs::Registry;
+
+/// Fold one sweep's merged [`EngineStats`] into an obs registry under
+/// `prefix` — the deterministic engine-counter subtree every one-shot
+/// sweep driver reports with the same shape (`<prefix>.walk_steps`,
+/// `.fused_word_draws`, `.regular_fast_path_hits`, `.uniform_jump_draws`
+/// counters plus the `.max_round_cohort` gauge), so CI can diff the
+/// drivers' obs artifacts uniformly. Counters only — no RNG, no clock.
+pub(crate) fn record_engine_stats(reg: &Registry, prefix: &str, stats: &EngineStats) {
+    reg.add(&format!("{prefix}.walk_steps"), stats.walk_steps);
+    reg.add(&format!("{prefix}.fused_word_draws"), stats.fused_word_draws);
+    reg.add(&format!("{prefix}.regular_fast_path_hits"), stats.regular_fast_path_hits);
+    reg.add(&format!("{prefix}.uniform_jump_draws"), stats.uniform_jump_draws);
+    reg.set(&format!("{prefix}.max_round_cohort"), stats.max_round_cohort);
+}
+
 pub mod adversary;
 pub mod alpha_sweep;
 pub mod diffusion_expt;

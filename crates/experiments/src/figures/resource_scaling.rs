@@ -11,10 +11,12 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlb_core::placement::Placement;
-use tlb_core::resource_protocol::{run_resource_controlled, ResourceControlledConfig};
+use tlb_core::protocol::EngineStats;
+use tlb_core::resource_protocol::{run_resource_controlled_with_stats, ResourceControlledConfig};
 use tlb_core::threshold::ThresholdPolicy;
 use tlb_core::weights::WeightSpec;
 use tlb_graphs::generators::Family;
+use tlb_obs::{ObsReport, Registry};
 
 use crate::figures::table1::build_family;
 use crate::harness;
@@ -84,6 +86,20 @@ struct FamilyPoint {
 /// straggler shape whole-sweep scheduling wins on. Seeds per point match
 /// the old per-point loop, so results are bit-identical to it.
 pub fn run(cfg: &Config) -> Table {
+    run_obs(cfg).0
+}
+
+/// [`run`], also returning the sweep's observability report (the shape
+/// `protocol_matrix` reports): deterministic per-point totals plus the
+/// engine's [`EngineStats`] merged across every trial under the
+/// `scaling.` counter prefix — this is the driver where the kernel
+/// counters (walk steps, fused lazy draws, regular fast-path hits) carry
+/// real signal, since every Table-1 family walks — the sweep wall time,
+/// and the rayon pool deltas.
+pub fn run_obs(cfg: &Config) -> (Table, ObsReport) {
+    let reg = Registry::new();
+    let pool_base = rayon::pool_stats();
+    let t_sweep = std::time::Instant::now();
     let mut table = Table::new(
         "resource_scaling",
         format!(
@@ -122,17 +138,31 @@ pub fn run(cfg: &Config) -> Table {
         .iter()
         .map(|&(fi, _, _)| cfg.seed ^ (families[fi].family as u64) << 8)
         .collect();
-    let results = harness::run_sweep(&seeds, cfg.trials, |i, s| {
+    let results = harness::run_sweep_map(&seeds, cfg.trials, |i, s| {
         let (fi, _, ref spec) = points[i];
         let fp = &families[fi];
         let mut rng = SmallRng::seed_from_u64(s);
         let tasks = spec.generate(&mut rng);
-        run_resource_controlled(&fp.g, &tasks, Placement::AllOnOne(0), &fp.proto, &mut rng).rounds
-            as f64
+        let (out, stats) = run_resource_controlled_with_stats(
+            &fp.g,
+            &tasks,
+            Placement::AllOnOne(0),
+            &fp.proto,
+            &mut rng,
+        );
+        (out.rounds as f64, stats)
     });
+    let mut merged = EngineStats::default();
     for (&(fi, wname, _), samples) in points.iter().zip(&results) {
         let fp = &families[fi];
-        let s = Summary::of(samples);
+        reg.add("scaling.points", 1);
+        reg.add("scaling.trials", samples.len() as u64);
+        reg.add("scaling.rounds", samples.iter().map(|(r, _)| *r as u64).sum());
+        for (_, stats) in samples {
+            merged.merge(stats);
+        }
+        let rounds: Vec<f64> = samples.iter().map(|(r, _)| *r).collect();
+        let s = Summary::of(&rounds);
         let denom = fp.tau * (fp.m as f64).ln();
         table.push_row(vec![
             fp.family.name().to_string(),
@@ -145,7 +175,16 @@ pub fn run(cfg: &Config) -> Table {
             format!("{:.5}", s.mean / denom),
         ]);
     }
-    table
+    super::record_engine_stats(&reg, "scaling", &merged);
+    reg.record_ns("scaling.sweep_ns", t_sweep.elapsed().as_nanos() as u64);
+    let pool = rayon::pool_stats();
+    reg.set_exec("pool.threads", pool.threads as u64);
+    reg.set_exec("pool.batches", pool.batches.saturating_sub(pool_base.batches));
+    reg.set_exec(
+        "pool.chunks_claimed",
+        pool.chunks_claimed.saturating_sub(pool_base.chunks_claimed),
+    );
+    (table, reg.snapshot())
 }
 
 #[cfg(test)]
@@ -180,5 +219,21 @@ mod tests {
             max / min,
             tau_spread
         );
+    }
+
+    #[test]
+    fn obs_counters_aggregate_the_sweep_deterministically() {
+        let cfg = Config { trials: 3, ..Config::quick() };
+        let (table, obs) = run_obs(&cfg);
+        assert_eq!(obs.counters["scaling.points"], table.rows.len() as u64);
+        assert_eq!(obs.counters["scaling.trials"], (table.rows.len() * cfg.trials) as u64);
+        assert!(obs.counters["scaling.rounds"] > 0);
+        assert!(obs.counters["scaling.walk_steps"] > 0);
+        assert!(obs.timings.contains_key("scaling.sweep_ns"));
+        // The deterministic subtree is byte-stable run to run; the table
+        // itself must be unchanged by the instrumentation.
+        let (again_table, again) = run_obs(&cfg);
+        assert_eq!(again_table, table);
+        assert_eq!(again.counters_json(), obs.counters_json());
     }
 }

@@ -107,7 +107,13 @@ impl GraphBuilder {
         for v in 0..n {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph::from_csr(offsets, neighbors)
+        // The builder already holds per-node degrees; hand the extremes to
+        // the graph instead of letting it rescan `offsets.windows(2)`.
+        let (min_degree, max_degree) = degrees
+            .iter()
+            .fold((u32::MAX, 0u32), |(mn, mx), &d| (mn.min(d as u32), mx.max(d as u32)));
+        let min_degree = if min_degree == u32::MAX { 0 } else { min_degree };
+        Graph::from_csr_with_degree_bounds(offsets, neighbors, min_degree, max_degree)
     }
 }
 

@@ -33,16 +33,31 @@ pub struct Graph {
 }
 
 impl Graph {
-    /// Build directly from CSR parts. Internal — callers use the builder.
-    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+    /// Build directly from CSR parts with degree bounds the caller
+    /// already knows. Internal — callers use the builder, which owns a
+    /// per-node degree array anyway, so million-node snapshot
+    /// materialization (`DynamicGraph::snapshot`/`compact`, both routed
+    /// through the builder) no longer pays a full `offsets` rescan per
+    /// construction. Debug builds re-derive the extremes and assert.
+    pub(crate) fn from_csr_with_degree_bounds(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        min_degree: u32,
+        max_degree: u32,
+    ) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
-        // One fused pass for both degree extremes.
-        let (min_degree, max_degree) = offsets.windows(2).fold((u32::MAX, 0), |(mn, mx), w| {
-            let d = (w[1] - w[0]) as u32;
-            (mn.min(d), mx.max(d))
-        });
-        let min_degree = if min_degree == u32::MAX { 0 } else { min_degree };
+        debug_assert_eq!(
+            (min_degree, max_degree),
+            {
+                let (mn, mx) = offsets.windows(2).fold((u32::MAX, 0), |(mn, mx), w| {
+                    let d = (w[1] - w[0]) as u32;
+                    (mn.min(d), mx.max(d))
+                });
+                (if mn == u32::MAX { 0 } else { mn }, mx)
+            },
+            "caller-supplied degree bounds disagree with the CSR layout"
+        );
         Graph { offsets, neighbors, max_degree, min_degree }
     }
 

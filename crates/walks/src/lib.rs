@@ -58,6 +58,6 @@ pub mod spectral;
 pub mod transition;
 pub mod walker;
 
-pub use batch::BatchWalker;
+pub use batch::{step_lazy_with_words, BatchWalker};
 pub use transition::{TransitionMatrix, WalkKind};
 pub use walker::Walker;

@@ -268,3 +268,41 @@ fn tenant_slo_ordering_is_stable_under_streaming_load() {
         "rates must order by strictness: {rates:?}"
     );
 }
+
+/// Golden pin for the **lazy** walk stream (once, wide-lane kernel PR).
+///
+/// Golden re-pin (once, wide-lane RNG kernel PR): the lazy batched
+/// kernel moved from one fused word per walker off the caller's stream
+/// to **one parent word per batch** expanded through the lane-striped
+/// `rand::rngs::WideRng` (fixed `WIDE_LANES` stream constant), and lazy
+/// cohorts are now degree-bucket sorted before the walk phase
+/// (`RoundEngine::sort_cohort_by_degree`) — same per-step law
+/// (chi-square-pinned per `WalkKind` in `tlb_walks::batch`, and the
+/// word-law stub tests there pin the mapping bit-exactly), different
+/// stream. No earlier golden pinned a lazy one-shot trajectory (every
+/// checked-in pin uses MaxDegree walks or the counter-based online
+/// stream, all byte-identical to before this PR), so these values are
+/// pinned fresh here: a regular graph (torus — wide-lane gather fast
+/// path, sorting is the identity) and an irregular one (star — general
+/// path plus a real degree-bucket sort each round). Any future change
+/// to these values needs its own justified re-pin per the policy in
+/// `vendor/README.md`.
+#[test]
+fn lazy_one_shot_outcomes_are_pinned() {
+    let tasks = TaskSet::new((0..360).map(|i| 1.0 + (i % 5) as f64).collect::<Vec<_>>());
+    let cfg = ResourceControlledConfig { walk: tlb_walks::WalkKind::Lazy, ..Default::default() };
+
+    let g = torus2d(6, 6);
+    let mut rng = SmallRng::seed_from_u64(12345);
+    let out = run_resource_controlled(&g, &tasks, Placement::AllOnOne(7), &cfg, &mut rng);
+    assert_eq!(out.rounds, 53);
+    assert_eq!(out.migrations, 3284);
+    assert_eq!(out.final_max_load.to_bits(), 4630967054332067840);
+
+    let star = tlb_graphs::generators::star(40);
+    let mut rng = SmallRng::seed_from_u64(777);
+    let out2 = run_resource_controlled(&star, &tasks, Placement::AllOnOne(0), &cfg, &mut rng);
+    assert_eq!(out2.rounds, 155);
+    assert_eq!(out2.migrations, 900);
+    assert_eq!(out2.final_max_load.to_bits(), 4630404104378646528);
+}

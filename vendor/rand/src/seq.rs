@@ -33,6 +33,26 @@ impl<T> SliceRandom for [T] {
     }
 }
 
+/// Apply one Fisher–Yates permutation to two parallel slices at once —
+/// the structure-of-arrays form of shuffling a `Vec<(A, B)>`. Draws
+/// **exactly the same words** as [`SliceRandom::shuffle`] on either
+/// slice alone (one `gen_range(0..=i)` per descending index), so
+/// splitting a tuple buffer into parallel arrays is stream-invisible:
+/// any golden pinned against the tuple shuffle stays byte-identical.
+/// This is an extension beyond the real `rand 0.8` API, added for the
+/// SoA round buffers in `tlb-core`.
+///
+/// # Panics
+/// If the slices differ in length.
+pub fn shuffle_paired<R: Rng + ?Sized, A, B>(a: &mut [A], b: &mut [B], rng: &mut R) {
+    assert_eq!(a.len(), b.len(), "parallel slices must have equal length");
+    for i in (1..a.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        a.swap(i, j);
+        b.swap(i, j);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +68,25 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, sorted, "100 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn paired_shuffle_matches_the_tuple_shuffle_stream() {
+        // Shuffling (a, b) as tuples and as parallel arrays must apply
+        // the same permutation from the same words — the contract that
+        // makes the SoA split of a tuple buffer a pure refactor.
+        let n = 73usize;
+        let mut tuples: Vec<(u32, u64)> = (0..n).map(|i| (i as u32, (i * i) as u64)).collect();
+        let mut a: Vec<u32> = (0..n as u32).collect();
+        let mut b: Vec<u64> = (0..n).map(|i| (i * i) as u64).collect();
+        let mut rng_t = SmallRng::seed_from_u64(0x5EED);
+        let mut rng_p = SmallRng::seed_from_u64(0x5EED);
+        tuples.shuffle(&mut rng_t);
+        shuffle_paired(&mut a, &mut b, &mut rng_p);
+        let rejoined: Vec<(u32, u64)> = a.into_iter().zip(b).collect();
+        assert_eq!(tuples, rejoined);
+        // And the generators remain aligned afterwards.
+        assert_eq!(rng_t, rng_p);
     }
 
     #[test]
